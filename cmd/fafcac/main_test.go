@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunDefaultScenario(t *testing.T) {
+	if err := run("", true); err != nil {
+		t.Fatalf("default scenario failed: %v", err)
+	}
+}
+
+func TestRunScenarioFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	doc := `{
+		"name": "file-test",
+		"cac": {"beta": 0.4},
+		"actions": [
+			{"admit": {"id": "a", "srcRing": 0, "srcHost": 0, "dstRing": 1, "dstHost": 0,
+			           "deadlineMillis": 60,
+			           "source": {"type": "periodic", "c1Kbit": 20, "p1Millis": 10}}}
+		]
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, false); err != nil {
+		t.Fatalf("scenario file failed: %v", err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run("/nonexistent.json", false); err == nil {
+		t.Error("missing scenario should error")
+	}
+}

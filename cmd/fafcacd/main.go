@@ -1,0 +1,71 @@
+// Command fafcacd is the connection-establishment daemon: it owns a network
+// model and its admission controller and serves admit/preview/release/report
+// requests over TCP as newline-delimited JSON (see internal/signaling).
+//
+// Usage:
+//
+//	fafcacd -addr :7447 [-beta 0.5] [-rule proportional]
+//
+// Try it with netcat:
+//
+//	echo '{"op":"admit","admit":{"id":"v1","srcRing":0,"srcHost":0,
+//	      "dstRing":1,"dstHost":0,"deadlineMillis":60,
+//	      "source":{"type":"dualPeriodic","c1Kbit":50,"p1Millis":10,
+//	                "c2Kbit":10,"p2Millis":1}}}' | nc localhost 7447
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"fafnet/internal/core"
+	"fafnet/internal/scenario"
+	"fafnet/internal/signaling"
+	"fafnet/internal/topo"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:7447", "listen address")
+		beta = flag.Float64("beta", 0.5, "allocation knob of Eq. 35–36")
+		rule = flag.String("rule", "proportional", "allocation rule: proportional, fixed-split, or sender-biased")
+	)
+	flag.Parse()
+	if err := serve(*addr, *beta, *rule, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "fafcacd:", err)
+		os.Exit(1)
+	}
+}
+
+// serve builds the controller and serves until the listener fails; ready,
+// when non-nil, receives the bound address once listening (used by tests).
+func serve(addr string, beta float64, rule string, ready chan<- string) error {
+	s := scenario.Scenario{CAC: scenario.CAC{Beta: &beta, Rule: rule}}
+	opts, err := s.CACOptions()
+	if err != nil {
+		return err
+	}
+	net0, err := topo.NewNetwork(topo.Default())
+	if err != nil {
+		return err
+	}
+	ctl, err := core.NewController(net0, opts)
+	if err != nil {
+		return err
+	}
+	srv, err := signaling.NewServer(ctl)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fafcacd: serving the CAC (beta=%.2g, rule=%s) on %s\n", beta, rule, l.Addr())
+	if ready != nil {
+		ready <- l.Addr().String()
+	}
+	return srv.Serve(l)
+}

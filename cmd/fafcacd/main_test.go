@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"fafnet/internal/scenario"
+	"fafnet/internal/signaling"
+)
+
+func TestServeAndAdmit(t *testing.T) {
+	ready := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() { errCh <- serve("127.0.0.1:0", 0.5, "proportional", ready) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errCh:
+		t.Fatalf("serve failed before listening: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	client, err := signaling.Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	dec, err := client.Admit(scenario.Request{
+		ID: "v1", SrcRing: 0, SrcHost: 0, DstRing: 1, DstHost: 0,
+		DeadlineMillis: 60,
+		Source:         scenario.Source{Type: "dualPeriodic", C1Kbit: 50, P1Millis: 10, C2Kbit: 10, P2Millis: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Admitted {
+		t.Fatalf("rejected: %s", dec.Reason)
+	}
+}
+
+func TestServeBadRule(t *testing.T) {
+	if err := serve("127.0.0.1:0", 0.5, "sorcery", nil); err == nil {
+		t.Fatal("bad rule should fail fast")
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if err := serve("256.256.256.256:1", 0.5, "proportional", nil); err == nil {
+		t.Fatal("unusable address should fail")
+	}
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fafnet/internal/sim"
+)
+
+func TestParseList(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      string
+		def     []float64
+		want    []float64
+		wantErr bool
+	}{
+		{"empty uses default", "", []float64{1, 2}, []float64{1, 2}, false},
+		{"single", "0.5", nil, []float64{0.5}, false},
+		{"list with spaces", "0.1, 0.2 ,0.3", nil, []float64{0.1, 0.2, 0.3}, false},
+		{"garbage", "a,b", nil, nil, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := parseList(tt.in, tt.def)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err != nil {
+				return
+			}
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %v, want %v", got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Errorf("got %v, want %v", got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	series := []sim.Series{
+		{Label: "U=0.3", Points: []sim.Point{{X: 0, AP: 0.71, CI: 0.04}, {X: 1, AP: 0.66, CI: 0.05}}},
+	}
+	if err := writeCSV(path, "beta", []float64{0, 1}, series); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(string(raw))).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0][0] != "beta" || rows[0][1] != "U=0.3" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][1] != "0.7100" {
+		t.Errorf("data = %v", rows[1])
+	}
+}
+
+func TestRenderChart(t *testing.T) {
+	series := []sim.Series{
+		{Label: "U=0.3", Points: []sim.Point{{X: 0, AP: 0.7}, {X: 1, AP: 0.6}}},
+	}
+	out := renderChart("title", "beta", series)
+	if !strings.Contains(out, "title") || !strings.Contains(out, "U=0.3") {
+		t.Errorf("chart missing pieces:\n%s", out)
+	}
+}
+
+func TestRunBetaSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	base := sim.Config{Requests: 15, Warmup: 3, Seed: 1}
+	if err := runBeta(base, "0.4", "0.5", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := runLoad(base, "0.4", "0.5", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := runAblation(base, "0.4", 0.5, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := runBeta(base, "bogus", "", false); err == nil {
+		t.Error("bad utils list should error")
+	}
+}

@@ -1,0 +1,138 @@
+// Command faftrace validates the analytic worst-case bounds (experiment E3
+// in DESIGN.md): it admits a scenario's connections through the real CAC,
+// then replays their declared traffic through the packet-level FDDI-ATM-FDDI
+// simulator and reports measured delays against the analytic bounds. Every
+// measured delay must stay below its bound.
+//
+// Usage:
+//
+//	faftrace [-scenario file.json] [-duration 2] [-seed 1] [-random-phases]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fafnet/internal/core"
+	"fafnet/internal/packetsim"
+	"fafnet/internal/scenario"
+	"fafnet/internal/topo"
+)
+
+func main() {
+	var (
+		path     = flag.String("scenario", "", "scenario JSON file (default: built-in demo)")
+		duration = flag.Float64("duration", 2, "simulated seconds")
+		seed     = flag.Int64("seed", 1, "random seed for phase staggering")
+		random   = flag.Bool("random-phases", false, "stagger source phases randomly")
+		hist     = flag.Bool("hist", false, "print per-connection delay histograms")
+		async    = flag.Int("async", 0, "flood each host with this many max-size async frames per TTRT")
+	)
+	flag.Parse()
+	showHist = *hist
+	asyncBackground = *async
+	if err := run(*path, *duration, *seed, *random); err != nil {
+		fmt.Fprintln(os.Stderr, "faftrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, duration float64, seed int64, random bool) error {
+	var (
+		s   scenario.Scenario
+		err error
+	)
+	if path == "" {
+		s = scenario.Default()
+	} else if s, err = scenario.Load(path); err != nil {
+		return err
+	}
+
+	topoCfg := s.TopologyConfig()
+	net, err := topo.NewNetwork(topoCfg)
+	if err != nil {
+		return err
+	}
+	opts, err := s.CACOptions()
+	if err != nil {
+		return err
+	}
+	ctl, err := core.NewController(net, opts)
+	if err != nil {
+		return err
+	}
+
+	for _, a := range s.Actions {
+		if a.Release != "" {
+			ctl.Release(a.Release)
+			continue
+		}
+		spec, err := a.Admit.Spec()
+		if err != nil {
+			return err
+		}
+		dec, err := ctl.RequestAdmission(spec)
+		if err != nil {
+			return err
+		}
+		if !dec.Admitted {
+			fmt.Printf("note: %s rejected by CAC (%s); not simulated\n", spec.ID, dec.Reason)
+		}
+	}
+	conns := ctl.Connections()
+	if len(conns) == 0 {
+		return fmt.Errorf("no admitted connections to trace")
+	}
+
+	fmt.Printf("tracing %d connections for %.1f simulated seconds (seed %d, random phases %v)\n\n",
+		len(conns), duration, seed, random)
+	res, err := packetsim.Run(packetsim.Config{
+		Topology:        topoCfg,
+		Connections:     conns,
+		Duration:        duration,
+		Seed:            seed,
+		RandomPhases:    random,
+		AsyncBackground: asyncBackground,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-10s %8s %12s %12s %12s %12s %7s\n",
+		"conn", "frames", "mean (ms)", "max (ms)", "bound (ms)", "headroom", "ok")
+	violations := 0
+	for _, c := range res.PerConn {
+		headroom := "-"
+		if c.Delays.Max() > 0 {
+			headroom = fmt.Sprintf("%.1fx", c.Bound/c.Delays.Max())
+		}
+		ok := "yes"
+		if !c.WithinBound() {
+			ok = "VIOLATED"
+			violations++
+		}
+		fmt.Printf("%-10s %8d %12.3f %12.3f %12.3f %12s %7s\n",
+			c.ID, c.FramesDelivered, c.Delays.Mean()*1e3, c.Delays.Max()*1e3, c.Bound*1e3, headroom, ok)
+	}
+	fmt.Println()
+	if showHist {
+		for _, c := range res.PerConn {
+			if c.Hist == nil {
+				continue
+			}
+			fmt.Printf("%s: delay distribution over [0, bound) in seconds\n%s\n", c.ID, c.Hist.Render(40))
+		}
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d connections exceeded their analytic bound", violations)
+	}
+	fmt.Println("all measured delays within analytic worst-case bounds")
+	return nil
+}
+
+// Flag-backed globals shared with the tests.
+var (
+	showHist        bool
+	asyncBackground int
+)

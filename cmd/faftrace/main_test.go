@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunDefaultScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet simulation in -short mode")
+	}
+	if err := run("", 0.3, 1, false); err != nil {
+		t.Fatalf("default trace failed: %v", err)
+	}
+}
+
+func TestRunRandomPhases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet simulation in -short mode")
+	}
+	if err := run("", 0.3, 7, true); err != nil {
+		t.Fatalf("random-phase trace failed: %v", err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run("/nonexistent.json", 0.1, 1, false); err == nil {
+		t.Error("missing scenario should error")
+	}
+}

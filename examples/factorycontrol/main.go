@@ -1,0 +1,84 @@
+// Factorycontrol: an industrial cell-controller scenario. Sensor stations
+// on one FDDI ring stream periodic measurements to a cell controller on
+// another ring; the controller sends actuator commands back. Deadlines are
+// tight (one control period). After admission, the example replays the
+// declared traffic through the packet-level simulator and verifies that no
+// measured delay exceeds the analytic worst case — the guarantee a plant
+// operator actually relies on.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fafnet"
+)
+
+func main() {
+	topology := fafnet.DefaultTopology()
+	net, err := fafnet.NewNetwork(topology)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Control traffic must never miss: allocate generously (β = 0.8).
+	cac, err := fafnet.NewController(net, fafnet.Options{Beta: 0.8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 20 kbit sensor scans every 10 ms (2 Mb/s), delivered within 25 ms.
+	sensor, err := fafnet.NewPeriodic(20e3, 0.010, 100e6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// 4 kbit actuator commands every 5 ms, within 20 ms.
+	actuator, err := fafnet.NewPeriodic(4e3, 0.005, 100e6)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	specs := []fafnet.ConnSpec{
+		{ID: "sensor-1", Src: fafnet.HostID{Ring: 0, Index: 0}, Dst: fafnet.HostID{Ring: 1, Index: 0}, Source: sensor, Deadline: 0.025},
+		{ID: "sensor-2", Src: fafnet.HostID{Ring: 0, Index: 1}, Dst: fafnet.HostID{Ring: 1, Index: 0}, Source: sensor, Deadline: 0.025},
+		{ID: "sensor-3", Src: fafnet.HostID{Ring: 2, Index: 0}, Dst: fafnet.HostID{Ring: 1, Index: 0}, Source: sensor, Deadline: 0.025},
+		{ID: "cmd-1", Src: fafnet.HostID{Ring: 1, Index: 1}, Dst: fafnet.HostID{Ring: 0, Index: 3}, Source: actuator, Deadline: 0.020},
+		{ID: "cmd-2", Src: fafnet.HostID{Ring: 1, Index: 2}, Dst: fafnet.HostID{Ring: 2, Index: 3}, Source: actuator, Deadline: 0.020},
+	}
+
+	fmt.Println("admitting the control loops:")
+	for _, spec := range specs {
+		dec, err := cac.RequestAdmission(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !dec.Admitted {
+			fmt.Printf("  %-9s REJECTED: %s — the cell must be re-planned\n", spec.ID, dec.Reason)
+			continue
+		}
+		fmt.Printf("  %-9s worst case %.2f ms of %.0f ms (H_S=%.2f ms, H_R=%.2f ms)\n",
+			spec.ID, dec.Delays[spec.ID]*1e3, spec.Deadline*1e3, dec.HS*1e3, dec.HR*1e3)
+	}
+
+	fmt.Println("\nreplaying one second of plant traffic through the packet-level model:")
+	res, err := fafnet.Validate(fafnet.ValidationConfig{
+		Topology:    topology,
+		Connections: cac.Connections(),
+		Duration:    1.0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range res.PerConn {
+		status := "ok"
+		if !c.WithinBound() {
+			status = "BOUND VIOLATED"
+		}
+		fmt.Printf("  %-9s %4d frames, measured max %.3f ms <= bound %.3f ms  %s\n",
+			c.ID, c.FramesDelivered, c.Delays.Max()*1e3, c.Bound*1e3, status)
+	}
+	if res.AllWithinBounds() {
+		fmt.Println("\nevery control message met its analytic worst case — the cell is safe to run")
+	} else {
+		fmt.Println("\nBOUND VIOLATION — this would be a bug in the analysis")
+	}
+}

@@ -1,0 +1,81 @@
+// Quickstart: build the paper's evaluation network, admit two real-time
+// connections, and print the allocations and the per-server delay budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fafnet"
+)
+
+func main() {
+	// The evaluation network of Section 6: three 100 Mb/s FDDI rings with
+	// four hosts each, joined by three ATM switches on 155 Mb/s links.
+	net, err := fafnet.NewNetwork(fafnet.DefaultTopology())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// β = 0.5 allocates halfway between the minimum the deadlines need and
+	// the maximum that still improves any delay (Eq. 35–36).
+	cac, err := fafnet.NewController(net, fafnet.Options{Beta: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A bursty video source: at most 50 kbit in any 10 ms and 10 kbit in
+	// any 1 ms, transmitted at up to the 100 Mb/s medium rate (Eq. 37).
+	video, err := fafnet.NewDualPeriodic(50e3, 0.010, 10e3, 0.001, 100e6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A smooth 2 Mb/s audio mix.
+	audio, err := fafnet.NewCBR(2e6)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	requests := []fafnet.ConnSpec{
+		{
+			ID:       "video-1",
+			Src:      fafnet.HostID{Ring: 0, Index: 0},
+			Dst:      fafnet.HostID{Ring: 1, Index: 0},
+			Source:   video,
+			Deadline: 0.050, // 50 ms end-to-end
+		},
+		{
+			ID:       "audio-1",
+			Src:      fafnet.HostID{Ring: 1, Index: 1},
+			Dst:      fafnet.HostID{Ring: 2, Index: 0},
+			Source:   audio,
+			Deadline: 0.040,
+		},
+	}
+
+	for _, spec := range requests {
+		dec, err := cac.RequestAdmission(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !dec.Admitted {
+			fmt.Printf("%s: rejected (%s)\n", spec.ID, dec.Reason)
+			continue
+		}
+		fmt.Printf("%s: admitted %v→%v\n", spec.ID, spec.Src, spec.Dst)
+		fmt.Printf("  synchronous bandwidth: H_S=%.3f ms, H_R=%.3f ms (of %.3f/%.3f ms available)\n",
+			dec.HS*1e3, dec.HR*1e3, dec.HSMaxAvail*1e3, dec.HRMaxAvail*1e3)
+		fmt.Printf("  worst-case delay %.2f ms against a %.0f ms deadline\n",
+			dec.Delays[spec.ID]*1e3, spec.Deadline*1e3)
+
+		bd, err := cac.BreakdownFor(spec.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  budget: sender MAC %.2f ms", bd.SrcMAC*1e3)
+		for _, p := range bd.Ports {
+			fmt.Printf(" + %s %.2f ms", p.Port, p.Delay*1e3)
+		}
+		fmt.Printf(" + receiver MAC %.2f ms + constant %.2f ms\n\n", bd.DstMAC*1e3, bd.Constant*1e3)
+	}
+}

@@ -1,0 +1,82 @@
+package fafnet_test
+
+import (
+	"testing"
+
+	"fafnet"
+)
+
+// TestFacadeQuickstart exercises the exact flow the package documentation
+// advertises.
+func TestFacadeQuickstart(t *testing.T) {
+	net, err := fafnet.NewNetwork(fafnet.DefaultTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cac, err := fafnet.NewController(net, fafnet.Options{Beta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := fafnet.NewDualPeriodic(50e3, 0.010, 10e3, 0.001, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := cac.RequestAdmission(fafnet.ConnSpec{
+		ID:       "video-1",
+		Src:      fafnet.HostID{Ring: 0, Index: 0},
+		Dst:      fafnet.HostID{Ring: 1, Index: 0},
+		Source:   src,
+		Deadline: 0.050,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Admitted {
+		t.Fatalf("quickstart admission rejected: %s", dec.Reason)
+	}
+	if dec.HS <= 0 || dec.HR <= 0 {
+		t.Errorf("allocations HS=%v HR=%v", dec.HS, dec.HR)
+	}
+	bd, err := cac.BreakdownFor("video-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Total <= 0 || bd.Total > 0.050 {
+		t.Errorf("breakdown total %v outside (0, deadline]", bd.Total)
+	}
+}
+
+// TestFacadeValidation runs the packet-level validator through the facade.
+func TestFacadeValidation(t *testing.T) {
+	topoCfg := fafnet.DefaultTopology()
+	net, err := fafnet.NewNetwork(topoCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cac, err := fafnet.NewController(net, fafnet.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := fafnet.NewDualPeriodic(50e3, 0.010, 10e3, 0.001, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := cac.RequestAdmission(fafnet.ConnSpec{
+		ID: "c1", Src: fafnet.HostID{Ring: 0, Index: 0}, Dst: fafnet.HostID{Ring: 2, Index: 1},
+		Source: src, Deadline: 0.060,
+	})
+	if err != nil || !dec.Admitted {
+		t.Fatalf("admission: %v %v", err, dec.Reason)
+	}
+	res, err := fafnet.Validate(fafnet.ValidationConfig{
+		Topology:    topoCfg,
+		Connections: cac.Connections(),
+		Duration:    0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllWithinBounds() {
+		t.Error("validation found a bound violation")
+	}
+}

@@ -1,0 +1,3 @@
+module fafnet
+
+go 1.22

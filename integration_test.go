@@ -1,0 +1,117 @@
+package fafnet_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"fafnet"
+	"fafnet/internal/des"
+	"fafnet/internal/units"
+)
+
+// TestEndToEndAdmitValidateRelease is the full-stack integration exercise:
+// admit a churning mix of connections through the CAC, validate each stable
+// configuration with the packet-level simulator under async background
+// stress and random phases, release, and repeat. Every measured delay must
+// stay within its bound at every stage.
+func TestEndToEndAdmitValidateRelease(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack integration in -short mode")
+	}
+	topology := fafnet.DefaultTopology()
+	net, err := fafnet.NewNetwork(topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cac, err := fafnet.NewController(net, fafnet.Options{Beta: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	video, err := fafnet.NewDualPeriodic(50e3, 0.010, 10e3, 0.001, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audio, err := fafnet.NewPeriodic(4e3, 0.004, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := des.NewRNG(99)
+	hosts := net.Hosts()
+	active := map[string]bool{}
+	seq := 0
+	validated := 0
+	for round := 0; round < 12; round++ {
+		// Churn: drop one active connection with probability 1/3.
+		if len(active) > 0 && rng.Float64() < 0.34 {
+			for id := range active {
+				if !cac.Release(id) {
+					t.Fatalf("release %s failed", id)
+				}
+				delete(active, id)
+				break
+			}
+		}
+		// Try one admission.
+		src := hosts[rng.Intn(len(hosts))]
+		if !cac.SourceBusy(src) {
+			dst := hosts[rng.Intn(len(hosts))]
+			if dst.Ring == src.Ring {
+				dst.Ring = (dst.Ring + 1) % topology.NumRings
+			}
+			var source fafnet.Descriptor = video
+			if seq%3 == 2 {
+				source = audio
+			}
+			id := fmt.Sprintf("it%d", seq)
+			seq++
+			dec, err := cac.RequestAdmission(fafnet.ConnSpec{
+				ID: id, Src: src, Dst: dst, Source: source,
+				Deadline: 0.030 + 0.040*rng.Float64(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dec.Admitted {
+				active[id] = true
+			}
+		}
+		if len(active) == 0 || round%3 != 2 {
+			continue
+		}
+		// Validate the current configuration at packet level.
+		res, err := fafnet.Validate(fafnet.ValidationConfig{
+			Topology:        topology,
+			Connections:     cac.Connections(),
+			Duration:        0.4,
+			Seed:            int64(round),
+			RandomPhases:    true,
+			AsyncBackground: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		validated++
+		for _, c := range res.PerConn {
+			if !c.WithinBound() {
+				t.Fatalf("round %d: %s measured %v exceeds bound %v",
+					round, c.ID, c.Delays.Max(), c.Bound)
+			}
+		}
+	}
+	if validated < 2 {
+		t.Fatalf("only %d validation rounds ran", validated)
+	}
+	// Final invariant: the CAC's own report is deadline-clean.
+	report, err := cac.DelayReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cac.Connections() {
+		d := report[c.ID]
+		if math.IsInf(d, 1) || d > c.Deadline*(1+units.RelTol) {
+			t.Errorf("%s: delay %v vs deadline %v", c.ID, d, c.Deadline)
+		}
+	}
+}

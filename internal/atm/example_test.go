@@ -1,0 +1,38 @@
+package atm_test
+
+import (
+	"fmt"
+
+	"fafnet/internal/atm"
+	"fafnet/internal/traffic"
+)
+
+func ExampleCellsPerFrame() {
+	fmt.Println(atm.CellsPerFrame(36000)) // maximum FDDI frame
+	fmt.Println(atm.CellsPerFrame(384))   // exactly one cell of payload
+	fmt.Println(atm.CellsPerFrame(385))
+	// Output:
+	// 94
+	// 1
+	// 2
+}
+
+// A FIFO output port fed by three leaky-bucket connections: the classical
+// bound gives delay Σσ/C.
+func ExampleAnalyzeMux() {
+	var inputs []traffic.Descriptor
+	for i := 0; i < 3; i++ {
+		b, err := traffic.NewLeakyBucket(2e4, 10e6, 0)
+		if err != nil {
+			panic(err)
+		}
+		inputs = append(inputs, b)
+	}
+	res, err := atm.AnalyzeMux(inputs, atm.MuxParams{CapacityBps: 100e6}, atm.MuxOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("delay %.0f us, backlog %.0f kbit\n", res.Delay*1e6, res.BacklogBits/1e3)
+	// Output:
+	// delay 600 us, backlog 60 kbit
+}

@@ -1,0 +1,150 @@
+package atm
+
+import (
+	"errors"
+	"fmt"
+
+	"fafnet/internal/traffic"
+	"fafnet/internal/units"
+)
+
+// Mux analysis failure modes.
+var (
+	// ErrMuxOverload indicates the long-term rates of the multiplexed
+	// connections exceed the port's service rate.
+	ErrMuxOverload = errors.New("atm: aggregate long-term rate exceeds port capacity")
+	// ErrMuxNoConvergence indicates the busy-period search did not find an
+	// idle point within the configured horizon.
+	ErrMuxNoConvergence = errors.New("atm: busy-period search did not converge")
+)
+
+// MuxParams parameterizes a FIFO output-port multiplexer.
+type MuxParams struct {
+	// CapacityBps is the payload-effective service rate of the port.
+	CapacityBps float64
+	// BufferBits bounds the port queue; 0 means unlimited. When positive,
+	// the analysis fails if the worst-case backlog exceeds it (a loss would
+	// make the delay unbounded, as in Theorem 1).
+	BufferBits float64
+}
+
+// MuxOptions tunes the numeric search. The zero value selects defaults.
+type MuxOptions struct {
+	// GridPoints is the uniform fallback resolution per busy-period search
+	// window (default 128).
+	GridPoints int
+	// InitialHorizon seeds the doubling search for the busy period
+	// (default 16 ms).
+	InitialHorizon float64
+	// MaxHorizon bounds the busy-period search (default 4 s).
+	MaxHorizon float64
+}
+
+func (o MuxOptions) withDefaults() MuxOptions {
+	if o.GridPoints <= 0 {
+		o.GridPoints = 128
+	}
+	if o.InitialHorizon <= 0 {
+		o.InitialHorizon = 16e-3
+	}
+	if o.MaxHorizon <= 0 {
+		o.MaxHorizon = 4
+	}
+	return o
+}
+
+// MuxResult is the outcome of the FIFO multiplexer analysis.
+type MuxResult struct {
+	// BusyPeriod is (an upper bound on) the longest interval during which
+	// the port never idles.
+	BusyPeriod float64
+	// Delay is the worst-case queueing delay through the port:
+	// max over the busy period of (ΣA_k(t) − C·t)/C.
+	Delay float64
+	// BacklogBits is the worst-case queue content.
+	BacklogBits float64
+	// Outputs holds, for each input connection in order, its envelope at the
+	// port exit: min(C·I, A_k(I + Delay)).
+	Outputs []traffic.Descriptor
+}
+
+// ErrMuxBufferOverflow indicates the worst-case backlog exceeds the port
+// buffer.
+var ErrMuxBufferOverflow = errors.New("atm: worst-case backlog exceeds port buffer")
+
+// AnalyzeMux bounds a FIFO multiplexer fed by the given per-connection
+// envelopes and serving at p.CapacityBps. It returns the busy period, the
+// worst-case delay, the worst-case backlog, and each connection's output
+// envelope. An error means no finite bound exists (overload, overflow, or a
+// busy period beyond the search horizon).
+func AnalyzeMux(inputs []traffic.Descriptor, p MuxParams, opts MuxOptions) (MuxResult, error) {
+	if len(inputs) == 0 {
+		return MuxResult{}, errors.New("atm: AnalyzeMux requires at least one input")
+	}
+	for i, in := range inputs {
+		if in == nil {
+			return MuxResult{}, fmt.Errorf("atm: input %d is nil", i)
+		}
+	}
+	if p.CapacityBps <= 0 {
+		return MuxResult{}, fmt.Errorf("atm: capacity %v must be positive", p.CapacityBps)
+	}
+	if p.BufferBits < 0 {
+		return MuxResult{}, fmt.Errorf("atm: buffer %v must be non-negative", p.BufferBits)
+	}
+	opts = opts.withDefaults()
+
+	agg := traffic.NewAggregate(inputs...)
+	if agg.LongTermRate() >= p.CapacityBps*(1-units.RelTol) {
+		return MuxResult{}, fmt.Errorf("%w: Σρ=%v bps, C=%v bps", ErrMuxOverload, agg.LongTermRate(), p.CapacityBps)
+	}
+
+	busy, grid, err := busyPeriod(agg, p.CapacityBps, opts)
+	if err != nil {
+		return MuxResult{}, err
+	}
+	// The t→0+ limit matters for envelopes with an instantaneous burst.
+	grid = traffic.MergeGrids(busy, grid, []float64{1e-10})
+
+	var delay, backlog float64
+	for _, t := range grid {
+		if t > busy+units.Eps {
+			break
+		}
+		if b := agg.Bits(t) - p.CapacityBps*t; b > backlog {
+			backlog = b
+		}
+	}
+	delay = backlog / p.CapacityBps
+	if p.BufferBits > 0 && backlog > p.BufferBits*(1+units.RelTol) {
+		return MuxResult{}, fmt.Errorf("%w: backlog=%v bits, buffer=%v bits", ErrMuxBufferOverflow, backlog, p.BufferBits)
+	}
+
+	outs := make([]traffic.Descriptor, len(inputs))
+	for i, in := range inputs {
+		out, derr := traffic.NewDelayed(in, delay, p.CapacityBps)
+		if derr != nil {
+			return MuxResult{}, fmt.Errorf("atm: building output envelope %d: %w", i, derr)
+		}
+		outs[i] = out
+	}
+	return MuxResult{BusyPeriod: busy, Delay: delay, BacklogBits: backlog, Outputs: outs}, nil
+}
+
+// busyPeriod finds the first candidate point where the aggregate demand has
+// been fully served (ΣA(t) <= C·t), doubling the search horizon as needed.
+// Taking the first *grid* point after the true crossing only enlarges the
+// extremum search range, which keeps the delay bound conservative. It
+// returns the busy period together with the grid used, so the caller can
+// reuse it for the extremum scan.
+func busyPeriod(agg traffic.Aggregate, capacity float64, opts MuxOptions) (float64, []float64, error) {
+	for horizon := opts.InitialHorizon; horizon <= opts.MaxHorizon*2; horizon *= 2 {
+		grid := traffic.Grid(agg, horizon, opts.GridPoints)
+		for _, t := range grid {
+			if agg.Bits(t) <= capacity*t+units.Eps {
+				return t, grid, nil
+			}
+		}
+	}
+	return 0, nil, fmt.Errorf("%w: no idle point within %v s", ErrMuxNoConvergence, opts.MaxHorizon)
+}

@@ -1,0 +1,218 @@
+package atm
+
+import (
+	"errors"
+	"testing"
+
+	"fafnet/internal/des"
+	"fafnet/internal/traffic"
+	"fafnet/internal/units"
+)
+
+func TestAnalyzePriorityMuxValidation(t *testing.T) {
+	in := mustLB(t, 1e4, 1e6, 0)
+	if _, err := AnalyzePriorityMux(nil, MuxParams{CapacityBps: 1e8}, MuxOptions{}); err == nil {
+		t.Error("no classes should be rejected")
+	}
+	if _, err := AnalyzePriorityMux([]PriorityClass{{}}, MuxParams{CapacityBps: 1e8}, MuxOptions{}); err == nil {
+		t.Error("empty class should be rejected")
+	}
+	if _, err := AnalyzePriorityMux([]PriorityClass{{Inputs: []traffic.Descriptor{nil}}}, MuxParams{CapacityBps: 1e8}, MuxOptions{}); err == nil {
+		t.Error("nil input should be rejected")
+	}
+	if _, err := AnalyzePriorityMux([]PriorityClass{{Inputs: []traffic.Descriptor{in}}}, MuxParams{}, MuxOptions{}); err == nil {
+		t.Error("zero capacity should be rejected")
+	}
+}
+
+func TestPriorityMuxClassOrdering(t *testing.T) {
+	// Three classes of identical bursty traffic: delays must be
+	// non-decreasing with class index, and the top class must beat FIFO.
+	mk := func() traffic.Descriptor { return mustLB(t, 3e4, 20e6, 0) }
+	classes := []PriorityClass{
+		{Inputs: []traffic.Descriptor{mk()}},
+		{Inputs: []traffic.Descriptor{mk()}},
+		{Inputs: []traffic.Descriptor{mk()}},
+	}
+	const c = 100e6
+	res, err := AnalyzePriorityMux(classes, MuxParams{CapacityBps: c}, MuxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ClassDelay) != 3 {
+		t.Fatalf("ClassDelay = %v", res.ClassDelay)
+	}
+	for k := 1; k < 3; k++ {
+		if res.ClassDelay[k] < res.ClassDelay[k-1]-units.Eps {
+			t.Errorf("class %d delay %v below class %d delay %v", k, res.ClassDelay[k], k-1, res.ClassDelay[k-1])
+		}
+	}
+	fifo, err := AnalyzeMux([]traffic.Descriptor{mk(), mk(), mk()}, MuxParams{CapacityBps: c}, MuxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClassDelay[0] >= fifo.Delay {
+		t.Errorf("top class delay %v not better than FIFO %v", res.ClassDelay[0], fifo.Delay)
+	}
+	// The bottom class pays at least the FIFO backlog (everything above it
+	// goes first).
+	if res.ClassDelay[2] < fifo.Delay-units.Eps {
+		t.Errorf("bottom class delay %v below FIFO %v", res.ClassDelay[2], fifo.Delay)
+	}
+}
+
+func TestPriorityMuxSingleClassMatchesFIFOPlusBlocking(t *testing.T) {
+	in := mustLB(t, 6e4, 30e6, 0)
+	const c = 100e6
+	prio, err := AnalyzePriorityMux([]PriorityClass{{Inputs: []traffic.Descriptor{in}}}, MuxParams{CapacityBps: c}, MuxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo, err := AnalyzeMux([]traffic.Descriptor{in}, MuxParams{CapacityBps: c}, MuxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocking := float64(CellWireBits) / (c * CellWireBits / CellPayloadBits)
+	if !units.WithinRel(prio.ClassDelay[0], fifo.Delay+blocking, 1e-6) {
+		t.Errorf("single-class priority delay %v, want FIFO %v + blocking %v", prio.ClassDelay[0], fifo.Delay, blocking)
+	}
+}
+
+func TestPriorityMuxOverload(t *testing.T) {
+	classes := []PriorityClass{
+		{Inputs: []traffic.Descriptor{mustLB(t, 1e4, 60e6, 0)}},
+		{Inputs: []traffic.Descriptor{mustLB(t, 1e4, 60e6, 0)}},
+	}
+	_, err := AnalyzePriorityMux(classes, MuxParams{CapacityBps: 100e6}, MuxOptions{})
+	if !errors.Is(err, ErrMuxOverload) {
+		t.Errorf("err = %v, want ErrMuxOverload", err)
+	}
+}
+
+func TestPriorityPortSimServesHighFirst(t *testing.T) {
+	sim := des.NewSimulator()
+	var order []string
+	port, err := NewPriorityPortSim(sim, 155e6, 0, 2, func(c Cell) { order = append(order, c.ConnID) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enqueue low-priority first; the first low cell occupies the wire, but
+	// all high cells must then overtake the remaining low ones.
+	for i := 0; i < 3; i++ {
+		if err := port.Submit(1, Cell{ConnID: "low"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := port.Submit(0, Cell{ConnID: "high"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run(1)
+	want := []string{"low", "high", "high", "high", "low", "low"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if port.Sent() != 6 {
+		t.Errorf("Sent = %d", port.Sent())
+	}
+}
+
+func TestPriorityPortSimValidation(t *testing.T) {
+	sim := des.NewSimulator()
+	sink := func(Cell) {}
+	if _, err := NewPriorityPortSim(nil, 1e6, 0, 2, sink); err == nil {
+		t.Error("nil sim should be rejected")
+	}
+	if _, err := NewPriorityPortSim(sim, 0, 0, 2, sink); err == nil {
+		t.Error("zero rate should be rejected")
+	}
+	if _, err := NewPriorityPortSim(sim, 1e6, -1, 2, sink); err == nil {
+		t.Error("negative propagation should be rejected")
+	}
+	if _, err := NewPriorityPortSim(sim, 1e6, 0, 0, sink); err == nil {
+		t.Error("zero classes should be rejected")
+	}
+	if _, err := NewPriorityPortSim(sim, 1e6, 0, 2, nil); err == nil {
+		t.Error("nil sink should be rejected")
+	}
+	port, err := NewPriorityPortSim(sim, 1e6, 0, 2, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := port.Submit(5, Cell{}); err == nil {
+		t.Error("out-of-range class should be rejected")
+	}
+}
+
+// TestPrioritySimDelaysWithinClassBounds validates the analysis against the
+// simulator: per-class measured worst delays stay below the class bounds.
+func TestPrioritySimDelaysWithinClassBounds(t *testing.T) {
+	const (
+		wire    = 155e6
+		simTime = 1.0
+		cells   = 15
+		period  = 2e-3
+	)
+	sim := des.NewSimulator()
+	worst := map[string]float64{}
+	port, err := NewPriorityPortSim(sim, wire, 0, 2, func(c Cell) {
+		if d := sim.Now() - c.Created; d > worst[c.ConnID] {
+			worst[c.ConnID] = d
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inject := func(class int, connID string) {
+		var burst func()
+		burst = func() {
+			if sim.Now() > simTime {
+				return
+			}
+			for i := 0; i < cells; i++ {
+				if err := port.Submit(class, Cell{ConnID: connID, Created: sim.Now()}); err != nil {
+					t.Errorf("submit: %v", err)
+				}
+			}
+			if _, err := sim.After(period, burst); err != nil {
+				t.Errorf("schedule: %v", err)
+			}
+		}
+		if _, err := sim.After(0, burst); err != nil {
+			t.Errorf("schedule: %v", err)
+		}
+	}
+	inject(0, "urgent")
+	inject(1, "bulk")
+
+	env, err := traffic.NewPeriodic(float64(cells*CellPayloadBits), period, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AnalyzePriorityMux(
+		[]PriorityClass{{Inputs: []traffic.Descriptor{env}}, {Inputs: []traffic.Descriptor{env}}},
+		MuxParams{CapacityBps: PayloadCapacity(wire)},
+		MuxOptions{},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(simTime + 0.1)
+
+	ct := CellTime(wire)
+	if worst["urgent"] > res.ClassDelay[0]+ct {
+		t.Errorf("urgent worst %v exceeds class bound %v", worst["urgent"], res.ClassDelay[0]+ct)
+	}
+	if worst["bulk"] > res.ClassDelay[1]+ct {
+		t.Errorf("bulk worst %v exceeds class bound %v", worst["bulk"], res.ClassDelay[1]+ct)
+	}
+	if worst["urgent"] >= worst["bulk"] {
+		t.Errorf("urgent (%v) not faster than bulk (%v)", worst["urgent"], worst["bulk"])
+	}
+}

@@ -1,0 +1,156 @@
+package atm
+
+import (
+	"errors"
+	"fmt"
+
+	"fafnet/internal/des"
+)
+
+// Cell is one ATM cell in the cell-level simulator.
+type Cell struct {
+	// ConnID identifies the connection (VC) the cell belongs to.
+	ConnID string
+	// FrameSeq and CellSeq identify the LAN frame the cell carries a piece
+	// of and the cell's index within that frame.
+	FrameSeq, CellSeq int
+	// LastOfFrame marks the final cell of a frame (reassembly completes on
+	// its arrival).
+	LastOfFrame bool
+	// PayloadBits is the payload carried (<= CellPayloadBits; padded cells
+	// still occupy a full cell on the wire).
+	PayloadBits float64
+	// Created is the simulation time the cell entered the ATM layer.
+	Created float64
+}
+
+// PortSim is a FIFO cell transmitter: cells queue and are sent serially at
+// the configured wire rate; each transmitted cell is handed to the sink
+// after the link propagation delay.
+type PortSim struct {
+	sim     *des.Simulator
+	wireBps float64
+	prop    float64
+	sink    func(Cell)
+	queue   []Cell
+	busy    bool
+	maxQLen int
+	sent    int64
+}
+
+// NewPortSim creates a port transmitting at wireBps with the given link
+// propagation delay; sink receives each cell when its last bit arrives at
+// the far end.
+func NewPortSim(sim *des.Simulator, wireBps, propagation float64, sink func(Cell)) (*PortSim, error) {
+	if sim == nil {
+		return nil, errors.New("atm: PortSim requires a simulator")
+	}
+	if wireBps <= 0 {
+		return nil, fmt.Errorf("atm: wire rate %v must be positive", wireBps)
+	}
+	if propagation < 0 {
+		return nil, fmt.Errorf("atm: propagation %v must be non-negative", propagation)
+	}
+	if sink == nil {
+		return nil, errors.New("atm: PortSim requires a sink")
+	}
+	return &PortSim{sim: sim, wireBps: wireBps, prop: propagation, sink: sink}, nil
+}
+
+// Submit enqueues a cell for transmission.
+func (p *PortSim) Submit(c Cell) {
+	p.queue = append(p.queue, c)
+	if len(p.queue) > p.maxQLen {
+		p.maxQLen = len(p.queue)
+	}
+	if !p.busy {
+		p.startNext()
+	}
+}
+
+// QueueLen returns the number of cells waiting (excluding the one on the
+// wire).
+func (p *PortSim) QueueLen() int { return len(p.queue) }
+
+// MaxQueueLen returns the high-water mark of the queue, in cells.
+func (p *PortSim) MaxQueueLen() int { return p.maxQLen }
+
+// Sent returns the number of cells fully transmitted.
+func (p *PortSim) Sent() int64 { return p.sent }
+
+func (p *PortSim) startNext() {
+	if len(p.queue) == 0 {
+		p.busy = false
+		return
+	}
+	p.busy = true
+	c := p.queue[0]
+	p.queue = p.queue[1:]
+	txEnd := p.sim.Now() + CellTime(p.wireBps)
+	if _, err := p.sim.Schedule(txEnd, func() {
+		p.sent++
+		arrival := txEnd + p.prop
+		if p.prop == 0 {
+			p.sink(c)
+		} else if _, err := p.sim.Schedule(arrival, func() { p.sink(c) }); err != nil {
+			panic(fmt.Sprintf("atm: delivery scheduling failed: %v", err))
+		}
+		p.startNext()
+	}); err != nil {
+		panic(fmt.Sprintf("atm: transmission scheduling failed: %v", err))
+	}
+}
+
+// SwitchSim models one ATM switch: cells arriving at any input incur the
+// constant input+fabric latency, then are routed by connection id to an
+// output port.
+type SwitchSim struct {
+	sim    *des.Simulator
+	params SwitchParams
+	routes map[string]*PortSim
+}
+
+// NewSwitchSim creates a switch with the given constant-delay parameters.
+func NewSwitchSim(sim *des.Simulator, params SwitchParams) (*SwitchSim, error) {
+	if sim == nil {
+		return nil, errors.New("atm: SwitchSim requires a simulator")
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &SwitchSim{sim: sim, params: params, routes: make(map[string]*PortSim)}, nil
+}
+
+// Route directs all cells of the given connection to the given output port.
+func (s *SwitchSim) Route(connID string, out *PortSim) error {
+	if out == nil {
+		return fmt.Errorf("atm: route for %q requires an output port", connID)
+	}
+	if _, dup := s.routes[connID]; dup {
+		return fmt.Errorf("atm: connection %q already routed", connID)
+	}
+	s.routes[connID] = out
+	return nil
+}
+
+// Unroute removes the route for a connection, reporting whether one existed.
+func (s *SwitchSim) Unroute(connID string) bool {
+	if _, ok := s.routes[connID]; !ok {
+		return false
+	}
+	delete(s.routes, connID)
+	return true
+}
+
+// Receive accepts a cell at an input port. Cells of unrouted connections are
+// dropped with a panic, since the validation harness must never lose cells
+// silently.
+func (s *SwitchSim) Receive(c Cell) {
+	out, ok := s.routes[c.ConnID]
+	if !ok {
+		panic(fmt.Sprintf("atm: no route for connection %q", c.ConnID))
+	}
+	if _, err := s.sim.After(s.params.ConstantDelay(), func() { out.Submit(c) }); err != nil {
+		panic(fmt.Sprintf("atm: switch scheduling failed: %v", err))
+	}
+}

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"fafnet/internal/atm"
+	"fafnet/internal/fddi"
+	"fafnet/internal/ifdev"
+	"fafnet/internal/shaper"
+	"fafnet/internal/topo"
+	"fafnet/internal/traffic"
+)
+
+// errInfeasible marks a connection (or a port it flows through) with no
+// finite worst-case bound under the probed allocation. It flows through the
+// evaluation as the value +Inf rather than as a hard failure: an infinite
+// delay simply fails the deadline test.
+var errInfeasible = errors.New("core: no finite delay bound")
+
+// Analyzer computes network-wide worst-case delays by propagating traffic
+// envelopes along every connection's server chain and analyzing each shared
+// FIFO port with the envelopes of all connections that traverse it. It
+// caches the expensive sender-MAC analyses across evaluations (an existing
+// connection's source envelope does not depend on any other connection's
+// allocation). Analyzer is not safe for concurrent use.
+type Analyzer struct {
+	net  *topo.Network
+	opts AnalysisOptions
+	// macCache memoizes sender-MAC results keyed by (connection, H): valid
+	// as long as the connection's source descriptor is unchanged.
+	macCache map[macKey]macEntry
+}
+
+type macKey struct {
+	connID string
+	h      float64
+}
+
+type macEntry struct {
+	res fddi.MACResult
+	err error
+}
+
+// NewAnalyzer builds an analyzer for the given network.
+func NewAnalyzer(net *topo.Network, opts AnalysisOptions) (*Analyzer, error) {
+	if net == nil {
+		return nil, errors.New("core: Analyzer requires a network")
+	}
+	return &Analyzer{net: net, opts: opts, macCache: make(map[macKey]macEntry)}, nil
+}
+
+// Forget drops cached results for a connection. Call it when a connection is
+// released or when an id is reused with a different traffic descriptor.
+func (a *Analyzer) Forget(connID string) {
+	for k := range a.macCache {
+		if k.connID == connID {
+			delete(a.macCache, k)
+		}
+	}
+}
+
+// Delays returns the worst-case end-to-end delay of every connection under
+// the given allocations. Connections without a finite bound map to +Inf.
+// A non-nil error indicates a structural problem (invalid route or spec),
+// not an infeasible allocation.
+func (a *Analyzer) Delays(conns []*Connection) (map[string]float64, error) {
+	ev, err := a.newEvaluation(conns)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(conns))
+	for _, c := range conns {
+		d, err := ev.totalDelay(c)
+		if err != nil {
+			if errors.Is(err, errInfeasible) {
+				out[c.ID] = math.Inf(1)
+				continue
+			}
+			return nil, err
+		}
+		out[c.ID] = d
+	}
+	return out, nil
+}
+
+// Breakdown returns the per-server decomposition of one connection's worst
+// case under the given allocations.
+func (a *Analyzer) Breakdown(conns []*Connection, id string) (Breakdown, error) {
+	ev, err := a.newEvaluation(conns)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	c := ev.conns[id]
+	if c == nil {
+		return Breakdown{}, fmt.Errorf("core: unknown connection %q", id)
+	}
+	return ev.breakdown(c)
+}
+
+// evaluation is one consistent snapshot: all envelopes and port delays are
+// computed against the same set of connections and allocations, memoized for
+// the duration of the evaluation.
+type evaluation struct {
+	a       *Analyzer
+	conns   map[string]*Connection
+	ordered []*Connection // deterministic iteration order
+
+	portDelay  map[topo.PortID]float64
+	portBusy   map[topo.PortID]bool
+	envMemo    map[envKey]traffic.Descriptor
+	macMemo    map[string]fddi.MACResult // sender MAC per connection this evaluation
+	shaperMemo map[string]shaper.Result  // ingress regulator per shaped connection
+
+	// prefilledDelay carries end-to-end results proven unaffected by the
+	// current probe (see ProbeSession); totalDelay returns them directly.
+	prefilledDelay map[string]float64
+}
+
+type envKey struct {
+	connID string
+	stage  int // index into Route.Ports: envelope entering that port
+}
+
+func (a *Analyzer) newEvaluation(conns []*Connection) (*evaluation, error) {
+	ev := &evaluation{
+		a:          a,
+		conns:      make(map[string]*Connection, len(conns)),
+		portDelay:  make(map[topo.PortID]float64),
+		portBusy:   make(map[topo.PortID]bool),
+		envMemo:    make(map[envKey]traffic.Descriptor),
+		macMemo:    make(map[string]fddi.MACResult),
+		shaperMemo: make(map[string]shaper.Result),
+	}
+	for _, c := range conns {
+		if c == nil {
+			return nil, errors.New("core: nil connection in evaluation")
+		}
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := ev.conns[c.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate connection id %q", c.ID)
+		}
+		if c.HS <= 0 {
+			return nil, fmt.Errorf("core: connection %q has no sender allocation", c.ID)
+		}
+		if c.Route.CrossesBackbone && c.HR <= 0 {
+			return nil, fmt.Errorf("core: connection %q crosses the backbone without a receiver allocation", c.ID)
+		}
+		ev.conns[c.ID] = c
+		ev.ordered = append(ev.ordered, c)
+	}
+	sort.Slice(ev.ordered, func(i, j int) bool { return ev.ordered[i].ID < ev.ordered[j].ID })
+	return ev, nil
+}
+
+// srcMAC analyzes the sender-host FDDI MAC (Theorem 1), with cross-
+// evaluation caching.
+func (ev *evaluation) srcMAC(c *Connection) (fddi.MACResult, error) {
+	if res, ok := ev.macMemo[c.ID]; ok {
+		return res, nil
+	}
+	key := macKey{connID: c.ID, h: c.HS}
+	if e, ok := ev.a.macCache[key]; ok {
+		if e.err == nil {
+			ev.macMemo[c.ID] = e.res
+		}
+		return e.res, e.err
+	}
+	params := fddi.MACParams{
+		Ring:       ev.a.net.RingConfig(c.Src.Ring),
+		H:          c.HS,
+		BufferBits: c.HostBufferBits,
+	}
+	res, err := fddi.AnalyzeMAC(c.Source, params, ev.a.opts.MAC)
+	if err != nil {
+		err = fmt.Errorf("%w: sender MAC of %q: %v", errInfeasible, c.ID, err)
+	}
+	ev.a.macCache[key] = macEntry{res: res, err: err}
+	if err == nil {
+		ev.macMemo[c.ID] = res
+	}
+	return res, err
+}
+
+// envelopeEntering returns connection c's traffic envelope at the entrance
+// of the stage-th shared port on its route.
+func (ev *evaluation) envelopeEntering(c *Connection, stage int) (traffic.Descriptor, error) {
+	key := envKey{connID: c.ID, stage: stage}
+	if env, ok := ev.envMemo[key]; ok {
+		return env, nil
+	}
+	var env traffic.Descriptor
+	if stage == 0 {
+		// Sender MAC output, optional ingress regulator, then frame→cell
+		// conversion (Theorem 2). The constant-delay stages in between are
+		// envelope-invariant.
+		mac, err := ev.srcMAC(c)
+		if err != nil {
+			return nil, err
+		}
+		pre := mac.Output
+		if c.Shape != nil {
+			sh, err := ev.shaperResult(c, pre)
+			if err != nil {
+				return nil, err
+			}
+			pre = sh.Output
+		}
+		frameBits := ev.a.net.RingConfig(c.Src.Ring).FrameBits(c.HS)
+		conv, err := ifdev.SenderConversion(pre, frameBits, ev.a.net.Config().ID)
+		if err != nil {
+			return nil, err
+		}
+		env = conv
+	} else {
+		prev, err := ev.envelopeEntering(c, stage-1)
+		if err != nil {
+			return nil, err
+		}
+		d, err := ev.muxDelay(c.Route.Ports[stage-1])
+		if err != nil {
+			return nil, err
+		}
+		out, err := traffic.NewDelayed(prev, d, ev.a.net.PortCapacity())
+		if err != nil {
+			return nil, fmt.Errorf("core: envelope after port %v: %w", c.Route.Ports[stage-1], err)
+		}
+		env = out
+	}
+	ev.envMemo[key] = env
+	return env, nil
+}
+
+// shaperResult analyzes the ingress regulator for a shaped connection,
+// memoized per evaluation. A frame that can never conform (σ below the
+// connection's frame size) makes the bound infinite.
+func (ev *evaluation) shaperResult(c *Connection, pre traffic.Descriptor) (shaper.Result, error) {
+	if res, ok := ev.shaperMemo[c.ID]; ok {
+		return res, nil
+	}
+	frameBits := ev.a.net.RingConfig(c.Src.Ring).FrameBits(c.HS)
+	if c.Shape.SigmaBits < frameBits {
+		return shaper.Result{}, fmt.Errorf("%w: shaper of %q: bucket %v bits below frame size %v",
+			errInfeasible, c.ID, c.Shape.SigmaBits, frameBits)
+	}
+	res, err := shaper.Analyze(pre, *c.Shape, shaper.Options{})
+	if err != nil {
+		return shaper.Result{}, fmt.Errorf("%w: shaper of %q: %v", errInfeasible, c.ID, err)
+	}
+	ev.shaperMemo[c.ID] = res
+	return res, nil
+}
+
+// muxDelay returns the worst-case queueing delay of a shared FIFO port,
+// analyzed with the envelopes of every connection traversing it.
+func (ev *evaluation) muxDelay(p topo.PortID) (float64, error) {
+	if d, ok := ev.portDelay[p]; ok {
+		return d, nil
+	}
+	if ev.portBusy[p] {
+		return 0, fmt.Errorf("core: cyclic port dependency at %v", p)
+	}
+	ev.portBusy[p] = true
+	defer func() { ev.portBusy[p] = false }()
+
+	var inputs []traffic.Descriptor
+	for _, m := range ev.ordered {
+		for stage, q := range m.Route.Ports {
+			if q != p {
+				continue
+			}
+			env, err := ev.envelopeEntering(m, stage)
+			if err != nil {
+				if errors.Is(err, errInfeasible) {
+					// A member with an unbounded envelope floods the port:
+					// no finite bound for anyone behind it.
+					ev.portDelay[p] = math.Inf(1)
+					return 0, fmt.Errorf("%w: port %v carries unbounded member %q", errInfeasible, p, m.ID)
+				}
+				return 0, err
+			}
+			inputs = append(inputs, env)
+			break
+		}
+	}
+	if len(inputs) == 0 {
+		ev.portDelay[p] = 0
+		return 0, nil
+	}
+	res, err := atm.AnalyzeMux(inputs, atm.MuxParams{CapacityBps: ev.a.net.PortCapacity()}, ev.a.opts.Mux)
+	if err != nil {
+		switch {
+		case errors.Is(err, atm.ErrMuxOverload),
+			errors.Is(err, atm.ErrMuxNoConvergence),
+			errors.Is(err, atm.ErrMuxBufferOverflow):
+			ev.portDelay[p] = math.Inf(1)
+			return 0, fmt.Errorf("%w: port %v: %v", errInfeasible, p, err)
+		default:
+			return 0, err
+		}
+	}
+	ev.portDelay[p] = res.Delay
+	return res.Delay, nil
+}
+
+// dstMAC analyzes the receiving interface device's MAC on the destination
+// ring (the FDDI_R portion, mirroring the FDDI_S analysis).
+func (ev *evaluation) dstMAC(c *Connection) (fddi.MACResult, error) {
+	env, err := ev.envelopeEntering(c, len(c.Route.Ports))
+	if err != nil {
+		return fddi.MACResult{}, err
+	}
+	frameBits := ev.a.net.RingConfig(c.Dst.Ring).FrameBits(c.HR)
+	reassembled, err := ifdev.ReceiverConversion(env, frameBits, ev.a.net.Config().ID)
+	if err != nil {
+		return fddi.MACResult{}, err
+	}
+	params := fddi.MACParams{
+		Ring:       ev.a.net.RingConfig(c.Dst.Ring),
+		H:          c.HR,
+		BufferBits: c.IDBufferBits,
+	}
+	res, err := fddi.AnalyzeMAC(reassembled, params, ev.a.opts.MAC)
+	if err != nil {
+		return fddi.MACResult{}, fmt.Errorf("%w: receiver MAC of %q: %v", errInfeasible, c.ID, err)
+	}
+	return res, nil
+}
+
+// totalDelay is Eq. 7: the sum of the worst-case delays of every server on
+// the connection's path.
+func (ev *evaluation) totalDelay(c *Connection) (float64, error) {
+	if d, ok := ev.prefilledDelay[c.ID]; ok {
+		return d, nil
+	}
+	b, err := ev.breakdown(c)
+	if err != nil {
+		return 0, err
+	}
+	return b.Total, nil
+}
+
+// breakdown assembles the per-server decomposition.
+func (ev *evaluation) breakdown(c *Connection) (Breakdown, error) {
+	mac, err := ev.srcMAC(c)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	bd := Breakdown{SrcMAC: mac.Delay, Constant: c.Route.ConstantDelay, SrcBufferBits: mac.BufferBits}
+	if !c.Route.CrossesBackbone {
+		bd.Total = bd.SrcMAC + bd.Constant
+		return bd, nil
+	}
+	if c.Shape != nil {
+		sh, err := ev.shaperResult(c, mac.Output)
+		if err != nil {
+			return Breakdown{}, err
+		}
+		bd.Shaper = sh.Delay
+	}
+	for _, p := range c.Route.Ports {
+		d, err := ev.muxDelay(p)
+		if err != nil {
+			return Breakdown{}, err
+		}
+		bd.Ports = append(bd.Ports, PortDelay{Port: p, Delay: d})
+	}
+	dst, err := ev.dstMAC(c)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	bd.DstMAC = dst.Delay
+	bd.DstBufferBits = dst.BufferBits
+	bd.Total = bd.SrcMAC + bd.Shaper + bd.Constant + bd.DstMAC
+	for _, pd := range bd.Ports {
+		bd.Total += pd.Delay
+	}
+	return bd, nil
+}

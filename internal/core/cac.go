@@ -1,0 +1,499 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"fafnet/internal/topo"
+	"fafnet/internal/units"
+)
+
+// Rule selects how the CAC picks the allocation segment on the H_S–H_R
+// plane. RuleProportional is the paper's scheme (Section 5.3, Rule 2); the
+// others exist as ablation baselines.
+type Rule int
+
+const (
+	// RuleProportional searches along the line joining
+	// (H^min_abs, H^min_abs) and (H_S^max_avai, H_R^max_avai), reserving
+	// bandwidth from both rings in proportion to what each has available.
+	RuleProportional Rule = iota
+	// RuleFixedSplit always allocates the same absolute amount on both
+	// rings, capped by the tighter ring.
+	RuleFixedSplit
+	// RuleSenderBiased grants the sender ring its full availability and
+	// tunes only the receiver allocation.
+	RuleSenderBiased
+)
+
+// String implements fmt.Stringer.
+func (r Rule) String() string {
+	switch r {
+	case RuleProportional:
+		return "proportional"
+	case RuleFixedSplit:
+		return "fixed-split"
+	case RuleSenderBiased:
+		return "sender-biased"
+	default:
+		return fmt.Sprintf("Rule(%d)", int(r))
+	}
+}
+
+// Options configures the admission controller. The zero value selects the
+// paper's defaults (β = 0.5, proportional rule).
+type Options struct {
+	// Beta is the interpolation knob of Eq. 35–36: 0 allocates the minimum
+	// needed, 1 the maximum needed. Defaults to 0.5.
+	Beta float64
+	// BetaSet marks Beta as explicitly chosen; allows Beta = 0.
+	BetaSet bool
+	// HMinAbs is H^min_abs: the smallest allocation worth granting (frames
+	// shorter than this waste the ring in per-frame overhead). Defaults to
+	// 50 µs.
+	HMinAbs float64
+	// SearchIters bounds each binary search (default 12).
+	SearchIters int
+	// EqualTolerance is the relative tolerance for the "same delays as the
+	// maximum allocation" test of Eq. 31–32 (default 10%: the quantized
+	// Theorem 1 delays move in TTRT-sized steps, so a tight tolerance
+	// inflates H^max_need without improving any delay).
+	EqualTolerance float64
+	// Rule selects the allocation segment (default RuleProportional).
+	Rule Rule
+	// Analysis tunes the underlying server analyses.
+	Analysis AnalysisOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.Beta == 0 && !o.BetaSet {
+		o.Beta = 0.5
+	}
+	if o.HMinAbs <= 0 {
+		o.HMinAbs = 50e-6
+	}
+	if o.SearchIters <= 0 {
+		// Theorem 1 delays move in TTRT-sized quantization steps, so α
+		// resolution beyond ~2^-12 cannot change any decision.
+		o.SearchIters = 12
+	}
+	if o.EqualTolerance <= 0 {
+		o.EqualTolerance = 0.10
+	}
+	return o
+}
+
+// Rejection reasons reported in Decision.Reason.
+const (
+	ReasonAdmitted      = "admitted"
+	ReasonHostBusy      = "source host already originates a connection"
+	ReasonNoBandwidth   = "insufficient synchronous bandwidth available"
+	ReasonInfeasible    = "deadlines unsatisfiable even at maximum allocation"
+	ReasonInvalidTarget = "invalid route"
+)
+
+// Decision reports the outcome of one admission request.
+type Decision struct {
+	// Admitted reports whether the connection was accepted and its
+	// resources committed.
+	Admitted bool
+	// Reason explains a rejection (or states ReasonAdmitted).
+	Reason string
+	// HS and HR are the committed allocations (admitted only).
+	HS, HR float64
+	// HSMaxAvail and HRMaxAvail are Eq. 26–27 at request time.
+	HSMaxAvail, HRMaxAvail float64
+	// HSMinNeed/HRMinNeed and HSMaxNeed/HRMaxNeed bracket the β
+	// interpolation (admitted only).
+	HSMinNeed, HRMinNeed float64
+	HSMaxNeed, HRMaxNeed float64
+	// Delays maps every connection (existing and new) to its worst-case
+	// end-to-end delay under the committed allocation (admitted only).
+	Delays map[string]float64
+	// Probes counts full-network feasibility evaluations performed.
+	Probes int
+}
+
+// Controller is the connection admission controller of Section 5. It owns
+// the admitted-connection set M and the per-ring synchronous-bandwidth
+// bookkeeping. Controller is not safe for concurrent use.
+type Controller struct {
+	net      *topo.Network
+	analyzer *Analyzer
+	opts     Options
+	conns    map[string]*Connection
+}
+
+// NewController builds a CAC over the given network.
+func NewController(net *topo.Network, opts Options) (*Controller, error) {
+	if net == nil {
+		return nil, errors.New("core: Controller requires a network")
+	}
+	opts = opts.withDefaults()
+	if opts.Beta < 0 || opts.Beta > 1 {
+		return nil, fmt.Errorf("core: beta %v must be in [0,1]", opts.Beta)
+	}
+	an, err := NewAnalyzer(net, opts.Analysis)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{net: net, analyzer: an, opts: opts, conns: make(map[string]*Connection)}, nil
+}
+
+// Network returns the controller's network.
+func (c *Controller) Network() *topo.Network { return c.net }
+
+// Options returns the effective options (defaults applied).
+func (c *Controller) Options() Options { return c.opts }
+
+// Connections returns the admitted connections sorted by id.
+func (c *Controller) Connections() []*Connection {
+	out := make([]*Connection, 0, len(c.conns))
+	for _, conn := range c.conns {
+		out = append(out, conn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Active returns the number of admitted connections.
+func (c *Controller) Active() int { return len(c.conns) }
+
+// SourceBusy reports whether some admitted connection already originates at
+// the given host (the paper assumes at most one connection per host).
+func (c *Controller) SourceBusy(h topo.HostID) bool {
+	for _, conn := range c.conns {
+		if conn.Src == h {
+			return true
+		}
+	}
+	return false
+}
+
+// Release tears down an admitted connection, freeing its synchronous
+// bandwidth on both rings. It reports whether the connection existed.
+func (c *Controller) Release(id string) bool {
+	conn, ok := c.conns[id]
+	if !ok {
+		return false
+	}
+	delete(c.conns, id)
+	c.net.Ring(conn.Src.Ring).Release(id)
+	if conn.Route.CrossesBackbone {
+		c.net.Ring(conn.Dst.Ring).Release(id)
+	}
+	c.analyzer.Forget(id)
+	return true
+}
+
+// allocation is one point on the H_S–H_R plane.
+type allocation struct{ hs, hr float64 }
+
+// segment is the search line of the CAC: P(α) = p0 + α·(p1 − p0).
+type segment struct{ p0, p1 allocation }
+
+func (s segment) at(alpha float64) allocation {
+	return allocation{
+		hs: s.p0.hs + alpha*(s.p1.hs-s.p0.hs),
+		hr: s.p0.hr + alpha*(s.p1.hr-s.p0.hr),
+	}
+}
+
+// PreviewAdmission runs the full CAC algorithm for the specification but
+// commits nothing: no bandwidth is reserved and the connection set is
+// unchanged. Use it for capacity planning ("would this fit right now, and
+// at what allocation?").
+func (c *Controller) PreviewAdmission(spec ConnSpec) (Decision, error) {
+	return c.decide(spec, false)
+}
+
+// RequestAdmission runs the CAC algorithm of Section 5.3 for the given
+// specification: compute availability (Eq. 26–27), test feasibility at the
+// maximum allocation, locate (H^min_need, H^max_need) by binary search along
+// the allocation segment, and commit the β-interpolated allocation
+// (Eq. 35–36). A non-nil error indicates an invalid request, not a
+// rejection.
+func (c *Controller) RequestAdmission(spec ConnSpec) (Decision, error) {
+	return c.decide(spec, true)
+}
+
+// decide implements both the committing and the preview paths.
+func (c *Controller) decide(spec ConnSpec, commit bool) (Decision, error) {
+	if err := spec.Validate(); err != nil {
+		return Decision{}, err
+	}
+	if _, dup := c.conns[spec.ID]; dup {
+		return Decision{}, fmt.Errorf("core: connection %q already admitted", spec.ID)
+	}
+	if c.SourceBusy(spec.Src) {
+		return Decision{Reason: ReasonHostBusy}, nil
+	}
+	route, err := c.net.Route(spec.Src, spec.Dst)
+	if err != nil {
+		return Decision{Reason: ReasonInvalidTarget}, nil
+	}
+
+	cand := &Connection{ConnSpec: spec, Route: route}
+	dec := Decision{
+		HSMaxAvail: c.net.Ring(spec.Src.Ring).Available(),
+	}
+	if route.CrossesBackbone {
+		dec.HRMaxAvail = c.net.Ring(spec.Dst.Ring).Available()
+	}
+
+	// Step 1–2: availability floor.
+	if dec.HSMaxAvail < c.opts.HMinAbs ||
+		(route.CrossesBackbone && dec.HRMaxAvail < c.opts.HMinAbs) {
+		dec.Reason = ReasonNoBandwidth
+		c.forgetCandidate(spec.ID)
+		return dec, nil
+	}
+
+	seg := c.searchSegment(route, dec.HSMaxAvail, dec.HRMaxAvail)
+
+	// The probe session reuses every analysis result the candidate's
+	// allocation provably cannot change.
+	session, err := c.analyzer.NewProbeSession(c.Connections(), cand)
+	if err != nil {
+		return Decision{}, err
+	}
+	probe := func(a allocation) (bool, map[string]float64) {
+		dec.Probes++
+		delays, err := session.Delays(a.hs, a.hr)
+		if err != nil {
+			// Structural errors cannot occur for specs validated above;
+			// treat defensively as infeasible.
+			return false, nil
+		}
+		return c.meetsDeadlines(cand, delays), delays
+	}
+
+	// Step 2: feasibility at the segment's maximum point.
+	okMax, delaysMax := probe(seg.p1)
+	if !okMax {
+		dec.Reason = ReasonInfeasible
+		c.forgetCandidate(spec.ID)
+		return dec, nil
+	}
+
+	// Step 3: minimum needed allocation.
+	alphaMin := c.bisectFeasible(probe, seg)
+	minAlloc := seg.at(alphaMin)
+	dec.HSMinNeed, dec.HRMinNeed = minAlloc.hs, minAlloc.hr
+
+	// Step 4: maximum needed allocation — the smallest point whose delays
+	// match the maximum allocation's (Eq. 31–33).
+	alphaEq := c.bisectEqualDelays(probe, seg, alphaMin, delaysMax)
+	maxAlloc := seg.at(alphaEq)
+	dec.HSMaxNeed, dec.HRMaxNeed = maxAlloc.hs, maxAlloc.hr
+
+	// Step 5: β interpolation (Eq. 35–36).
+	chosen := allocation{
+		hs: minAlloc.hs + c.opts.Beta*(maxAlloc.hs-minAlloc.hs),
+		hr: minAlloc.hr + c.opts.Beta*(maxAlloc.hr-minAlloc.hr),
+	}
+	ok, delays := probe(chosen)
+	if !ok {
+		// Convexity (Theorem 3–4) makes this unreachable in exact
+		// arithmetic; numeric quantization can still surface it. Fall back
+		// to the segment maximum, which was verified feasible.
+		chosen = seg.p1
+		delays = delaysMax
+	}
+
+	if commit {
+		if err := c.commit(cand, chosen); err != nil {
+			return Decision{}, err
+		}
+	} else {
+		c.forgetCandidate(spec.ID)
+	}
+	dec.Admitted = true
+	dec.Reason = ReasonAdmitted
+	dec.HS, dec.HR = chosen.hs, chosen.hr
+	dec.Delays = delays
+	return dec, nil
+}
+
+// searchSegment builds the allocation segment for the configured rule.
+func (c *Controller) searchSegment(route topo.Route, hsMax, hrMax float64) segment {
+	minAbs := c.opts.HMinAbs
+	if !route.CrossesBackbone {
+		return segment{p0: allocation{hs: minAbs}, p1: allocation{hs: hsMax}}
+	}
+	switch c.opts.Rule {
+	case RuleFixedSplit:
+		m := math.Min(hsMax, hrMax)
+		return segment{p0: allocation{minAbs, minAbs}, p1: allocation{m, m}}
+	case RuleSenderBiased:
+		return segment{p0: allocation{hsMax, minAbs}, p1: allocation{hsMax, hrMax}}
+	default: // RuleProportional (the paper's Rule 2)
+		return segment{p0: allocation{minAbs, minAbs}, p1: allocation{hsMax, hrMax}}
+	}
+}
+
+// feasible evaluates Eq. 24–25: with the candidate at allocation a, do all
+// worst-case delays (existing connections and the candidate) meet their
+// deadlines?
+func (c *Controller) feasible(cand *Connection, a allocation) (bool, map[string]float64) {
+	probe := cand.clone()
+	probe.HS, probe.HR = a.hs, a.hr
+	conns := make([]*Connection, 0, len(c.conns)+1)
+	for _, conn := range c.conns {
+		conns = append(conns, conn)
+	}
+	conns = append(conns, probe)
+	delays, err := c.analyzer.Delays(conns)
+	if err != nil {
+		// Structural errors cannot occur for specs validated at admission;
+		// treat defensively as infeasible.
+		return false, nil
+	}
+	return c.meetsDeadlines(cand, delays), delays
+}
+
+// meetsDeadlines checks Eq. 24–25 against a computed delay map.
+func (c *Controller) meetsDeadlines(cand *Connection, delays map[string]float64) bool {
+	for _, conn := range c.conns {
+		if delays[conn.ID] > conn.Deadline*(1+units.RelTol) {
+			return false
+		}
+	}
+	return delays[cand.ID] <= cand.Deadline*(1+units.RelTol)
+}
+
+// bisectFeasible locates the smallest α in [0,1] whose allocation is
+// feasible. The caller guarantees α=1 is feasible; Theorems 3–4 make the
+// feasible subset of the segment an interval ending at 1.
+func (c *Controller) bisectFeasible(probe func(allocation) (bool, map[string]float64), seg segment) float64 {
+	if ok, _ := probe(seg.at(0)); ok {
+		return 0
+	}
+	lo, hi := 0.0, 1.0 // infeasible at lo, feasible at hi
+	for i := 0; i < c.opts.SearchIters; i++ {
+		mid := (lo + hi) / 2
+		if ok, _ := probe(seg.at(mid)); ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// bisectEqualDelays locates the smallest α in [alphaMin,1] whose delays
+// match those at α=1 within the configured tolerance (Eq. 31–32). Delays
+// vary monotonically toward their α=1 values along the segment, so the
+// equality set is an interval ending at 1.
+func (c *Controller) bisectEqualDelays(probe func(allocation) (bool, map[string]float64), seg segment, alphaMin float64, delaysMax map[string]float64) float64 {
+	equal := func(alpha float64) bool {
+		ok, delays := probe(seg.at(alpha))
+		if !ok {
+			return false
+		}
+		for id, dMax := range delaysMax {
+			if !units.WithinRel(delays[id], dMax, c.opts.EqualTolerance) {
+				return false
+			}
+		}
+		return true
+	}
+	if equal(alphaMin) {
+		return alphaMin
+	}
+	lo, hi := alphaMin, 1.0
+	for i := 0; i < c.opts.SearchIters; i++ {
+		mid := (lo + hi) / 2
+		if equal(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// commit admits the candidate at the chosen allocation, updating ring
+// bookkeeping.
+func (c *Controller) commit(cand *Connection, a allocation) error {
+	cand.HS, cand.HR = a.hs, a.hr
+	if err := c.net.Ring(cand.Src.Ring).Allocate(cand.ID, a.hs); err != nil {
+		return fmt.Errorf("core: committing sender allocation: %w", err)
+	}
+	if cand.Route.CrossesBackbone {
+		if err := c.net.Ring(cand.Dst.Ring).Allocate(cand.ID, a.hr); err != nil {
+			c.net.Ring(cand.Src.Ring).Release(cand.ID)
+			return fmt.Errorf("core: committing receiver allocation: %w", err)
+		}
+	}
+	c.conns[cand.ID] = cand
+	return nil
+}
+
+// forgetCandidate clears probe-time cache entries for a rejected candidate
+// so a later reuse of the id with different traffic starts clean.
+func (c *Controller) forgetCandidate(id string) {
+	if _, admitted := c.conns[id]; !admitted {
+		c.analyzer.Forget(id)
+	}
+}
+
+// FeasibleAllocation reports whether granting (hs, hr) to the candidate
+// would satisfy every deadline (Eq. 24–25), without admitting anything.
+// It exists for feasible-region exploration (Theorems 3–4) and testing.
+func (c *Controller) FeasibleAllocation(spec ConnSpec, hs, hr float64) (bool, error) {
+	if err := spec.Validate(); err != nil {
+		return false, err
+	}
+	route, err := c.net.Route(spec.Src, spec.Dst)
+	if err != nil {
+		return false, err
+	}
+	cand := &Connection{ConnSpec: spec, Route: route}
+	ok, _ := c.feasible(cand, allocation{hs: hs, hr: hr})
+	return ok, nil
+}
+
+// DelayReport returns the current worst-case delay of every admitted
+// connection.
+func (c *Controller) DelayReport() (map[string]float64, error) {
+	return c.analyzer.Delays(c.Connections())
+}
+
+// BreakdownFor returns the per-server delay decomposition of an admitted
+// connection.
+func (c *Controller) BreakdownFor(id string) (Breakdown, error) {
+	if _, ok := c.conns[id]; !ok {
+		return Breakdown{}, fmt.Errorf("core: unknown connection %q", id)
+	}
+	return c.analyzer.Breakdown(c.Connections(), id)
+}
+
+// BufferRequirement reports, per admitted connection, the worst-case MAC
+// backlogs of Theorem 1 (Eq. 10): how much buffer the sender host and the
+// receiving interface device must provision for loss-free operation.
+type BufferRequirement struct {
+	ConnID                       string
+	SrcBufferBits, DstBufferBits float64
+}
+
+// BufferReport returns the buffer requirements of every admitted connection,
+// sorted by connection id.
+func (c *Controller) BufferReport() ([]BufferRequirement, error) {
+	conns := c.Connections()
+	out := make([]BufferRequirement, 0, len(conns))
+	for _, conn := range conns {
+		bd, err := c.analyzer.Breakdown(conns, conn.ID)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BufferRequirement{
+			ConnID:        conn.ID,
+			SrcBufferBits: bd.SrcBufferBits,
+			DstBufferBits: bd.DstBufferBits,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fafnet/internal/topo"
+)
+
+// ProbeSession accelerates the CAC's binary searches. Across the dozens of
+// feasibility probes of one admission request, only the candidate's
+// allocation changes — so only the FIFO ports the candidate flows through
+// (and ports downstream of those, reached by connections that crossed a
+// changed port first) can see different traffic. The session computes that
+// tainted-port closure once, evaluates everything outside it once, and
+// reuses those results for every probe:
+//
+//   - a port is tainted if the candidate traverses it, or if some connection
+//     traverses a tainted port before it (its envelope at the later port
+//     shifts with the earlier port's delay);
+//   - every member of a tainted port is, by construction, an affected
+//     connection, so untainted port delays depend only on unaffected state
+//     and can be carried over verbatim;
+//   - unaffected connections (no tainted port on their route) keep their
+//     end-to-end delays verbatim.
+type ProbeSession struct {
+	a        *Analyzer
+	existing []*Connection
+	cand     *Connection
+
+	cleanPortDelay map[topo.PortID]float64
+	cleanDelay     map[string]float64
+	affected       int
+}
+
+// NewProbeSession prepares probe acceleration for admitting cand among the
+// existing connections. cand's allocations need not be set yet.
+func (a *Analyzer) NewProbeSession(existing []*Connection, cand *Connection) (*ProbeSession, error) {
+	if cand == nil {
+		return nil, errors.New("core: probe session requires a candidate")
+	}
+	s := &ProbeSession{
+		a:              a,
+		existing:       existing,
+		cand:           cand,
+		cleanPortDelay: make(map[topo.PortID]float64),
+		cleanDelay:     make(map[string]float64),
+	}
+
+	tainted := make(map[topo.PortID]bool, len(cand.Route.Ports))
+	for _, p := range cand.Route.Ports {
+		tainted[p] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, m := range existing {
+			seen := false
+			for _, p := range m.Route.Ports {
+				switch {
+				case tainted[p]:
+					seen = true
+				case seen:
+					tainted[p] = true
+					changed = true
+				}
+			}
+		}
+	}
+	isAffected := func(m *Connection) bool {
+		for _, p := range m.Route.Ports {
+			if tainted[p] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// One candidate-free evaluation supplies every reusable result.
+	ev, err := a.newEvaluation(existing)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range ev.ordered {
+		d, derr := ev.totalDelay(m)
+		if derr != nil {
+			if errors.Is(derr, errInfeasible) {
+				d = math.Inf(1)
+			} else {
+				return nil, derr
+			}
+		}
+		if isAffected(m) {
+			s.affected++
+			continue
+		}
+		s.cleanDelay[m.ID] = d
+	}
+	for p, d := range ev.portDelay {
+		if !tainted[p] {
+			s.cleanPortDelay[p] = d
+		}
+	}
+	return s, nil
+}
+
+// Affected returns the number of existing connections whose delays must be
+// recomputed per probe (exposed for tests and instrumentation).
+func (s *ProbeSession) Affected() int { return s.affected }
+
+// Delays evaluates the network with the candidate at allocation (hs, hr),
+// reusing every result the taint analysis proved invariant. The returned map
+// is identical to Analyzer.Delays over existing ∪ {candidate@(hs,hr)}.
+func (s *ProbeSession) Delays(hs, hr float64) (map[string]float64, error) {
+	probe := s.cand.clone()
+	probe.HS, probe.HR = hs, hr
+	conns := make([]*Connection, 0, len(s.existing)+1)
+	conns = append(conns, s.existing...)
+	conns = append(conns, probe)
+
+	ev, err := s.a.newEvaluation(conns)
+	if err != nil {
+		return nil, err
+	}
+	ev.prefilledDelay = s.cleanDelay
+	for p, d := range s.cleanPortDelay {
+		ev.portDelay[p] = d
+	}
+
+	out := make(map[string]float64, len(conns))
+	for _, c := range conns {
+		d, derr := ev.totalDelay(c)
+		if derr != nil {
+			if errors.Is(derr, errInfeasible) {
+				out[c.ID] = math.Inf(1)
+				continue
+			}
+			return nil, fmt.Errorf("core: probe evaluation: %w", derr)
+		}
+		out[c.ID] = d
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fafnet/internal/shaper"
+)
+
+// TestShapedConnectionAnalysis: shaping shows up in the breakdown and
+// tightens the shared-port delays other connections see.
+func TestShapedConnectionAnalysis(t *testing.T) {
+	// Unshaped baseline: two bursty connections share the id0 uplink.
+	build := func(shape *shaper.Spec) (Breakdown, Breakdown) {
+		net := defaultNet(t)
+		an, err := NewAnalyzer(net, AnalysisOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := testConnOn(t, net, "a", 0, 0, 1, 0, 2e-3, 2e-3)
+		a.Shape = shape
+		b := testConnOn(t, net, "b", 0, 1, 2, 0, 2e-3, 2e-3)
+		conns := []*Connection{a, b}
+		bdA, err := an.Breakdown(conns, "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		bdB, err := an.Breakdown(conns, "b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bdA, bdB
+	}
+
+	unshapedA, unshapedB := build(nil)
+	if unshapedA.Shaper != 0 {
+		t.Errorf("unshaped breakdown has shaper delay %v", unshapedA.Shaper)
+	}
+
+	// Shape connection a to near its sustained rate (ρ = 18 Mb/s for the
+	// 15 Mb/s source, bucket just above the frame size so shaping binds).
+	spec := &shaper.Spec{SigmaBits: 40e3, RhoBps: 18e6}
+	shapedA, shapedB := build(spec)
+	if shapedA.Shaper <= 0 {
+		t.Fatalf("shaped breakdown lacks shaper delay: %+v", shapedA)
+	}
+	// The shaped connection's first-port contribution must not grow, and
+	// the competitor's shared-port delay must shrink or stay equal.
+	if shapedB.Ports[0].Delay > unshapedB.Ports[0].Delay+1e-12 {
+		t.Errorf("shaping a increased b's shared-port delay: %v → %v",
+			unshapedB.Ports[0].Delay, shapedB.Ports[0].Delay)
+	}
+	// Totals remain finite and self-consistent.
+	sum := shapedA.SrcMAC + shapedA.Shaper + shapedA.DstMAC + shapedA.Constant
+	for _, p := range shapedA.Ports {
+		sum += p.Delay
+	}
+	if math.Abs(sum-shapedA.Total) > 1e-12 {
+		t.Errorf("shaped breakdown parts %v != total %v", sum, shapedA.Total)
+	}
+	_ = unshapedA
+}
+
+// TestShapedAdmission runs the CAC with a shaped spec end to end.
+func TestShapedAdmission(t *testing.T) {
+	ctl := newController(t, Options{})
+	spec := testSpec(t, "s1", 0, 0, 1, 0)
+	spec.Shape = &shaper.Spec{SigmaBits: 40e3, RhoBps: 18e6}
+	dec, err := ctl.RequestAdmission(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Admitted {
+		t.Fatalf("shaped admission rejected: %s", dec.Reason)
+	}
+	bd, err := ctl.BreakdownFor("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Shaper <= 0 {
+		t.Errorf("admitted shaped connection reports no shaper delay")
+	}
+}
+
+// TestShaperTooSmallForFrames: a bucket below the frame size can never pass
+// a frame; the CAC must reject rather than admit an unbounded connection.
+func TestShaperTooSmallForFrames(t *testing.T) {
+	ctl := newController(t, Options{})
+	spec := testSpec(t, "s1", 0, 0, 1, 0)
+	spec.Shape = &shaper.Spec{SigmaBits: 100, RhoBps: 18e6} // tiny bucket
+	dec, err := ctl.RequestAdmission(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Admitted {
+		t.Fatal("admitted a connection whose frames can never conform")
+	}
+}
+
+// TestShaperRateTooLow: ρ below the source's long-term rate is unbounded.
+func TestShaperRateTooLow(t *testing.T) {
+	ctl := newController(t, Options{})
+	spec := testSpec(t, "s1", 0, 0, 1, 0)
+	spec.Shape = &shaper.Spec{SigmaBits: 250e3, RhoBps: 1e6} // source is 15 Mb/s
+	dec, err := ctl.RequestAdmission(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Admitted {
+		t.Fatal("admitted a connection with an unstable regulator")
+	}
+	if dec.Reason != ReasonInfeasible {
+		t.Errorf("Reason = %q", dec.Reason)
+	}
+}
+
+// TestInvalidShapeSpecIsRequestError: malformed shaping parameters are a
+// validation error, not a rejection.
+func TestInvalidShapeSpecIsRequestError(t *testing.T) {
+	ctl := newController(t, Options{})
+	spec := testSpec(t, "s1", 0, 0, 1, 0)
+	spec.Shape = &shaper.Spec{SigmaBits: -1, RhoBps: 1e6}
+	if _, err := ctl.RequestAdmission(spec); err == nil {
+		t.Error("invalid shape spec should be a request error")
+	}
+}

@@ -1,0 +1,282 @@
+package des
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestScheduleAndRunInOrder(t *testing.T) {
+	s := NewSimulator()
+	var order []float64
+	for _, tm := range []float64{3, 1, 2, 5, 4} {
+		tm := tm
+		if _, err := s.Schedule(tm, func() { order = append(order, tm) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.Run(10); n != 5 {
+		t.Fatalf("Run processed %d events, want 5", n)
+	}
+	if !sort.Float64sAreSorted(order) {
+		t.Errorf("events fired out of order: %v", order)
+	}
+	if s.Now() != 10 {
+		t.Errorf("clock = %v, want 10 (advanced to until)", s.Now())
+	}
+}
+
+func TestFIFOAmongEqualTimes(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := s.Schedule(1.0, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(2)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	s := NewSimulator()
+	if _, err := s.Schedule(5, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10)
+	_, err := s.Schedule(1, nil)
+	if !errors.Is(err, ErrPastEvent) {
+		t.Errorf("scheduling in the past: err = %v, want ErrPastEvent", err)
+	}
+}
+
+func TestScheduleNonFiniteRejected(t *testing.T) {
+	s := NewSimulator()
+	if _, err := s.Schedule(math.NaN(), nil); err == nil {
+		t.Error("NaN time should be rejected")
+	}
+	if _, err := s.Schedule(math.Inf(1), nil); err == nil {
+		t.Error("+Inf time should be rejected")
+	}
+}
+
+func TestRunUntilBoundary(t *testing.T) {
+	s := NewSimulator()
+	fired := 0
+	if _, err := s.Schedule(1, func() { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Schedule(2, func() { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Schedule(3, func() { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2) // events at exactly `until` still fire
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", s.Pending())
+	}
+	s.Run(3)
+	if fired != 3 {
+		t.Errorf("after second run, fired = %d, want 3", fired)
+	}
+}
+
+func TestEventsMayScheduleEvents(t *testing.T) {
+	s := NewSimulator()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 100 {
+			if _, err := s.After(0.5, chain); err != nil {
+				t.Errorf("After: %v", err)
+			}
+		}
+	}
+	if _, err := s.Schedule(0, chain); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(1000)
+	if count != 100 {
+		t.Errorf("chain fired %d times, want 100", count)
+	}
+	if got, want := s.Now(), 1000.0; got != want {
+		t.Errorf("Now = %v, want %v", got, want)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := NewSimulator()
+	fired := false
+	ev, err := s.Schedule(1, func() { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Cancel(ev) {
+		t.Error("first Cancel should succeed")
+	}
+	if s.Cancel(ev) {
+		t.Error("second Cancel should be a no-op")
+	}
+	if s.Cancel(nil) {
+		t.Error("Cancel(nil) should be a no-op")
+	}
+	s.Run(10)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	s := NewSimulator()
+	var fired []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		ev, err := s.Schedule(float64(i), func() { fired = append(fired, i) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs[i] = ev
+	}
+	s.Cancel(evs[4])
+	s.Cancel(evs[7])
+	s.Run(100)
+	if len(fired) != 8 {
+		t.Fatalf("fired %d events, want 8: %v", len(fired), fired)
+	}
+	for _, v := range fired {
+		if v == 4 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := NewSimulator()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		i := i
+		if _, err := s.Schedule(float64(i), func() {
+			count++
+			if i == 3 {
+				s.Halt()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(100)
+	if count != 3 {
+		t.Errorf("processed %d events before halt, want 3", count)
+	}
+	// A subsequent Run resumes.
+	s.Run(100)
+	if count != 10 {
+		t.Errorf("after resume, processed %d, want 10", count)
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := NewSimulator()
+	if s.Step() {
+		t.Error("Step on empty calendar should report false")
+	}
+	fired := false
+	if _, err := s.Schedule(2, func() { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Step() {
+		t.Error("Step should fire the pending event")
+	}
+	if !fired || s.Now() != 2 {
+		t.Errorf("fired=%v now=%v, want true/2", fired, s.Now())
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Exp(3) != b.Exp(3) {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := NewRNG(7)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += g.Exp(2.5)
+	}
+	mean := sum / n
+	if math.Abs(mean-2.5) > 0.05 {
+		t.Errorf("empirical mean %v, want ≈2.5", mean)
+	}
+}
+
+func TestExpPanicsOnBadMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Exp(0) should panic")
+		}
+	}()
+	NewRNG(1).Exp(0)
+}
+
+func TestUniform(t *testing.T) {
+	g := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		v := g.Uniform(3, 7)
+		if v < 3 || v >= 7 {
+			t.Fatalf("Uniform(3,7) = %v out of range", v)
+		}
+	}
+}
+
+func TestPoissonProcess(t *testing.T) {
+	if _, err := NewPoissonProcess(NewRNG(1), 0); err == nil {
+		t.Error("zero rate should be rejected")
+	}
+	if _, err := NewPoissonProcess(nil, 1); err == nil {
+		t.Error("nil RNG should be rejected")
+	}
+	p, err := NewPoissonProcess(NewRNG(11), 4) // 4 events/second
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rate() != 4 {
+		t.Errorf("Rate = %v, want 4", p.Rate())
+	}
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += p.Next()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.25) > 0.01 {
+		t.Errorf("mean inter-arrival %v, want ≈0.25", mean)
+	}
+}

@@ -1,0 +1,259 @@
+package fddi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fafnet/internal/traffic"
+	"fafnet/internal/units"
+)
+
+// Analysis failure modes. Both mean the connection has no finite delay bound
+// under the probed allocation, so a CAC must treat the allocation as
+// infeasible.
+var (
+	// ErrOverload indicates the long-term arrival rate exceeds the service
+	// the synchronous allocation provides (ρ·TTRT > H·BW): the MAC backlog
+	// grows without bound.
+	ErrOverload = errors.New("fddi: allocation cannot sustain the long-term rate")
+	// ErrBufferOverflow indicates the worst-case backlog F exceeds the MAC
+	// buffer, so packets may be lost (Theorem 1 assigns an infinite delay).
+	ErrBufferOverflow = errors.New("fddi: worst-case backlog exceeds the MAC buffer")
+	// ErrNoConvergence indicates the busy-interval search did not terminate
+	// within the configured bound; the allocation is too close to the
+	// stability limit to analyze.
+	ErrNoConvergence = errors.New("fddi: busy-interval search did not converge")
+)
+
+// MACParams parameterizes the FDDI_MAC server of Theorem 1 for one
+// connection.
+type MACParams struct {
+	// Ring is the configuration of the ring the station sits on.
+	Ring RingConfig
+	// H is the synchronous allocation (seconds per token rotation).
+	H float64
+	// BufferBits is the MAC transmit buffer size S; 0 means unlimited.
+	BufferBits float64
+}
+
+// OutputBound selects how the output envelope of an analyzed server is
+// represented.
+type OutputBound int
+
+const (
+	// OutputDelayBased uses the classical work-conserving bound
+	// A'(I) = min(BW·I, A(I + d^wc)): cheap, evaluation stays lazy.
+	OutputDelayBased OutputBound = iota
+	// OutputExact materializes the paper's Υ(I) (Theorem 1, Eq. 12) on a
+	// grid: tighter, but costs a two-dimensional extremum search.
+	OutputExact
+)
+
+// Options tunes the numeric extremum searches of the analysis. The zero
+// value selects the defaults.
+type Options struct {
+	// TGridPoints is the uniform fallback resolution of the search grid over
+	// the busy interval (default 160).
+	TGridPoints int
+	// OutGridPoints is the resolution of the materialized output envelope
+	// when Output == OutputExact (default 160).
+	OutGridPoints int
+	// MaxBusyRotations bounds the busy-interval search in units of TTRT
+	// (default 4096).
+	MaxBusyRotations int
+	// Output selects the output-envelope representation.
+	Output OutputBound
+	// OutputHorizon is the materialization horizon for OutputExact; 0 means
+	// max(2·B, 8·TTRT).
+	OutputHorizon float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.TGridPoints <= 0 {
+		o.TGridPoints = 160
+	}
+	if o.OutGridPoints <= 0 {
+		o.OutGridPoints = 160
+	}
+	if o.MaxBusyRotations <= 0 {
+		o.MaxBusyRotations = 4096
+	}
+	return o
+}
+
+// MACResult is the outcome of Theorem 1 for one connection at one FDDI MAC.
+type MACResult struct {
+	// BusyInterval is B, the maximum length of a busy interval (seconds).
+	BusyInterval float64
+	// BufferBits is F, the maximum backlog the connection accumulates.
+	BufferBits float64
+	// Delay is χ, the worst-case queueing+transmission delay at the MAC.
+	Delay float64
+	// Output is the envelope of the connection's traffic as it leaves the
+	// MAC (Eq. 12).
+	Output traffic.Descriptor
+}
+
+// Avail returns avail(t): the minimum service (bits) the timed-token
+// protocol guarantees the station within any interval of length t that
+// starts when a backlog forms (Theorem 1):
+//
+//	avail(t) = max(0, (⌊t/TTRT⌋ − 1)·H·BW)
+//
+// The "−1" accounts for the token being up to a full rotation away.
+func (p MACParams) Avail(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	k := math.Floor(t / p.Ring.TTRT)
+	return math.Max(0, (k-1)*p.H*p.Ring.BandwidthBps)
+}
+
+// ServiceBitsPerRotation returns H·BW.
+func (p MACParams) ServiceBitsPerRotation() float64 { return p.H * p.Ring.BandwidthBps }
+
+func (p MACParams) validate() error {
+	if err := p.Ring.Validate(); err != nil {
+		return err
+	}
+	if p.H <= 0 {
+		return fmt.Errorf("fddi: synchronous allocation H=%v must be positive", p.H)
+	}
+	if p.BufferBits < 0 {
+		return fmt.Errorf("fddi: buffer size %v must be non-negative", p.BufferBits)
+	}
+	return nil
+}
+
+// AnalyzeMAC applies Theorem 1 to a connection with input envelope in and
+// MAC parameters p: it returns the busy interval B (Eq. 9), the worst-case
+// backlog F (Eq. 10), the worst-case delay χ (Eq. 11), and the output
+// envelope (Eq. 12). A non-nil error means no finite delay bound exists for
+// this allocation (ErrOverload, ErrBufferOverflow, or ErrNoConvergence).
+func AnalyzeMAC(in traffic.Descriptor, p MACParams, opts Options) (MACResult, error) {
+	if in == nil {
+		return MACResult{}, errors.New("fddi: AnalyzeMAC requires an input descriptor")
+	}
+	if err := p.validate(); err != nil {
+		return MACResult{}, err
+	}
+	opts = opts.withDefaults()
+
+	svc := p.ServiceBitsPerRotation()
+	ttrt := p.Ring.TTRT
+	// Stability: the allocation must serve the long-term rate with margin,
+	// or the busy interval (and hence the delay) is unbounded.
+	if in.LongTermRate()*ttrt >= svc*(1-units.RelTol) {
+		return MACResult{}, fmt.Errorf("%w: rho=%v bps, H·BW/TTRT=%v bps", ErrOverload, in.LongTermRate(), svc/ttrt)
+	}
+
+	// Busy interval (Eq. 9). avail is constant between multiples of TTRT and
+	// A is nondecreasing, so the condition A(t) <= avail(t) first becomes
+	// true at a multiple of TTRT.
+	busy := 0.0
+	for k := 1; ; k++ {
+		if k > opts.MaxBusyRotations {
+			return MACResult{}, fmt.Errorf("%w: no busy-interval end within %d rotations", ErrNoConvergence, opts.MaxBusyRotations)
+		}
+		t := float64(k) * ttrt
+		if in.Bits(t) <= float64(k-1)*svc+units.Eps {
+			busy = t
+			break
+		}
+	}
+
+	// Candidate extremum points: the input envelope's own vertices plus the
+	// avail steps at multiples of TTRT, each bracketed.
+	grid := traffic.Grid(in, busy, opts.TGridPoints)
+	// The t→0+ limit matters: a burst at the very start of the busy interval
+	// waits the full worst-case token latency.
+	grid = traffic.MergeGrids(busy, grid, multiplesOf(ttrt, busy), []float64{1e-10})
+
+	// Worst-case backlog F (Eq. 10) and worst-case delay χ (Eq. 11).
+	// For the delay: the first time avail reaches A(t) is the first multiple
+	// m·TTRT with (m−1)·svc >= A(t), i.e. m = ⌈A(t)/svc⌉ + 1, so the
+	// candidate delay at t is m·TTRT − t.
+	var backlog, delay float64
+	for _, t := range grid {
+		a := in.Bits(t)
+		if b := a - p.Avail(t); b > backlog {
+			backlog = b
+		}
+		if a <= units.Eps {
+			continue
+		}
+		m := units.CeilDiv(a, svc) + 1
+		if d := m*ttrt - t; d > delay {
+			delay = d
+		}
+	}
+	if p.BufferBits > 0 && backlog > p.BufferBits*(1+units.RelTol) {
+		return MACResult{}, fmt.Errorf("%w: F=%v bits, S=%v bits", ErrBufferOverflow, backlog, p.BufferBits)
+	}
+
+	out, err := outputEnvelope(in, p, opts, busy, delay)
+	if err != nil {
+		return MACResult{}, err
+	}
+	return MACResult{BusyInterval: busy, BufferBits: backlog, Delay: delay, Output: out}, nil
+}
+
+// outputEnvelope builds Γ'(I) = min(BW, Υ(I)) per the selected bound.
+func outputEnvelope(in traffic.Descriptor, p MACParams, opts Options, busy, delay float64) (traffic.Descriptor, error) {
+	bw := p.Ring.BandwidthBps
+	if opts.Output == OutputDelayBased {
+		out, err := traffic.NewDelayed(in, delay, bw)
+		if err != nil {
+			return nil, fmt.Errorf("fddi: building output envelope: %w", err)
+		}
+		return out, nil
+	}
+
+	// Exact Υ(I) = max_{0<=t<=B} (A(t+I) − avail(t))/I, materialized.
+	horizon := opts.OutputHorizon
+	if horizon <= 0 {
+		horizon = math.Max(2*busy, 8*p.Ring.TTRT)
+	}
+	tGrid := traffic.MergeGrids(busy,
+		traffic.Grid(in, busy, opts.TGridPoints),
+		multiplesOf(p.Ring.TTRT, busy))
+	tGrid = append([]float64{0}, tGrid...)
+	iGrid := traffic.Grid(in, horizon, opts.OutGridPoints)
+	bits := make([]float64, len(iGrid))
+	for i, iv := range iGrid {
+		best := 0.0
+		for _, t := range tGrid {
+			if v := in.Bits(t+iv) - p.Avail(t); v > best {
+				best = v
+			}
+		}
+		bits[i] = math.Min(best, bw*iv)
+	}
+	// Enforce monotonicity (numeric jitter between adjacent I points).
+	for i := 1; i < len(bits); i++ {
+		if bits[i] < bits[i-1] {
+			bits[i] = bits[i-1]
+		}
+	}
+	sampled, err := traffic.NewSampled(iGrid, bits, math.Min(in.LongTermRate(), bw))
+	if err != nil {
+		return nil, fmt.Errorf("fddi: materializing exact output envelope: %w", err)
+	}
+	// Step interpolation between samples may exceed BW·I for I below a grid
+	// point; the cap restores Γ' = min(BW, Υ) everywhere.
+	out, err := traffic.NewRateCapped(sampled, bw)
+	if err != nil {
+		return nil, fmt.Errorf("fddi: capping exact output envelope: %w", err)
+	}
+	return out, nil
+}
+
+// multiplesOf returns k·step for k = 1.. while <= limit, each bracketed.
+func multiplesOf(step, limit float64) []float64 {
+	var pts []float64
+	for t := step; t <= limit+units.Eps; t += step {
+		pts = append(pts, t-1e-10, t, t+1e-10)
+	}
+	return pts
+}

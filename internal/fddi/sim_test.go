@@ -1,0 +1,258 @@
+package fddi
+
+import (
+	"math"
+	"testing"
+
+	"fafnet/internal/des"
+	"fafnet/internal/traffic"
+	"fafnet/internal/units"
+)
+
+func TestNewRingSimValidation(t *testing.T) {
+	sim := des.NewSimulator()
+	if _, err := NewRingSim(nil, testRing(), 4, nil); err == nil {
+		t.Error("nil simulator should be rejected")
+	}
+	if _, err := NewRingSim(sim, testRing(), 1, nil); err == nil {
+		t.Error("single-station ring should be rejected")
+	}
+	bad := testRing()
+	bad.TTRT = -1
+	if _, err := NewRingSim(sim, bad, 4, nil); err == nil {
+		t.Error("invalid config should be rejected")
+	}
+}
+
+func TestSetAllocationConstraint(t *testing.T) {
+	sim := des.NewSimulator()
+	r, err := NewRingSim(sim, testRing(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetAllocation(0, 4e-3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetAllocation(1, 3e-3); err != nil {
+		t.Fatal(err)
+	}
+	// Usable TTRT is 7 ms; a third allocation of 1 ms must fail.
+	if err := r.SetAllocation(2, 1e-3); err == nil {
+		t.Error("allocation beyond usable TTRT should fail")
+	}
+	// Shrinking an existing allocation is allowed.
+	if err := r.SetAllocation(0, 1e-3); err != nil {
+		t.Errorf("shrinking failed: %v", err)
+	}
+	if err := r.SetAllocation(2, 1e-3); err != nil {
+		t.Errorf("allocation after shrink failed: %v", err)
+	}
+	if err := r.SetAllocation(5, 1e-3); err == nil {
+		t.Error("out-of-range station should fail")
+	}
+	if err := r.SetAllocation(0, -1); err == nil {
+		t.Error("negative allocation should fail")
+	}
+}
+
+func TestEnqueueValidation(t *testing.T) {
+	sim := des.NewSimulator()
+	r, err := NewRingSim(sim, testRing(), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetAllocation(0, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Enqueue(Frame{Bits: 1e4, Src: -1, Dst: 1}); err == nil {
+		t.Error("bad source should be rejected")
+	}
+	if err := r.Enqueue(Frame{Bits: 1e4, Src: 0, Dst: 9}); err == nil {
+		t.Error("bad destination should be rejected")
+	}
+	if err := r.Enqueue(Frame{Bits: 0, Src: 0, Dst: 1}); err == nil {
+		t.Error("empty frame should be rejected")
+	}
+	// Frame that cannot fit the allocation (needs 2 ms at 100 Mb/s).
+	if err := r.Enqueue(Frame{Bits: 2e5, Src: 0, Dst: 1}); err == nil {
+		t.Error("oversized frame should be rejected")
+	}
+	if err := r.Enqueue(Frame{Bits: 5e4, Src: 0, Dst: 1}); err != nil {
+		t.Errorf("valid frame rejected: %v", err)
+	}
+	if got := r.QueueLen(0); got != 1 {
+		t.Errorf("QueueLen = %d, want 1", got)
+	}
+}
+
+func TestTokenRotationRespectsTTRT(t *testing.T) {
+	// With ΣH <= TTRT − Δ and Δ covering the walk time, every token
+	// rotation completes within the TTRT.
+	sim := des.NewSimulator()
+	cfg := testRing()
+	r, err := NewRingSim(sim, cfg, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := r.SetAllocation(i, 1.5e-3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Saturate every station so each visit uses its full allocation.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 200; j++ {
+			if err := r.Enqueue(Frame{Bits: 1.5e5, Src: i, Dst: (i + 1) % 4}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(0.2)
+	visits := r.TokenVisits()
+	if visits == 0 {
+		t.Fatal("token never moved")
+	}
+	// Rotations in 0.2 s: each full rotation serves 4 stations and takes at
+	// most ΣH + walk = 6 ms + 20 µs < TTRT.
+	rotations := float64(visits) / 4
+	minRotations := 0.2/cfg.TTRT - 1
+	if rotations < minRotations {
+		t.Errorf("only %.1f rotations in 0.2 s; protocol guarantees at least %.1f", rotations, minRotations)
+	}
+}
+
+func TestStartTwiceFails(t *testing.T) {
+	sim := des.NewSimulator()
+	r, err := NewRingSim(sim, testRing(), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err == nil {
+		t.Error("second Start should fail")
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	sim := des.NewSimulator()
+	cfg := testRing()
+	r, err := NewRingSim(sim, cfg, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.PropagationDelay(1, 3); !units.AlmostEq(got, 2*cfg.HopLatency) {
+		t.Errorf("PropagationDelay(1,3) = %v, want %v", got, 2*cfg.HopLatency)
+	}
+	// Wrap-around.
+	if got := r.PropagationDelay(3, 1); !units.AlmostEq(got, 3*cfg.HopLatency) {
+		t.Errorf("PropagationDelay(3,1) = %v, want %v", got, 3*cfg.HopLatency)
+	}
+}
+
+// TestSimDelaysWithinAnalyticBound is the E3-style validation at ring scope:
+// every frame delay measured by the packet-level simulator must be below the
+// Theorem 1 worst case plus propagation.
+func TestSimDelaysWithinAnalyticBound(t *testing.T) {
+	cfg := testRing()
+	const (
+		frameBits = 2e4  // 20 kbit frames
+		period    = 2e-3 // one frame every 2 ms → ρ = 10 Mb/s
+		h         = 1e-3 // service 100 kbit per rotation
+		simTime   = 2.0
+	)
+	// Analysis: instantaneous-burst periodic source (peak >> medium rate
+	// since the application hands the MAC the whole frame at once).
+	in, err := traffic.NewPeriodic(frameBits, period, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AnalyzeMAC(in, MACParams{Ring: cfg, H: h}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sim := des.NewSimulator()
+	var worst float64
+	var delivered int
+	ring, err := NewRingSim(sim, cfg, 4, func(f DeliveredFrame) {
+		if f.ConnID != "probe" {
+			return
+		}
+		delivered++
+		if d := f.Delivered - f.Enqueued; d > worst {
+			worst = d
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := res.Delay + ring.PropagationDelay(0, 2)
+	if err := ring.SetAllocation(0, h); err != nil {
+		t.Fatal(err)
+	}
+	// Competing stations consume their full allocations every visit (their
+	// load is exactly their service: 2 ms · 100 Mb/s per 8 ms rotation).
+	if err := ring.SetAllocation(1, 2e-3); err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.SetAllocation(3, 2e-3); err != nil {
+		t.Fatal(err)
+	}
+
+	var inject func()
+	inject = func() {
+		if sim.Now() > simTime-period {
+			return
+		}
+		if err := ring.Enqueue(Frame{Bits: frameBits, ConnID: "probe", Src: 0, Dst: 2}); err != nil {
+			t.Errorf("enqueue: %v", err)
+		}
+		if _, err := sim.After(period, inject); err != nil {
+			t.Errorf("schedule: %v", err)
+		}
+	}
+	// Cross traffic at exactly the competitors' sustainable rate.
+	var cross func()
+	cross = func() {
+		if sim.Now() > simTime-cfg.TTRT {
+			return
+		}
+		_ = ring.Enqueue(Frame{Bits: 1e5, ConnID: "x1", Src: 1, Dst: 0})
+		_ = ring.Enqueue(Frame{Bits: 1e5, ConnID: "x1", Src: 1, Dst: 0})
+		_ = ring.Enqueue(Frame{Bits: 1e5, ConnID: "x3", Src: 3, Dst: 2})
+		_ = ring.Enqueue(Frame{Bits: 1e5, ConnID: "x3", Src: 3, Dst: 2})
+		if _, err := sim.After(cfg.TTRT, cross); err != nil {
+			t.Errorf("schedule: %v", err)
+		}
+	}
+	if _, err := sim.After(0, inject); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.After(0, cross); err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(simTime + 1)
+
+	if delivered < int(simTime/period)-2 {
+		t.Fatalf("only %d frames delivered", delivered)
+	}
+	if worst <= 0 {
+		t.Fatal("no delay measured")
+	}
+	if worst > bound {
+		t.Errorf("measured worst delay %v exceeds analytic bound %v", worst, bound)
+	}
+	// The bound should not be absurdly loose either (within ~20x here).
+	if worst < bound/20 {
+		t.Logf("note: bound %v is %.1fx the observed worst %v", bound, bound/worst, worst)
+	}
+	_ = math.Inf // keep math imported if assertions change
+}

@@ -1,0 +1,153 @@
+package ifdev
+
+import (
+	"errors"
+	"fmt"
+
+	"fafnet/internal/atm"
+	"fafnet/internal/des"
+)
+
+// SegmenterSim is the DES counterpart of the sender-side interface device:
+// a LAN frame entering the device is delayed by the constant stages and then
+// segmented into ATM cells submitted to an output port.
+type SegmenterSim struct {
+	sim      *des.Simulator
+	params   Params
+	out      *atm.PortSim
+	frameSeq map[string]int
+}
+
+// NewSegmenterSim builds a segmenter feeding cells into out.
+func NewSegmenterSim(sim *des.Simulator, params Params, out *atm.PortSim) (*SegmenterSim, error) {
+	if sim == nil {
+		return nil, errors.New("ifdev: SegmenterSim requires a simulator")
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if out == nil {
+		return nil, errors.New("ifdev: SegmenterSim requires an output port")
+	}
+	return &SegmenterSim{sim: sim, params: params, out: out, frameSeq: make(map[string]int)}, nil
+}
+
+// ReceiveFrame accepts one LAN frame for the given connection; after the
+// device's constant sender delay its cells enter the output-port queue.
+func (s *SegmenterSim) ReceiveFrame(connID string, frameBits float64) error {
+	return s.ReceiveFrameAt(connID, frameBits, s.sim.Now())
+}
+
+// ReceiveFrameAt is ReceiveFrame with an explicit origin timestamp carried
+// in the cells' Created field, so an end-to-end harness can measure from the
+// original emission instant rather than from the device entrance.
+func (s *SegmenterSim) ReceiveFrameAt(connID string, frameBits, created float64) error {
+	if frameBits <= 0 {
+		return fmt.Errorf("ifdev: frame size %v must be positive", frameBits)
+	}
+	seq := s.frameSeq[connID]
+	s.frameSeq[connID] = seq + 1
+	cells := atm.CellsPerFrame(frameBits)
+	_, err := s.sim.After(s.params.SenderConstantDelay(), func() {
+		remaining := frameBits
+		for i := 0; i < cells; i++ {
+			payload := float64(atm.CellPayloadBits)
+			if remaining < payload {
+				payload = remaining
+			}
+			remaining -= payload
+			s.out.Submit(atm.Cell{
+				ConnID:      connID,
+				FrameSeq:    seq,
+				CellSeq:     i,
+				LastOfFrame: i == cells-1,
+				PayloadBits: payload,
+				Created:     created,
+			})
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("ifdev: scheduling segmentation: %w", err)
+	}
+	return nil
+}
+
+// ReassembledFrame reports a frame fully reassembled at the receiver-side
+// interface device.
+type ReassembledFrame struct {
+	// ConnID identifies the connection.
+	ConnID string
+	// FrameSeq is the frame's sequence number within the connection.
+	FrameSeq int
+	// PayloadBits is the reassembled payload.
+	PayloadBits float64
+	// FirstCellCreated is the creation time of the frame's first cell
+	// (used by the validation harness to compute spans).
+	FirstCellCreated float64
+	// Completed is the simulation time the frame left the device (after the
+	// reassembly handoff delay).
+	Completed float64
+}
+
+// ReassemblerSim is the DES counterpart of the receiver-side interface
+// device: it collects cells per (connection, frame) and, when the last cell
+// of a frame arrives, hands the frame onward after the constant receiver
+// delay.
+type ReassemblerSim struct {
+	sim     *des.Simulator
+	params  Params
+	deliver func(ReassembledFrame)
+	partial map[string]*partialFrame
+}
+
+type partialFrame struct {
+	payload float64
+	first   float64
+	cells   int
+}
+
+// NewReassemblerSim builds a reassembler that invokes deliver for every
+// completed frame.
+func NewReassemblerSim(sim *des.Simulator, params Params, deliver func(ReassembledFrame)) (*ReassemblerSim, error) {
+	if sim == nil {
+		return nil, errors.New("ifdev: ReassemblerSim requires a simulator")
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if deliver == nil {
+		return nil, errors.New("ifdev: ReassemblerSim requires a delivery callback")
+	}
+	return &ReassemblerSim{sim: sim, params: params, deliver: deliver, partial: make(map[string]*partialFrame)}, nil
+}
+
+// ReceiveCell accepts one cell from the ATM side.
+func (r *ReassemblerSim) ReceiveCell(c atm.Cell) {
+	key := fmt.Sprintf("%s/%d", c.ConnID, c.FrameSeq)
+	pf := r.partial[key]
+	if pf == nil {
+		pf = &partialFrame{first: c.Created}
+		r.partial[key] = pf
+	}
+	pf.payload += c.PayloadBits
+	pf.cells++
+	if !c.LastOfFrame {
+		return
+	}
+	delete(r.partial, key)
+	frame := ReassembledFrame{
+		ConnID:           c.ConnID,
+		FrameSeq:         c.FrameSeq,
+		PayloadBits:      pf.payload,
+		FirstCellCreated: pf.first,
+	}
+	if _, err := r.sim.After(r.params.ReceiverConstantDelay(), func() {
+		frame.Completed = r.sim.Now()
+		r.deliver(frame)
+	}); err != nil {
+		panic(fmt.Sprintf("ifdev: scheduling reassembly handoff: %v", err))
+	}
+}
+
+// PendingFrames returns the number of partially reassembled frames.
+func (r *ReassemblerSim) PendingFrames() int { return len(r.partial) }

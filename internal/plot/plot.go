@@ -1,0 +1,183 @@
+// Package plot renders small ASCII line charts for the command-line tools,
+// so the reproduced figures can be eyeballed directly in a terminal next to
+// the numeric tables.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labeled curve.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// markers distinguish series in the chart body.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders the series into a width×height character grid with axis
+// annotations. The y-axis always spans [yMin, yMax] when provided via
+// options; by default it spans the data (padded).
+type Chart struct {
+	Title      string
+	Width      int // plot area columns (default 60)
+	Height     int // plot area rows (default 16)
+	YMin, YMax float64
+	YFixed     bool // use YMin/YMax instead of auto-scaling
+	XLabel     string
+	YLabel     string
+}
+
+// Render draws the chart with the given series.
+func (c Chart) Render(series []Series) string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for i := range s.X {
+			if i >= len(s.Y) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			points++
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMin = math.Min(yMin, s.Y[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return "(no data)\n"
+	}
+	if c.YFixed {
+		yMin, yMax = c.YMin, c.YMax
+	} else {
+		pad := (yMax - yMin) * 0.05
+		if pad == 0 {
+			pad = math.Max(math.Abs(yMax)*0.05, 0.05)
+		}
+		yMin -= pad
+		yMax += pad
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	col := func(x float64) int {
+		return int(math.Round((x - xMin) / (xMax - xMin) * float64(w-1)))
+	}
+	row := func(y float64) int {
+		r := int(math.Round((yMax - y) / (yMax - yMin) * float64(h-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= h {
+			r = h - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		var prevC, prevR int
+		havePrev := false
+		for i := range s.X {
+			if i >= len(s.Y) || math.IsNaN(s.Y[i]) {
+				havePrev = false
+				continue
+			}
+			cc, rr := col(s.X[i]), row(s.Y[i])
+			if havePrev {
+				drawLine(grid, prevC, prevR, cc, rr, '.')
+			}
+			grid[rr][cc] = m
+			prevC, prevR = cc, rr
+			havePrev = true
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title + "\n")
+	}
+	for r := 0; r < h; r++ {
+		yVal := yMax - (yMax-yMin)*float64(r)/float64(h-1)
+		label := "        |"
+		if r == 0 || r == h-1 || r == h/2 {
+			label = fmt.Sprintf("%7.3g |", yVal)
+		}
+		b.WriteString(label)
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	b.WriteString("        +" + strings.Repeat("-", w) + "\n")
+	b.WriteString(fmt.Sprintf("        %-8.3g%s%8.3g\n", xMin, centerText(c.XLabel, w-16), xMax))
+	for si, s := range series {
+		b.WriteString(fmt.Sprintf("        %c %s\n", markers[si%len(markers)], s.Label))
+	}
+	return b.String()
+}
+
+// drawLine connects two grid cells with a Bresenham walk using the given
+// fill byte, leaving existing markers intact.
+func drawLine(grid [][]byte, x0, y0, x1, y1 int, fill byte) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	x, y := x0, y0
+	for {
+		if y >= 0 && y < len(grid) && x >= 0 && x < len(grid[y]) && grid[y][x] == ' ' {
+			grid[y][x] = fill
+		}
+		if x == x1 && y == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func centerText(s string, width int) string {
+	if width < len(s) {
+		return s
+	}
+	left := (width - len(s)) / 2
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", width-left-len(s))
+}

@@ -1,0 +1,79 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := Chart{Title: "AP vs beta", Width: 40, Height: 10, XLabel: "beta"}
+	out := c.Render([]Series{
+		{Label: "U=0.3", X: []float64{0, 0.5, 1}, Y: []float64{0.7, 0.9, 0.66}},
+		{Label: "U=0.9", X: []float64{0, 0.5, 1}, Y: []float64{0.36, 0.62, 0.34}},
+	})
+	if !strings.Contains(out, "AP vs beta") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "U=0.3") || !strings.Contains(out, "U=0.9") {
+		t.Error("missing legend entries")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing series markers")
+	}
+	if !strings.Contains(out, "beta") {
+		t.Error("missing x label")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 13 {
+		t.Errorf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Chart{}.Render(nil)
+	if out != "(no data)\n" {
+		t.Errorf("empty chart = %q", out)
+	}
+	out = Chart{}.Render([]Series{{Label: "nan", X: []float64{1}, Y: []float64{math.NaN()}}})
+	if out != "(no data)\n" {
+		t.Errorf("all-NaN chart = %q", out)
+	}
+}
+
+func TestRenderFixedScale(t *testing.T) {
+	c := Chart{Width: 20, Height: 5, YFixed: true, YMin: 0, YMax: 1}
+	out := c.Render([]Series{{Label: "s", X: []float64{0, 1}, Y: []float64{0.5, 0.5}}})
+	if !strings.Contains(out, "1 |") {
+		t.Errorf("fixed top scale missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0 |") {
+		t.Errorf("fixed bottom scale missing:\n%s", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	out := Chart{Width: 10, Height: 4}.Render([]Series{{Label: "p", X: []float64{2}, Y: []float64{3}}})
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not drawn:\n%s", out)
+	}
+}
+
+func TestRenderConnectsPoints(t *testing.T) {
+	// A steep two-point series should leave interpolation dots.
+	out := Chart{Width: 30, Height: 10}.Render([]Series{
+		{Label: "s", X: []float64{0, 1}, Y: []float64{0, 1}},
+	})
+	if !strings.Contains(out, ".") {
+		t.Errorf("no connecting line drawn:\n%s", out)
+	}
+}
+
+func TestRenderSkipsNaNSegments(t *testing.T) {
+	out := Chart{Width: 30, Height: 8}.Render([]Series{
+		{Label: "s", X: []float64{0, 0.5, 1}, Y: []float64{0.2, math.NaN(), 0.8}},
+	})
+	if strings.Count(out, "*") < 2 {
+		t.Errorf("NaN point swallowed neighbors:\n%s", out)
+	}
+}

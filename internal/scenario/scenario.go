@@ -1,0 +1,250 @@
+// Package scenario loads JSON descriptions of networks and admission
+// workloads, so the command-line tools and examples can run reproducible
+// configurations without recompiling. A scenario names a topology (or takes
+// the paper's default), CAC options, and an ordered list of admission and
+// release actions.
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"fafnet/internal/core"
+	"fafnet/internal/topo"
+	"fafnet/internal/traffic"
+)
+
+// Scenario is the top-level JSON document.
+type Scenario struct {
+	// Name labels the scenario in tool output.
+	Name string `json:"name"`
+	// Topology overrides parts of the default network; nil keeps the
+	// paper's 3×4 evaluation network.
+	Topology *Topology `json:"topology,omitempty"`
+	// CAC sets admission-control options.
+	CAC CAC `json:"cac"`
+	// Actions is the ordered list of admissions and releases.
+	Actions []Action `json:"actions"`
+}
+
+// Topology selects network dimensions. Zero fields keep defaults.
+type Topology struct {
+	NumRings     int     `json:"numRings,omitempty"`
+	HostsPerRing int     `json:"hostsPerRing,omitempty"`
+	NumSwitches  int     `json:"numSwitches,omitempty"`
+	LinkMbps     float64 `json:"linkMbps,omitempty"`
+	TTRTMillis   float64 `json:"ttrtMillis,omitempty"`
+}
+
+// CAC selects admission-control options. Zero fields keep defaults.
+type CAC struct {
+	// Beta is the allocation knob of Eq. 35–36.
+	Beta *float64 `json:"beta,omitempty"`
+	// Rule is "proportional" (default), "fixed-split" or "sender-biased".
+	Rule string `json:"rule,omitempty"`
+	// HMinAbsMicros is H^min_abs in microseconds.
+	HMinAbsMicros float64 `json:"hMinAbsMicros,omitempty"`
+}
+
+// Action is one step of the scenario.
+type Action struct {
+	// Admit describes a connection request; exactly one of Admit/Release
+	// must be set.
+	Admit *Request `json:"admit,omitempty"`
+	// Release names a connection to tear down.
+	Release string `json:"release,omitempty"`
+}
+
+// Request describes one admission request.
+type Request struct {
+	ID             string  `json:"id"`
+	SrcRing        int     `json:"srcRing"`
+	SrcHost        int     `json:"srcHost"`
+	DstRing        int     `json:"dstRing"`
+	DstHost        int     `json:"dstHost"`
+	DeadlineMillis float64 `json:"deadlineMillis"`
+	Source         Source  `json:"source"`
+}
+
+// Source describes a traffic model.
+type Source struct {
+	// Type is "dualPeriodic", "periodic", "cbr" or "leakyBucket".
+	Type string `json:"type"`
+	// Dual-periodic / periodic parameters (kbit and milliseconds).
+	C1Kbit   float64 `json:"c1Kbit,omitempty"`
+	P1Millis float64 `json:"p1Millis,omitempty"`
+	C2Kbit   float64 `json:"c2Kbit,omitempty"`
+	P2Millis float64 `json:"p2Millis,omitempty"`
+	// CBR / bucket parameters.
+	RateMbps  float64 `json:"rateMbps,omitempty"`
+	SigmaKbit float64 `json:"sigmaKbit,omitempty"`
+	// PeakMbps bounds the instantaneous rate (default 100, the FDDI medium).
+	PeakMbps float64 `json:"peakMbps,omitempty"`
+}
+
+// Descriptor builds the traffic descriptor for this source.
+func (s Source) Descriptor() (traffic.Descriptor, error) {
+	peak := s.PeakMbps * 1e6
+	if peak == 0 {
+		peak = 100e6
+	}
+	switch s.Type {
+	case "dualPeriodic":
+		return traffic.NewDualPeriodic(s.C1Kbit*1e3, s.P1Millis*1e-3, s.C2Kbit*1e3, s.P2Millis*1e-3, peak)
+	case "periodic":
+		return traffic.NewPeriodic(s.C1Kbit*1e3, s.P1Millis*1e-3, peak)
+	case "cbr":
+		return traffic.NewCBR(s.RateMbps * 1e6)
+	case "leakyBucket":
+		return traffic.NewLeakyBucket(s.SigmaKbit*1e3, s.RateMbps*1e6, peak)
+	default:
+		return nil, fmt.Errorf("scenario: unknown source type %q", s.Type)
+	}
+}
+
+// Spec converts the request into a validated core.ConnSpec.
+func (r Request) Spec() (core.ConnSpec, error) {
+	desc, err := r.Source.Descriptor()
+	if err != nil {
+		return core.ConnSpec{}, fmt.Errorf("scenario: request %q: %w", r.ID, err)
+	}
+	spec := core.ConnSpec{
+		ID:       r.ID,
+		Src:      topo.HostID{Ring: r.SrcRing, Index: r.SrcHost},
+		Dst:      topo.HostID{Ring: r.DstRing, Index: r.DstHost},
+		Source:   desc,
+		Deadline: r.DeadlineMillis * 1e-3,
+	}
+	if err := spec.Validate(); err != nil {
+		return core.ConnSpec{}, err
+	}
+	return spec, nil
+}
+
+// TopologyConfig materializes the topology with defaults filled in.
+func (s Scenario) TopologyConfig() topo.Config {
+	cfg := topo.Default()
+	if s.Topology == nil {
+		return cfg
+	}
+	t := s.Topology
+	if t.NumRings > 0 {
+		cfg.NumRings = t.NumRings
+	}
+	if t.HostsPerRing > 0 {
+		cfg.HostsPerRing = t.HostsPerRing
+	}
+	if t.NumSwitches > 0 {
+		cfg.NumSwitches = t.NumSwitches
+	}
+	if t.LinkMbps > 0 {
+		cfg.LinkBps = t.LinkMbps * 1e6
+	}
+	if t.TTRTMillis > 0 {
+		cfg.Ring.TTRT = t.TTRTMillis * 1e-3
+	}
+	return cfg
+}
+
+// CACOptions materializes the admission-control options.
+func (s Scenario) CACOptions() (core.Options, error) {
+	var opts core.Options
+	if s.CAC.Beta != nil {
+		opts.Beta = *s.CAC.Beta
+		opts.BetaSet = true
+	}
+	switch s.CAC.Rule {
+	case "", "proportional":
+		opts.Rule = core.RuleProportional
+	case "fixed-split":
+		opts.Rule = core.RuleFixedSplit
+	case "sender-biased":
+		opts.Rule = core.RuleSenderBiased
+	default:
+		return core.Options{}, fmt.Errorf("scenario: unknown rule %q", s.CAC.Rule)
+	}
+	opts.HMinAbs = s.CAC.HMinAbsMicros * 1e-6
+	return opts, nil
+}
+
+// Validate checks structural consistency.
+func (s Scenario) Validate() error {
+	if len(s.Actions) == 0 {
+		return errors.New("scenario: no actions")
+	}
+	seen := map[string]bool{}
+	for i, a := range s.Actions {
+		switch {
+		case a.Admit != nil && a.Release != "":
+			return fmt.Errorf("scenario: action %d sets both admit and release", i)
+		case a.Admit == nil && a.Release == "":
+			return fmt.Errorf("scenario: action %d sets neither admit nor release", i)
+		case a.Admit != nil:
+			if a.Admit.ID == "" {
+				return fmt.Errorf("scenario: action %d: admit without id", i)
+			}
+			if seen[a.Admit.ID] {
+				return fmt.Errorf("scenario: action %d: duplicate admit id %q", i, a.Admit.ID)
+			}
+			seen[a.Admit.ID] = true
+			if _, err := a.Admit.Spec(); err != nil {
+				return fmt.Errorf("scenario: action %d: %w", i, err)
+			}
+		case a.Release != "":
+			if !seen[a.Release] {
+				return fmt.Errorf("scenario: action %d releases unknown connection %q", i, a.Release)
+			}
+		}
+	}
+	if _, err := s.CACOptions(); err != nil {
+		return err
+	}
+	return s.TopologyConfig().Validate()
+}
+
+// Parse reads a scenario from JSON.
+func Parse(r io.Reader) (Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: decoding: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// Load reads a scenario from a file.
+func Load(path string) (Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("scenario: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Default returns a built-in demonstration scenario: four multimedia
+// connections across the paper's evaluation network, then a release and a
+// re-admission.
+func Default() Scenario {
+	src := Source{Type: "dualPeriodic", C1Kbit: 50, P1Millis: 10, C2Kbit: 10, P2Millis: 1}
+	return Scenario{
+		Name: "default",
+		Actions: []Action{
+			{Admit: &Request{ID: "video-1", SrcRing: 0, SrcHost: 0, DstRing: 1, DstHost: 0, DeadlineMillis: 50, Source: src}},
+			{Admit: &Request{ID: "video-2", SrcRing: 0, SrcHost: 1, DstRing: 2, DstHost: 0, DeadlineMillis: 60, Source: src}},
+			{Admit: &Request{ID: "audio-1", SrcRing: 1, SrcHost: 0, DstRing: 0, DstHost: 2, DeadlineMillis: 40,
+				Source: Source{Type: "periodic", C1Kbit: 8, P1Millis: 5}}},
+			{Admit: &Request{ID: "bulk-1", SrcRing: 2, SrcHost: 0, DstRing: 1, DstHost: 2, DeadlineMillis: 70,
+				Source: Source{Type: "cbr", RateMbps: 4}}},
+			{Release: "video-1"},
+			{Admit: &Request{ID: "video-3", SrcRing: 0, SrcHost: 2, DstRing: 1, DstHost: 3, DeadlineMillis: 55, Source: src}},
+		},
+	}
+}

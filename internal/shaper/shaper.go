@@ -1,0 +1,192 @@
+// Package shaper implements ingress traffic regulation at the interface
+// device, following the authors' companion work on traffic regulation in
+// ATM LANs (Raha, Kamat, Zhao; ICNP 1995): a (σ, ρ) regulator placed before
+// the ATM output port delays non-conformant traffic so that what enters the
+// backbone is leaky-bucket bounded. Shaping trades a bounded local delay for
+// much tighter envelopes downstream — every shared port after the shaper
+// sees σ + ρ·I instead of the MAC's bursty output — which can lower the
+// end-to-end worst case when backbone contention dominates.
+package shaper
+
+import (
+	"errors"
+	"fmt"
+
+	"fafnet/internal/des"
+	"fafnet/internal/traffic"
+	"fafnet/internal/units"
+)
+
+// Spec parameterizes one connection's regulator.
+type Spec struct {
+	// SigmaBits is the bucket depth σ.
+	SigmaBits float64
+	// RhoBps is the token rate ρ; it must exceed the connection's long-term
+	// rate or the regulator backlog grows without bound.
+	RhoBps float64
+}
+
+// Validate reports whether the parameters are usable.
+func (s Spec) Validate() error {
+	if s.SigmaBits <= 0 {
+		return fmt.Errorf("shaper: sigma %v must be positive", s.SigmaBits)
+	}
+	if s.RhoBps <= 0 {
+		return fmt.Errorf("shaper: rho %v must be positive", s.RhoBps)
+	}
+	return nil
+}
+
+// Result is the outcome of the regulator analysis.
+type Result struct {
+	// Delay is the worst-case time a bit waits in the regulator.
+	Delay float64
+	// Output is the envelope of the shaped traffic: conformant to the
+	// bucket AND no more than the (delayed) input could supply.
+	Output traffic.Descriptor
+}
+
+// Options tunes the numeric search. The zero value selects defaults.
+type Options struct {
+	// GridPoints is the fallback search resolution (default 128).
+	GridPoints int
+	// MaxHorizon bounds the busy-period search (default 4 s).
+	MaxHorizon float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.GridPoints <= 0 {
+		o.GridPoints = 128
+	}
+	if o.MaxHorizon <= 0 {
+		o.MaxHorizon = 4
+	}
+	return o
+}
+
+// ErrUnstable indicates the token rate cannot sustain the input.
+var ErrUnstable = errors.New("shaper: token rate below the input's long-term rate")
+
+// Analyze bounds a (σ, ρ) regulator fed by in: the worst-case shaping delay
+// is the largest time by which the bucket constraint lags the arrivals,
+//
+//	d = max_t ( A(t) − σ )/ρ − t   over the regulator's busy period,
+//
+// and the output conforms to the bucket while never exceeding what the
+// delayed input supplies.
+func Analyze(in traffic.Descriptor, spec Spec, opts Options) (Result, error) {
+	if in == nil {
+		return Result{}, errors.New("shaper: Analyze requires an input descriptor")
+	}
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	opts = opts.withDefaults()
+	if in.LongTermRate() >= spec.RhoBps*(1-units.RelTol) {
+		return Result{}, fmt.Errorf("%w: rho=%v bps, input=%v bps", ErrUnstable, spec.RhoBps, in.LongTermRate())
+	}
+
+	// Delay = sup_t (A(t) − σ)/ρ − t. The supremum sits inside the first
+	// regulator busy period; scanning a doubling horizon and stopping once
+	// the maximum is stable AND the bucket has caught up at the end is a
+	// sound over-approximation of that search.
+	var delay float64
+	found := false
+	prev := -1.0
+	for horizon := 16e-3; horizon <= opts.MaxHorizon*2; horizon *= 2 {
+		grid := traffic.MergeGrids(horizon, traffic.Grid(in, horizon, opts.GridPoints), []float64{1e-10})
+		for _, t := range grid {
+			if lag := (in.Bits(t)-spec.SigmaBits)/spec.RhoBps - t; lag > delay {
+				delay = lag
+			}
+		}
+		caughtUp := in.Bits(horizon) <= spec.SigmaBits+spec.RhoBps*horizon+units.Eps
+		if caughtUp && delay == prev {
+			found = true
+			break
+		}
+		prev = delay
+	}
+	if !found {
+		return Result{}, fmt.Errorf("%w: lag did not stabilize within %v s", ErrUnstable, opts.MaxHorizon)
+	}
+	if delay < 0 {
+		delay = 0
+	}
+
+	bucket, err := traffic.NewLeakyBucket(spec.SigmaBits, spec.RhoBps, 0)
+	if err != nil {
+		return Result{}, fmt.Errorf("shaper: building bucket envelope: %w", err)
+	}
+	delayed, err := traffic.NewDelayed(in, delay, 0)
+	if err != nil {
+		return Result{}, fmt.Errorf("shaper: building delayed envelope: %w", err)
+	}
+	out, err := traffic.NewMin(bucket, delayed)
+	if err != nil {
+		return Result{}, fmt.Errorf("shaper: combining envelopes: %w", err)
+	}
+	return Result{Delay: delay, Output: out}, nil
+}
+
+// Sim is the DES counterpart: a token-bucket regulator releasing frames in
+// FIFO order as tokens accrue. It tracks virtual bucket state exactly, so
+// conformant traffic passes untouched.
+type Sim struct {
+	sim     *des.Simulator
+	spec    Spec
+	release func(id string, bits, origin float64)
+
+	tokens     float64
+	lastUpdate float64
+	// nextFree is the earliest time the next queued frame may be released
+	// (FIFO: releases are serialized).
+	nextFree float64
+}
+
+// NewSim builds a regulator; release receives each frame when it conforms.
+func NewSim(simulator *des.Simulator, spec Spec, release func(id string, bits, origin float64)) (*Sim, error) {
+	if simulator == nil {
+		return nil, errors.New("shaper: Sim requires a simulator")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if release == nil {
+		return nil, errors.New("shaper: Sim requires a release callback")
+	}
+	return &Sim{sim: simulator, spec: spec, release: release, tokens: spec.SigmaBits}, nil
+}
+
+// Submit accepts one frame; it is released as soon as the bucket holds
+// enough tokens (immediately when conformant).
+func (s *Sim) Submit(id string, bits, origin float64) error {
+	if bits <= 0 {
+		return fmt.Errorf("shaper: frame size %v must be positive", bits)
+	}
+	if bits > s.spec.SigmaBits {
+		return fmt.Errorf("shaper: frame of %v bits can never conform to a %v-bit bucket", bits, s.spec.SigmaBits)
+	}
+	now := s.sim.Now()
+	// Advance bucket state to the release front.
+	at := now
+	if s.nextFree > at {
+		at = s.nextFree
+	}
+	tokensAt := s.tokens + (at-s.lastUpdate)*s.spec.RhoBps
+	if tokensAt > s.spec.SigmaBits {
+		tokensAt = s.spec.SigmaBits
+	}
+	if tokensAt < bits {
+		at += (bits - tokensAt) / s.spec.RhoBps
+		tokensAt = bits
+	}
+	// Commit the new bucket state after this release.
+	s.tokens = tokensAt - bits
+	s.lastUpdate = at
+	s.nextFree = at
+	if _, err := s.sim.Schedule(at, func() { s.release(id, bits, origin) }); err != nil {
+		return fmt.Errorf("shaper: scheduling release: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package signaling
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"fafnet/internal/scenario"
+)
+
+// Client talks to a signaling server over one TCP connection. It is safe
+// for sequential use only (one request in flight at a time).
+type Client struct {
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// Dial connects to a signaling server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("signaling: dialing %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (useful for tests and custom
+// transports).
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		enc:  json.NewEncoder(conn),
+	}
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads one response.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("signaling: sending request: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("signaling: reading response: %w", err)
+	}
+	if !resp.OK {
+		return resp, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// Admit requests admission; the returned decision reports acceptance or the
+// rejection reason.
+func (c *Client) Admit(req scenario.Request) (Decision, error) {
+	resp, err := c.roundTrip(Request{Op: OpAdmit, Admit: &req})
+	if err != nil {
+		return Decision{}, err
+	}
+	if resp.Decision == nil {
+		return Decision{}, errors.New("signaling: server returned no decision")
+	}
+	return *resp.Decision, nil
+}
+
+// Preview runs the CAC without committing.
+func (c *Client) Preview(req scenario.Request) (Decision, error) {
+	resp, err := c.roundTrip(Request{Op: OpPreview, Admit: &req})
+	if err != nil {
+		return Decision{}, err
+	}
+	if resp.Decision == nil {
+		return Decision{}, errors.New("signaling: server returned no decision")
+	}
+	return *resp.Decision, nil
+}
+
+// Release tears down a connection, reporting whether it existed.
+func (c *Client) Release(id string) (bool, error) {
+	resp, err := c.roundTrip(Request{Op: OpRelease, Release: id})
+	if err != nil {
+		return false, err
+	}
+	if resp.Released == nil {
+		return false, errors.New("signaling: server returned no release status")
+	}
+	return *resp.Released, nil
+}
+
+// Report fetches every admitted connection's worst-case delay.
+func (c *Client) Report() ([]ConnReport, error) {
+	resp, err := c.roundTrip(Request{Op: OpReport})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Report, nil
+}
+
+// Buffers fetches the Theorem 1 buffer requirements.
+func (c *Client) Buffers() ([]BufferReport, error) {
+	resp, err := c.roundTrip(Request{Op: OpBuffers})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Buffers, nil
+}

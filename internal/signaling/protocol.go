@@ -1,0 +1,125 @@
+// Package signaling provides the connection-establishment service on top of
+// the admission controller: hosts send admit/release requests to a CAC
+// daemon over TCP and receive the decision — allocations, worst-case delay,
+// or the rejection reason. The wire protocol is newline-delimited JSON, one
+// request/response pair at a time per connection, so it can be exercised
+// with nothing but netcat.
+package signaling
+
+import (
+	"fmt"
+
+	"fafnet/internal/core"
+	"fafnet/internal/scenario"
+)
+
+// Op names a request operation.
+type Op string
+
+// Supported operations.
+const (
+	// OpAdmit runs the CAC and commits on success.
+	OpAdmit Op = "admit"
+	// OpPreview runs the CAC without committing.
+	OpPreview Op = "preview"
+	// OpRelease tears a connection down.
+	OpRelease Op = "release"
+	// OpReport returns every admitted connection's worst-case delay.
+	OpReport Op = "report"
+	// OpBuffers returns Theorem 1 buffer requirements.
+	OpBuffers Op = "buffers"
+)
+
+// Request is one client request.
+type Request struct {
+	// Op selects the operation.
+	Op Op `json:"op"`
+	// Admit carries the connection specification for OpAdmit/OpPreview,
+	// reusing the scenario schema (kbit/ms units).
+	Admit *scenario.Request `json:"admit,omitempty"`
+	// Release names the connection for OpRelease.
+	Release string `json:"release,omitempty"`
+}
+
+// Validate checks structural consistency before hitting the controller.
+func (r Request) Validate() error {
+	switch r.Op {
+	case OpAdmit, OpPreview:
+		if r.Admit == nil {
+			return fmt.Errorf("signaling: %s requires an admit body", r.Op)
+		}
+		if _, err := r.Admit.Spec(); err != nil {
+			return err
+		}
+	case OpRelease:
+		if r.Release == "" {
+			return fmt.Errorf("signaling: release requires a connection id")
+		}
+	case OpReport, OpBuffers:
+		// No body.
+	default:
+		return fmt.Errorf("signaling: unknown op %q", r.Op)
+	}
+	return nil
+}
+
+// Decision is the wire form of a CAC decision (times in milliseconds, the
+// protocol's human-friendly unit).
+type Decision struct {
+	Admitted       bool    `json:"admitted"`
+	Reason         string  `json:"reason"`
+	HSMillis       float64 `json:"hsMillis,omitempty"`
+	HRMillis       float64 `json:"hrMillis,omitempty"`
+	DelayMillis    float64 `json:"delayMillis,omitempty"`
+	DeadlineMillis float64 `json:"deadlineMillis,omitempty"`
+	Probes         int     `json:"probes"`
+}
+
+// ConnReport is one admitted connection's state in an OpReport response.
+type ConnReport struct {
+	ID             string  `json:"id"`
+	Src            string  `json:"src"`
+	Dst            string  `json:"dst"`
+	DelayMillis    float64 `json:"delayMillis"`
+	DeadlineMillis float64 `json:"deadlineMillis"`
+}
+
+// BufferReport is one connection's entry in an OpBuffers response.
+type BufferReport struct {
+	ID      string  `json:"id"`
+	SrcKbit float64 `json:"srcKbit"`
+	DstKbit float64 `json:"dstKbit"`
+}
+
+// Response is one server reply.
+type Response struct {
+	// OK reports whether the operation executed (a CAC rejection still has
+	// OK=true: the protocol worked; the decision says no).
+	OK bool `json:"ok"`
+	// Error carries the failure text when OK is false.
+	Error string `json:"error,omitempty"`
+	// Decision is present for OpAdmit/OpPreview.
+	Decision *Decision `json:"decision,omitempty"`
+	// Released reports whether OpRelease found the connection.
+	Released *bool `json:"released,omitempty"`
+	// Report is present for OpReport.
+	Report []ConnReport `json:"report,omitempty"`
+	// Buffers is present for OpBuffers.
+	Buffers []BufferReport `json:"buffers,omitempty"`
+}
+
+// wireDecision converts a core decision.
+func wireDecision(spec core.ConnSpec, dec core.Decision) *Decision {
+	out := &Decision{
+		Admitted:       dec.Admitted,
+		Reason:         dec.Reason,
+		Probes:         dec.Probes,
+		DeadlineMillis: spec.Deadline * 1e3,
+	}
+	if dec.Admitted {
+		out.HSMillis = dec.HS * 1e3
+		out.HRMillis = dec.HR * 1e3
+		out.DelayMillis = dec.Delays[spec.ID] * 1e3
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package signaling
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"fafnet/internal/core"
+)
+
+// Server exposes a Controller over newline-delimited JSON. The controller
+// is not concurrency-safe, so the server serializes all operations behind a
+// mutex; each accepted TCP connection may issue any number of sequential
+// requests.
+type Server struct {
+	mu  sync.Mutex
+	ctl *core.Controller
+
+	wg       sync.WaitGroup
+	listener net.Listener
+	closed   chan struct{}
+}
+
+// NewServer wraps a controller.
+func NewServer(ctl *core.Controller) (*Server, error) {
+	if ctl == nil {
+		return nil, errors.New("signaling: server requires a controller")
+	}
+	return &Server{ctl: ctl, closed: make(chan struct{})}, nil
+}
+
+// Serve accepts connections on l until Close is called. It blocks.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.listener != nil {
+		s.mu.Unlock()
+		return errors.New("signaling: server already serving")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				s.wg.Wait()
+				return nil
+			default:
+				return fmt.Errorf("signaling: accept: %w", err)
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting and closes the listener. In-flight requests finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	if s.listener != nil {
+		return s.listener.Close()
+	}
+	return nil
+}
+
+// handle serves one client connection.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or malformed stream: drop the connection
+		}
+		resp := s.execute(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// execute runs one request against the controller.
+func (s *Server) execute(req Request) Response {
+	if err := req.Validate(); err != nil {
+		return Response{Error: err.Error()}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch req.Op {
+	case OpAdmit, OpPreview:
+		spec, err := req.Admit.Spec()
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		var dec core.Decision
+		if req.Op == OpAdmit {
+			dec, err = s.ctl.RequestAdmission(spec)
+		} else {
+			dec, err = s.ctl.PreviewAdmission(spec)
+		}
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, Decision: wireDecision(spec, dec)}
+	case OpRelease:
+		ok := s.ctl.Release(req.Release)
+		return Response{OK: true, Released: &ok}
+	case OpReport:
+		delays, err := s.ctl.DelayReport()
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		var report []ConnReport
+		for _, c := range s.ctl.Connections() {
+			report = append(report, ConnReport{
+				ID:             c.ID,
+				Src:            c.Src.String(),
+				Dst:            c.Dst.String(),
+				DelayMillis:    delays[c.ID] * 1e3,
+				DeadlineMillis: c.Deadline * 1e3,
+			})
+		}
+		return Response{OK: true, Report: report}
+	case OpBuffers:
+		buffers, err := s.ctl.BufferReport()
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		var out []BufferReport
+		for _, b := range buffers {
+			out = append(out, BufferReport{
+				ID:      b.ConnID,
+				SrcKbit: b.SrcBufferBits / 1e3,
+				DstKbit: b.DstBufferBits / 1e3,
+			})
+		}
+		return Response{OK: true, Buffers: out}
+	default:
+		return Response{Error: fmt.Sprintf("signaling: unknown op %q", req.Op)}
+	}
+}

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"fmt"
+
+	"fafnet/internal/stats"
+)
+
+// Replicated aggregates independent replications of one configuration: the
+// between-run mean and confidence interval of the admission probability,
+// which is the statistically sound way to report a stochastic simulation
+// (within-run Wald intervals understate the variance of correlated
+// admissions).
+type Replicated struct {
+	// AP aggregates the per-replication admission probabilities.
+	AP stats.Sample
+	// MeanActive aggregates the per-replication time-averaged active
+	// connection counts.
+	MeanActive stats.Sample
+	// Rejections sums rejection reasons over all replications.
+	Rejections map[string]int
+	// Runs holds each replication's full result, in seed order.
+	Runs []Result
+}
+
+// RunReplicated executes n independent replications of cfg, deriving each
+// replication's seed deterministically from cfg.Seed, and aggregates them.
+func RunReplicated(cfg Config, n int) (Replicated, error) {
+	if n < 1 {
+		return Replicated{}, fmt.Errorf("sim: need at least one replication, got %d", n)
+	}
+	agg := Replicated{Rejections: make(map[string]int)}
+	for i := 0; i < n; i++ {
+		run := cfg
+		run.Seed = cfg.Seed + int64(i)*104729
+		res, err := Run(run)
+		if err != nil {
+			return Replicated{}, fmt.Errorf("sim: replication %d: %w", i, err)
+		}
+		agg.AP.Add(res.AP.Value())
+		agg.MeanActive.Add(res.MeanActive)
+		for reason, count := range res.Rejections {
+			agg.Rejections[reason] += count
+		}
+		agg.Runs = append(agg.Runs, res)
+	}
+	return agg, nil
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"testing"
+
+	"fafnet/internal/core"
+)
+
+// TestFigure7ShapeAtHeavyLoad verifies the paper's headline claim (Figure 7,
+// U = 0.9): the admission probability has an interior maximum in β — both
+// extremes are clearly worse than an intermediate setting. This is the
+// slowest test in the suite; skip it under -short.
+func TestFigure7ShapeAtHeavyLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy-load shape test in -short mode")
+	}
+	ap := func(beta float64) float64 {
+		sum := 0.0
+		for _, seed := range []int64{11, 23} {
+			cfg := Config{
+				Utilization: 0.9,
+				Requests:    100,
+				Warmup:      15,
+				Seed:        seed,
+				CAC:         core.Options{Beta: beta, BetaSet: true, SearchIters: 10},
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.AP.Value()
+		}
+		return sum / 2
+	}
+	apZero := ap(0)
+	apMid := ap(0.25)
+	apOne := ap(1)
+	t.Logf("U=0.9: AP(0)=%.3f AP(0.25)=%.3f AP(1)=%.3f", apZero, apMid, apOne)
+	if apMid <= apZero {
+		t.Errorf("interior beta (%.3f) does not beat beta=0 (%.3f) at heavy load", apMid, apZero)
+	}
+	if apMid <= apOne {
+		t.Errorf("interior beta (%.3f) does not beat beta=1 (%.3f) at heavy load", apMid, apOne)
+	}
+}
+
+// TestRejectionsAreDiagnosed verifies that a heavy-load run attributes its
+// rejections to the two mechanisms of Section 5.3: bandwidth exhaustion and
+// deadline infeasibility.
+func TestRejectionsAreDiagnosed(t *testing.T) {
+	res, err := Run(Config{
+		Utilization: 1.0,
+		Requests:    80,
+		Warmup:      10,
+		Seed:        5,
+		CAC:         core.Options{Beta: 1, BetaSet: true, SearchIters: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AP.Value() > 0.9 {
+		t.Skip("load did not bind; nothing to diagnose")
+	}
+	total := 0
+	for reason, n := range res.Rejections {
+		if n < 0 {
+			t.Errorf("negative count for %q", reason)
+		}
+		switch reason {
+		case core.ReasonInfeasible, core.ReasonNoBandwidth, core.ReasonHostBusy:
+		default:
+			t.Errorf("unexpected rejection reason %q", reason)
+		}
+		total += n
+	}
+	if total != res.AP.Trials()-res.AP.Successes() {
+		t.Errorf("rejection counts %d do not match failures %d", total, res.AP.Trials()-res.AP.Successes())
+	}
+	if res.Probes.N() == 0 || res.Probes.Mean() < 1 {
+		t.Errorf("probe statistics missing: %v", res.Probes.String())
+	}
+}

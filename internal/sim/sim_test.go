@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"testing"
+
+	"fafnet/internal/core"
+	"fafnet/internal/units"
+)
+
+// fastCfg returns a configuration small enough for unit tests.
+func fastCfg(u float64, seed int64) Config {
+	return Config{
+		Utilization: u,
+		Requests:    60,
+		Warmup:      10,
+		Seed:        seed,
+		CAC: core.Options{
+			SearchIters: 10,
+		},
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	res, err := Run(fastCfg(0.3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AP.Trials() != 60 {
+		t.Errorf("counted %d requests, want 60", res.AP.Trials())
+	}
+	ap := res.AP.Value()
+	if ap < 0 || ap > 1 {
+		t.Fatalf("AP = %v", ap)
+	}
+	if res.Duration <= 0 {
+		t.Errorf("Duration = %v", res.Duration)
+	}
+	if res.MeanActive < 0 {
+		t.Errorf("MeanActive = %v", res.MeanActive)
+	}
+	if res.AchievedUtilization < 0 || res.AchievedUtilization > 1 {
+		t.Errorf("AchievedUtilization = %v", res.AchievedUtilization)
+	}
+	// Light load must admit most requests.
+	if ap < 0.5 {
+		t.Errorf("AP at U=0.3 = %v, suspiciously low", ap)
+	}
+	// Rejection counts must reconcile with AP.
+	rejected := 0
+	for _, n := range res.Rejections {
+		rejected += n
+	}
+	if res.AP.Successes()+rejected != res.AP.Trials() {
+		t.Errorf("admitted %d + rejected %d != %d trials", res.AP.Successes(), rejected, res.AP.Trials())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(fastCfg(0.5, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(fastCfg(0.5, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AP.Value() != b.AP.Value() || a.Duration != b.Duration {
+		t.Errorf("same seed diverged: AP %v vs %v, duration %v vs %v",
+			a.AP.Value(), b.AP.Value(), a.Duration, b.Duration)
+	}
+	c, err := Run(fastCfg(0.5, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AP.Value() == c.AP.Value() && a.Duration == c.Duration {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := fastCfg(0, 1)
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero utilization should be rejected")
+	}
+	bad := fastCfg(0.5, 1)
+	bad.Workload = DefaultWorkload()
+	bad.Workload.MeanLifetime = -1
+	if _, err := Run(bad); err == nil {
+		t.Error("negative lifetime should be rejected")
+	}
+	bad2 := fastCfg(0.5, 1)
+	bad2.Workload = DefaultWorkload()
+	bad2.Workload.DeadlineMax = bad2.Workload.DeadlineMin / 2
+	if _, err := Run(bad2); err == nil {
+		t.Error("inverted deadline range should be rejected")
+	}
+}
+
+func TestArrivalRateFormula(t *testing.T) {
+	cfg := fastCfg(0.9, 1).withDefaults()
+	// Reference capacity defaults to the ring-limited per-link share with
+	// allocation headroom: 3 · 100e6·(1 − 0.25/4) · 0.4 / 3 = 37.5 Mb/s.
+	wantCap := 100e6 * (1 - 0.25/4.0) * 0.4
+	if !units.WithinRel(cfg.CapacityBps, wantCap, 1e-9) {
+		t.Fatalf("CapacityBps = %v, want %v", cfg.CapacityBps, wantCap)
+	}
+	// λ = U·LinkShare·µ·C/ρ.
+	want := 0.9 * 3 * (1.0 / 60) * wantCap / 5e6
+	if got := cfg.ArrivalRate(); !units.WithinRel(got, want, 1e-9) {
+		t.Errorf("ArrivalRate = %v, want %v", got, want)
+	}
+	// An explicit capacity overrides the default (the paper's raw link rate).
+	cfg.CapacityBps = 155e6
+	if got := cfg.ArrivalRate(); !units.WithinRel(got, 0.9*3*(1.0/60)*155e6/5e6, 1e-9) {
+		t.Errorf("explicit capacity ArrivalRate = %v", got)
+	}
+}
+
+func TestHigherLoadLowersAP(t *testing.T) {
+	low, err := Run(fastCfg(0.2, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Run(fastCfg(1.0, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.AP.Value() > low.AP.Value() {
+		t.Errorf("AP rose with load: U=0.2 → %v, U=1.0 → %v", low.AP.Value(), high.AP.Value())
+	}
+}
+
+func TestBetaSweepShape(t *testing.T) {
+	base := fastCfg(0, 3)
+	base.Requests = 40
+	base.Warmup = 5
+	series, err := BetaSweep(base, []float64{0.3}, []float64{0, 0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || len(series[0].Points) != 3 {
+		t.Fatalf("series shape: %+v", series)
+	}
+	for _, p := range series[0].Points {
+		if p.AP < 0 || p.AP > 1 {
+			t.Errorf("AP(β=%v) = %v", p.X, p.AP)
+		}
+		if p.Result.AP.Trials() != 40 {
+			t.Errorf("point β=%v counted %d trials", p.X, p.Result.AP.Trials())
+		}
+	}
+	if series[0].Label != "U=0.3" {
+		t.Errorf("label = %q", series[0].Label)
+	}
+}
+
+func TestLoadSweepShape(t *testing.T) {
+	base := fastCfg(0, 5)
+	base.Requests = 40
+	base.Warmup = 5
+	series, err := LoadSweep(base, []float64{0.5}, []float64{0.2, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || len(series[0].Points) != 2 {
+		t.Fatalf("series shape: %+v", series)
+	}
+	if series[0].Points[0].X != 0.2 || series[0].Points[1].X != 0.8 {
+		t.Errorf("x coordinates: %+v", series[0].Points)
+	}
+}
+
+func TestRuleSweepShape(t *testing.T) {
+	base := fastCfg(0, 9)
+	base.Requests = 30
+	base.Warmup = 5
+	series, err := RuleSweep(base, []core.Rule{core.RuleProportional, core.RuleFixedSplit}, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series count = %d", len(series))
+	}
+	if series[0].Label != "proportional" || series[1].Label != "fixed-split" {
+		t.Errorf("labels: %q, %q", series[0].Label, series[1].Label)
+	}
+}
+
+func TestRunReplicated(t *testing.T) {
+	cfg := fastCfg(0.5, 77)
+	cfg.Requests = 30
+	cfg.Warmup = 5
+	agg, err := RunReplicated(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.AP.N() != 3 || len(agg.Runs) != 3 {
+		t.Fatalf("replications = %d/%d, want 3", agg.AP.N(), len(agg.Runs))
+	}
+	if agg.AP.Mean() < 0 || agg.AP.Mean() > 1 {
+		t.Errorf("mean AP = %v", agg.AP.Mean())
+	}
+	// Replications differ (different seeds) but aggregate deterministically.
+	agg2, err := RunReplicated(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.AP.Mean() != agg2.AP.Mean() {
+		t.Error("replicated aggregate not deterministic")
+	}
+	if _, err := RunReplicated(cfg, 0); err == nil {
+		t.Error("zero replications should be rejected")
+	}
+	total := 0
+	for _, n := range agg.Rejections {
+		total += n
+	}
+	wantRejected := 0
+	for _, r := range agg.Runs {
+		wantRejected += r.AP.Trials() - r.AP.Successes()
+	}
+	if total != wantRejected {
+		t.Errorf("aggregated rejections %d != %d", total, wantRejected)
+	}
+}
+
+func TestDestBiasSkewsMatrix(t *testing.T) {
+	// With full bias, every remote request from rings 1..2 targets ring 0,
+	// so ring 0's allocations should dominate.
+	cfg := fastCfg(0.6, 13)
+	cfg.Requests = 40
+	cfg.Warmup = 5
+	cfg.DestBias = 1.0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AP.Trials() != 40 {
+		t.Fatalf("trials = %d", res.AP.Trials())
+	}
+	// A biased matrix must still complete and keep AP within range; the
+	// structural check (destinations on ring 0) is embedded in the arrival
+	// handler, so reaching here without panics exercises it.
+	if v := res.AP.Value(); v < 0 || v > 1 {
+		t.Errorf("AP = %v", v)
+	}
+}
+
+func TestSourceParams(t *testing.T) {
+	s := DefaultWorkload().Source
+	if got := s.Rho(); !units.AlmostEq(got, 5e6) {
+		t.Errorf("Rho = %v, want 5e6", got)
+	}
+	if _, err := s.Descriptor(); err != nil {
+		t.Errorf("Descriptor: %v", err)
+	}
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fafnet/internal/core"
+)
+
+// Point is one measured coordinate of a figure series.
+type Point struct {
+	// X is the swept parameter (β for Figure 7, U for Figure 8).
+	X float64
+	// AP is the measured admission probability.
+	AP float64
+	// CI is the half-width of the 95% confidence interval on AP.
+	CI float64
+	// Result carries the full run statistics.
+	Result Result
+}
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// job is one independent simulation in a sweep.
+type job struct {
+	series, point int
+	cfg           Config
+	x             float64
+}
+
+// runJobs executes jobs in parallel (each owns an isolated network,
+// controller and RNG) and stores each result in out.
+func runJobs(jobs []job, out []Series) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	ch := make(chan job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				res, err := Run(j.cfg)
+				mu.Lock()
+				if err != nil && first == nil {
+					first = fmt.Errorf("sim: sweep point (series %d, x=%v): %w", j.series, j.x, err)
+				}
+				out[j.series].Points[j.point] = Point{X: j.x, AP: res.AP.Value(), CI: res.AP.CI95(), Result: res}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	return first
+}
+
+// pointSeed derives a distinct deterministic seed per sweep point.
+func pointSeed(base int64, series, point int) int64 {
+	return base + int64(series)*1_000_003 + int64(point)*7919
+}
+
+// BetaSweep reproduces Figure 7: admission probability against β, one
+// series per offered utilization.
+func BetaSweep(base Config, utils, betas []float64) ([]Series, error) {
+	out := make([]Series, len(utils))
+	var jobs []job
+	for si, u := range utils {
+		out[si] = Series{Label: fmt.Sprintf("U=%.2g", u), Points: make([]Point, len(betas))}
+		for pi, beta := range betas {
+			cfg := base
+			cfg.Utilization = u
+			cfg.CAC.Beta = beta
+			cfg.CAC.BetaSet = true
+			cfg.Seed = pointSeed(base.Seed, si, pi)
+			jobs = append(jobs, job{series: si, point: pi, cfg: cfg, x: beta})
+		}
+	}
+	if err := runJobs(jobs, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LoadSweep reproduces Figure 8: admission probability against offered
+// utilization, one series per β.
+func LoadSweep(base Config, betas, utils []float64) ([]Series, error) {
+	out := make([]Series, len(betas))
+	var jobs []job
+	for si, beta := range betas {
+		out[si] = Series{Label: fmt.Sprintf("beta=%.2g", beta), Points: make([]Point, len(utils))}
+		for pi, u := range utils {
+			cfg := base
+			cfg.Utilization = u
+			cfg.CAC.Beta = beta
+			cfg.CAC.BetaSet = true
+			cfg.Seed = pointSeed(base.Seed, si, pi)
+			jobs = append(jobs, job{series: si, point: pi, cfg: cfg, x: u})
+		}
+	}
+	if err := runJobs(jobs, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RuleSweep is the E4 ablation: admission probability against offered
+// utilization, one series per allocation rule, at the base configuration's β.
+func RuleSweep(base Config, rules []core.Rule, utils []float64) ([]Series, error) {
+	out := make([]Series, len(rules))
+	var jobs []job
+	for si, rule := range rules {
+		out[si] = Series{Label: rule.String(), Points: make([]Point, len(utils))}
+		for pi, u := range utils {
+			cfg := base
+			cfg.Utilization = u
+			cfg.CAC.Rule = rule
+			cfg.Seed = pointSeed(base.Seed, si, pi)
+			jobs = append(jobs, job{series: si, point: pi, cfg: cfg, x: u})
+		}
+	}
+	if err := runJobs(jobs, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

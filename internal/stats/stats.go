@@ -1,0 +1,194 @@
+// Package stats provides the small set of sample statistics the experiment
+// harness reports: means, variance, normal-approximation confidence
+// intervals, and admission-probability counters.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample accumulates scalar observations with O(1) memory (Welford).
+type Sample struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return s.n }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Sample) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// observations).
+func (s *Sample) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean.
+func (s *Sample) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// String implements fmt.Stringer.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g ±%.2g [%.6g, %.6g]", s.n, s.Mean(), s.CI95(), s.min, s.max)
+}
+
+// Histogram counts observations in equal-width buckets over [Lo, Hi);
+// out-of-range observations are tallied separately. It renders as ASCII
+// bars for terminal reports.
+type Histogram struct {
+	lo, hi      float64
+	buckets     []int
+	under, over int
+	total       int
+}
+
+// NewHistogram builds a histogram of n buckets spanning [lo, hi). n must be
+// positive and hi must exceed lo.
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs positive bucket count, got %d", n)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("stats: histogram range [%v, %v) is empty", lo, hi)
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]int, n)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		idx := int(float64(len(h.buckets)) * (x - h.lo) / (h.hi - h.lo))
+		if idx == len(h.buckets) {
+			idx--
+		}
+		h.buckets[idx]++
+	}
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int { return h.buckets[i] }
+
+// OutOfRange returns the counts below Lo and at or above Hi.
+func (h *Histogram) OutOfRange() (under, over int) { return h.under, h.over }
+
+// Render draws one line per bucket with a proportional bar of at most width
+// characters.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	peak := 1
+	for _, c := range h.buckets {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b []byte
+	step := (h.hi - h.lo) / float64(len(h.buckets))
+	for i, c := range h.buckets {
+		bar := c * width / peak
+		line := fmt.Sprintf("%10.3g..%-10.3g %6d |", h.lo+float64(i)*step, h.lo+float64(i+1)*step, c)
+		b = append(b, line...)
+		for j := 0; j < bar; j++ {
+			b = append(b, '#')
+		}
+		b = append(b, '\n')
+	}
+	if h.under > 0 || h.over > 0 {
+		b = append(b, fmt.Sprintf("%22s %6d below, %d above range\n", "", h.under, h.over)...)
+	}
+	return string(b)
+}
+
+// Ratio counts successes over trials (e.g. admitted connections over
+// admission requests) and reports the proportion with a Wald confidence
+// interval.
+type Ratio struct {
+	successes, trials int
+}
+
+// Record adds one trial.
+func (r *Ratio) Record(success bool) {
+	r.trials++
+	if success {
+		r.successes++
+	}
+}
+
+// Successes returns the success count.
+func (r *Ratio) Successes() int { return r.successes }
+
+// Trials returns the trial count.
+func (r *Ratio) Trials() int { return r.trials }
+
+// Value returns the proportion (0 when empty).
+func (r *Ratio) Value() float64 {
+	if r.trials == 0 {
+		return 0
+	}
+	return float64(r.successes) / float64(r.trials)
+}
+
+// CI95 returns the half-width of the Wald 95% interval for the proportion.
+func (r *Ratio) CI95() float64 {
+	if r.trials == 0 {
+		return 0
+	}
+	p := r.Value()
+	return 1.96 * math.Sqrt(p*(1-p)/float64(r.trials))
+}
+
+// String implements fmt.Stringer.
+func (r *Ratio) String() string {
+	return fmt.Sprintf("%d/%d = %.4f ±%.4f", r.successes, r.trials, r.Value(), r.CI95())
+}

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 || s.CI95() != 0 {
+		t.Error("empty sample should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	// Known dataset: population variance 4, sample variance 32/7.
+	if math.Abs(s.Variance()-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", s.Variance(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.CI95() <= 0 {
+		t.Errorf("CI95 = %v", s.CI95())
+	}
+	if s.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestSampleSingleObservation(t *testing.T) {
+	var s Sample
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.Variance() != 0 || s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Errorf("single observation: %+v", s)
+	}
+}
+
+func TestSampleMatchesNaiveComputation(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Sample
+		var sum float64
+		count := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e8 {
+				continue
+			}
+			s.Add(x)
+			sum += x
+			count++
+		}
+		if count == 0 {
+			return s.N() == 0
+		}
+		naive := sum / float64(count)
+		return math.Abs(s.Mean()-naive) <= 1e-6*math.Max(1, math.Abs(naive))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero buckets should be rejected")
+	}
+	if _, err := NewHistogram(5, 5, 4); err == nil {
+		t.Error("empty range should be rejected")
+	}
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.999, 10, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Errorf("OutOfRange = %d, %d; want 1, 2", under, over)
+	}
+	wantBuckets := []int{2, 1, 1, 0, 1} // {0,1.9}, {2}, {5}, {}, {9.999}
+	for i, want := range wantBuckets {
+		if got := h.Bucket(i); got != want {
+			t.Errorf("Bucket(%d) = %d, want %d", i, got, want)
+		}
+	}
+	out := h.Render(20)
+	if !strings.Contains(out, "#") {
+		t.Errorf("render has no bars:\n%s", out)
+	}
+	if !strings.Contains(out, "below") {
+		t.Errorf("render omits out-of-range note:\n%s", out)
+	}
+}
+
+func TestHistogramRenderEmpty(t *testing.T) {
+	h, err := NewHistogram(0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := h.Render(0); out == "" {
+		t.Error("empty histogram should still render bucket rows")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 || r.CI95() != 0 {
+		t.Error("empty ratio should report zeros")
+	}
+	for i := 0; i < 100; i++ {
+		r.Record(i < 75)
+	}
+	if r.Successes() != 75 || r.Trials() != 100 {
+		t.Errorf("counts = %d/%d", r.Successes(), r.Trials())
+	}
+	if math.Abs(r.Value()-0.75) > 1e-12 {
+		t.Errorf("Value = %v", r.Value())
+	}
+	want := 1.96 * math.Sqrt(0.75*0.25/100)
+	if math.Abs(r.CI95()-want) > 1e-12 {
+		t.Errorf("CI95 = %v, want %v", r.CI95(), want)
+	}
+	if r.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestRatioBounds(t *testing.T) {
+	f := func(outcomes []bool) bool {
+		var r Ratio
+		for _, o := range outcomes {
+			r.Record(o)
+		}
+		v := r.Value()
+		return v >= 0 && v <= 1 && r.CI95() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,172 @@
+// Package tokenring implements the Section 7 extension of the paper: using
+// IEEE 802.5 token-ring segments in place of FDDI. The 802.5 MAC server
+// admits the same worst-case analysis as the FDDI timed-token MAC — a
+// station holding the token may transmit for up to its token holding time
+// (THT) once per token rotation, and the rotation is bounded by the walk
+// time plus the sum of all THTs — so Theorem 1 applies with the rotation
+// bound in place of the TTRT and the THT in place of the synchronous
+// allocation H. The paper notes exactly this: "one only needs to analyze an
+// 802.5_MAC server in addition to the servers that have been analyzed".
+package tokenring
+
+import (
+	"fmt"
+	"math"
+
+	"fafnet/internal/fddi"
+	"fafnet/internal/traffic"
+)
+
+// Standard 802.5 rates.
+const (
+	// Rate4Mbps is classic 4 Mb/s token ring.
+	Rate4Mbps = 4e6
+	// Rate16Mbps is 16 Mb/s token ring.
+	Rate16Mbps = 16e6
+)
+
+// RingConfig describes one 802.5 segment.
+type RingConfig struct {
+	// BandwidthBps is the medium rate (4 or 16 Mb/s classically).
+	BandwidthBps float64
+	// WalkTime is the token walk latency per full rotation.
+	WalkTime float64
+	// TargetRotation bounds the token rotation: the ring guarantees every
+	// station its THT once per TargetRotation provided
+	// ΣTHT + WalkTime <= TargetRotation. It plays the role FDDI's TTRT
+	// plays in Theorem 1.
+	TargetRotation float64
+	// HopLatency is the per-hop propagation used for delay lines.
+	HopLatency float64
+}
+
+// DefaultRingConfig returns a 16 Mb/s ring with an 8 ms rotation target.
+func DefaultRingConfig() RingConfig {
+	return RingConfig{
+		BandwidthBps:   Rate16Mbps,
+		WalkTime:       0.5e-3,
+		TargetRotation: 8e-3,
+		HopLatency:     5e-6,
+	}
+}
+
+// Validate reports whether the configuration is physically meaningful.
+func (c RingConfig) Validate() error {
+	switch {
+	case c.BandwidthBps <= 0:
+		return fmt.Errorf("tokenring: bandwidth %v must be positive", c.BandwidthBps)
+	case c.TargetRotation <= 0:
+		return fmt.Errorf("tokenring: target rotation %v must be positive", c.TargetRotation)
+	case c.WalkTime < 0:
+		return fmt.Errorf("tokenring: walk time %v must be non-negative", c.WalkTime)
+	case c.WalkTime >= c.TargetRotation:
+		return fmt.Errorf("tokenring: walk time %v leaves no usable rotation (%v)", c.WalkTime, c.TargetRotation)
+	case c.HopLatency < 0:
+		return fmt.Errorf("tokenring: hop latency %v must be non-negative", c.HopLatency)
+	}
+	return nil
+}
+
+// UsableRotation returns TargetRotation − WalkTime: the transmission time
+// divisible among stations per rotation.
+func (c RingConfig) UsableRotation() float64 { return c.TargetRotation - c.WalkTime }
+
+// SimConfig maps the 802.5 parameters onto the shared token-passing ring
+// simulator: per-visit budgets (THT here, H there) against a bounded
+// rotation. Use it with fddi.NewRingSim to validate 802.5 bounds at packet
+// level.
+func (c RingConfig) SimConfig() fddi.RingConfig { return c.asFDDI() }
+
+// asFDDI maps the 802.5 parameters onto the timed-token model so the shared
+// Theorem 1 machinery applies: the rotation target acts as the TTRT and the
+// walk time as the protocol overhead Δ.
+func (c RingConfig) asFDDI() fddi.RingConfig {
+	return fddi.RingConfig{
+		BandwidthBps: c.BandwidthBps,
+		TTRT:         c.TargetRotation,
+		Overhead:     c.WalkTime,
+		HopLatency:   c.HopLatency,
+	}
+}
+
+// Ring tracks THT allocations on one 802.5 segment. It is not safe for
+// concurrent use.
+type Ring struct {
+	cfg   RingConfig
+	inner *fddi.Ring
+}
+
+// NewRing validates cfg and returns an empty ring.
+func NewRing(cfg RingConfig) (*Ring, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	inner, err := fddi.NewRing(cfg.asFDDI())
+	if err != nil {
+		return nil, err
+	}
+	return &Ring{cfg: cfg, inner: inner}, nil
+}
+
+// Config returns the ring configuration.
+func (r *Ring) Config() RingConfig { return r.cfg }
+
+// Allocated returns the total THT currently granted.
+func (r *Ring) Allocated() float64 { return r.inner.Allocated() }
+
+// Available returns the THT still grantable under
+// ΣTHT + WalkTime <= TargetRotation.
+func (r *Ring) Available() float64 { return r.inner.Available() }
+
+// Allocate grants tht seconds of holding time per rotation to connID.
+func (r *Ring) Allocate(connID string, tht float64) error { return r.inner.Allocate(connID, tht) }
+
+// Release frees connID's holding time, reporting whether it existed.
+func (r *Ring) Release(connID string) bool { return r.inner.Release(connID) }
+
+// MACParams parameterizes the 802.5_MAC server for one connection.
+type MACParams struct {
+	// Ring is the segment configuration.
+	Ring RingConfig
+	// THT is the connection's token holding time per rotation.
+	THT float64
+	// BufferBits bounds the MAC transmit buffer (0 = unlimited).
+	BufferBits float64
+}
+
+// MACResult mirrors fddi.MACResult for the 802.5 server.
+type MACResult struct {
+	// BusyInterval, BufferBits and Delay are the Theorem 1 quantities.
+	BusyInterval, BufferBits, Delay float64
+	// Output is the connection's envelope leaving the MAC.
+	Output traffic.Descriptor
+}
+
+// AnalyzeMAC bounds the 802.5_MAC server: worst-case delay, backlog, busy
+// interval and output envelope for a connection granted THT per rotation.
+func AnalyzeMAC(in traffic.Descriptor, p MACParams, opts fddi.Options) (MACResult, error) {
+	res, err := fddi.AnalyzeMAC(in, fddi.MACParams{
+		Ring:       p.Ring.asFDDI(),
+		H:          p.THT,
+		BufferBits: p.BufferBits,
+	}, opts)
+	if err != nil {
+		return MACResult{}, err
+	}
+	return MACResult{
+		BusyInterval: res.BusyInterval,
+		BufferBits:   res.BufferBits,
+		Delay:        res.Delay,
+		Output:       res.Output,
+	}, nil
+}
+
+// MinTHT returns the smallest stable holding time for a source with
+// long-term rate rho: THT·BW must cover rho·TargetRotation, padded by the
+// given headroom factor (e.g. 1.1 for 10%).
+func (c RingConfig) MinTHT(rho, headroom float64) float64 {
+	if headroom < 1 {
+		headroom = 1
+	}
+	return math.Min(rho*c.TargetRotation*headroom/c.BandwidthBps, c.UsableRotation())
+}

@@ -1,0 +1,158 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestStringers exercises every descriptor's String and confirms the output
+// names the model (useful in logs and error chains).
+func TestStringers(t *testing.T) {
+	dp := mustDual(t)
+	p, err := NewPeriodic(1e5, 0.01, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := NewLeakyBucket(1e4, 1e6, 1e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del, err := NewDelayed(dp, 1e-3, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewQuantized(dp, 36000, 94*384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewRateCapped(dp, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMin(dp, lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampled([]float64{1}, []float64{10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		d    fmt.Stringer
+		want string
+	}{
+		{CBR{RateBps: 1e6}, "CBR"},
+		{p, "Periodic"},
+		{dp, "DualPeriodic"},
+		{lb, "LeakyBucket"},
+		{NewAggregate(dp, p), "Aggregate"},
+		{del, "Delayed"},
+		{q, "Quantized"},
+		{rc, "RateCapped"},
+		{m, "Min"},
+		{s, "Sampled"},
+	}
+	for _, tt := range tests {
+		if got := tt.d.String(); !strings.Contains(got, tt.want) {
+			t.Errorf("String() = %q, want it to contain %q", got, tt.want)
+		}
+	}
+}
+
+// TestBreakpointDelegation covers the BreakpointProvider plumbing through
+// every transform.
+func TestBreakpointDelegation(t *testing.T) {
+	dp := mustDual(t)
+	del, err := NewDelayed(dp, 1e-3, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewQuantized(del, 36000, 94*384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewRateCapped(q, 140e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bps := rc.Breakpoints(0.02); len(bps) == 0 {
+		t.Error("transform chain lost the source's breakpoints")
+	}
+	// Delegation over a provider-less inner yields nothing, not a panic.
+	qq, err := NewQuantized(CBR{RateBps: 1e6}, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bps := qq.Breakpoints(1); bps != nil {
+		t.Errorf("CBR-backed Quantized breakpoints = %v, want nil", bps)
+	}
+	dd, err := NewDelayed(CBR{RateBps: 1e6}, 1e-3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bps := dd.Breakpoints(1); bps != nil {
+		t.Errorf("CBR-backed Delayed breakpoints = %v, want nil", bps)
+	}
+	rr, err := NewRateCapped(CBR{RateBps: 1e6}, 2e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bps := rr.Breakpoints(1); bps != nil {
+		t.Errorf("CBR-backed RateCapped breakpoints = %v, want nil", bps)
+	}
+	mm, err := NewMin(CBR{RateBps: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bps := mm.Breakpoints(1); len(bps) != 0 {
+		t.Errorf("CBR-backed Min breakpoints = %v, want none", bps)
+	}
+}
+
+// TestPeakFallback exercises Peak() on descriptors without a PeakRate
+// method (probe near zero) and on bursty composites.
+func TestPeakFallback(t *testing.T) {
+	// Aggregate has no PeakRate: the probe near zero returns the summed
+	// member peaks for finite-peak members.
+	agg := NewAggregate(CBR{RateBps: 3e6}, CBR{RateBps: 7e6})
+	if got := Peak(agg); math.Abs(got-10e6) > 1e-3*10e6 {
+		t.Errorf("Peak(aggregate of CBRs) = %v, want ≈1e7", got)
+	}
+	// A silent aggregate has zero peak.
+	if got := Peak(NewAggregate()); got != 0 {
+		t.Errorf("Peak(empty) = %v", got)
+	}
+	// An instantaneous burst looks effectively unbounded (the probe window
+	// divides the burst by a nanosecond).
+	lb, err := NewLeakyBucket(1e4, 1e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Peak(NewAggregate(lb)); got < 1e12 {
+		t.Errorf("Peak(bursty aggregate) = %v, want enormous", got)
+	}
+}
+
+// TestMinLongTermRatePicksTighter covers Min.LongTermRate and the Sampled
+// breakpoint trimming.
+func TestMinLongTermRateAndSampledBreakpoints(t *testing.T) {
+	m, err := NewMin(CBR{RateBps: 9e6}, CBR{RateBps: 2e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.LongTermRate(); got != 2e6 {
+		t.Errorf("LongTermRate = %v", got)
+	}
+	s, err := NewSampled([]float64{0.001, 0.002, 0.003}, []float64{1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Breakpoints(0.002); len(got) != 2 {
+		t.Errorf("Breakpoints(0.002) = %v, want 2 points", got)
+	}
+	if got := s.Breakpoints(10); len(got) != 3 {
+		t.Errorf("Breakpoints(10) = %v, want all 3", got)
+	}
+}

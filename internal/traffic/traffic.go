@@ -1,0 +1,150 @@
+// Package traffic implements the maximum-rate-function traffic descriptor
+// Γ(I) used by the delay analysis (Section 4.2 of the paper), together with
+// the source models and envelope transforms the FDDI-ATM-FDDI servers need.
+//
+// A descriptor bounds the traffic of one connection at one point in the
+// network: Bits(I) is the maximum number of payload bits that may arrive in
+// ANY time window of length I seconds, so Γ(I) = Bits(I)/I is the maximum
+// average rate over any such window. Every server analysis consumes the
+// envelope of its input traffic and produces both a worst-case delay and the
+// envelope of its output traffic, which feeds the next server downstream.
+package traffic
+
+import (
+	"math"
+	"sort"
+
+	"fafnet/internal/units"
+)
+
+// Descriptor is the maximum-rate-function traffic descriptor Γ(I).
+//
+// Implementations must guarantee that Bits is nondecreasing, that
+// Bits(I) >= 0 for all I, and that Bits(I)/I converges to LongTermRate as
+// I grows. Bits(I) for I <= 0 must be 0.
+type Descriptor interface {
+	// Bits returns A(I) = I·Γ(I): the maximum number of bits the connection
+	// may produce in any interval of length interval seconds.
+	Bits(interval float64) float64
+
+	// LongTermRate returns ρ = lim_{I→∞} Γ(I) in bits per second. It is the
+	// quantity every stability check compares against allocated capacity.
+	LongTermRate() float64
+}
+
+// BreakpointProvider is implemented by descriptors that can enumerate the
+// interval lengths at which their envelope changes behaviour (burst arrivals,
+// slope changes). Extremum searches in the server analyses are exact when the
+// candidate grid contains these points.
+type BreakpointProvider interface {
+	// Breakpoints returns interval lengths in (0, horizon] at which the
+	// envelope has a vertex. The result need not be sorted or deduplicated.
+	Breakpoints(horizon float64) []float64
+}
+
+// Rate returns Γ(I) = Bits(I)/I. interval must be positive.
+func Rate(d Descriptor, interval float64) float64 {
+	if interval <= 0 {
+		panic("traffic: Rate requires a positive interval")
+	}
+	return d.Bits(interval) / interval
+}
+
+// jitterEps is the offset used to probe an envelope "just after" a burst
+// instant. It is far below any physical time constant in the system.
+const jitterEps = 1e-10
+
+// Grid returns a sorted, deduplicated slice of candidate evaluation points in
+// (0, horizon] for extremum searches involving d. The grid combines:
+//
+//   - the descriptor's intrinsic breakpoints (when it provides them), each
+//     bracketed by points just before and just after, so that step
+//     discontinuities are observed from both sides, and
+//   - a uniform fallback grid of n points, which bounds the error for
+//     composite envelopes whose exact vertex set is impractical to enumerate.
+//
+// n must be at least 1.
+func Grid(d Descriptor, horizon float64, n int) []float64 {
+	if horizon <= 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	pts := make([]float64, 0, n+16)
+	step := horizon / float64(n)
+	for i := 1; i <= n; i++ {
+		pts = append(pts, step*float64(i))
+	}
+	if bp, ok := d.(BreakpointProvider); ok {
+		for _, b := range bp.Breakpoints(horizon) {
+			if b < 0 || b > horizon {
+				continue
+			}
+			if b > 0 {
+				pts = append(pts, b)
+			}
+			if b > jitterEps {
+				pts = append(pts, b-jitterEps)
+			}
+			if b+jitterEps <= horizon {
+				// Probing just after a vertex also covers a burst at b=0,
+				// where the envelope jumps but 0 itself is outside the grid.
+				pts = append(pts, b+jitterEps)
+			}
+		}
+	}
+	return CleanGrid(pts, horizon)
+}
+
+// MergeGrids combines several candidate grids into one sorted, deduplicated
+// grid clipped to (0, horizon].
+func MergeGrids(horizon float64, grids ...[]float64) []float64 {
+	var total int
+	for _, g := range grids {
+		total += len(g)
+	}
+	pts := make([]float64, 0, total)
+	for _, g := range grids {
+		pts = append(pts, g...)
+	}
+	return CleanGrid(pts, horizon)
+}
+
+// CleanGrid sorts pts, removes duplicates (up to units.Eps) and values
+// outside (0, horizon], and returns the result.
+func CleanGrid(pts []float64, horizon float64) []float64 {
+	sort.Float64s(pts)
+	out := pts[:0]
+	prev := math.Inf(-1)
+	for _, p := range pts {
+		if p <= 0 || p > horizon {
+			continue
+		}
+		if p-prev <= units.Eps {
+			continue
+		}
+		out = append(out, p)
+		prev = p
+	}
+	return out
+}
+
+// Peak returns an upper bound on the instantaneous arrival rate of d, i.e.
+// the limit of Γ(I) as I → 0. Descriptors whose envelope has an instantaneous
+// burst (Bits(0+) > 0) have an infinite peak.
+func Peak(d Descriptor) float64 {
+	if p, ok := d.(interface{ PeakRate() float64 }); ok {
+		return p.PeakRate()
+	}
+	const tiny = 1e-9
+	b := d.Bits(tiny)
+	if b <= 0 {
+		return 0
+	}
+	r := b / tiny
+	if r > 1e18 {
+		return math.Inf(1)
+	}
+	return r
+}

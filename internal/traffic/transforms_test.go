@@ -1,0 +1,380 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fafnet/internal/units"
+)
+
+func mustDual(t *testing.T) DualPeriodic {
+	t.Helper()
+	d, err := NewDualPeriodic(150e3, 0.010, 30e3, 0.001, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAggregate(t *testing.T) {
+	d := mustDual(t)
+	c, err := NewCBR(5e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewAggregate(d, c, d)
+	if got := agg.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	for _, iv := range []float64{0.0001, 0.001, 0.01, 0.1, 1} {
+		want := 2*d.Bits(iv) + c.Bits(iv)
+		if got := agg.Bits(iv); !units.AlmostEq(got, want) {
+			t.Errorf("Bits(%v) = %v, want %v", iv, got, want)
+		}
+	}
+	if got, want := agg.LongTermRate(), 2*15e6+5e6; !units.AlmostEq(got, want) {
+		t.Errorf("LongTermRate = %v, want %v", got, want)
+	}
+	if bps := agg.Breakpoints(0.02); len(bps) == 0 {
+		t.Error("aggregate of periodic members should expose breakpoints")
+	}
+}
+
+func TestAggregateCopiesMembers(t *testing.T) {
+	members := []Descriptor{CBR{RateBps: 1e6}}
+	agg := NewAggregate(members...)
+	members[0] = CBR{RateBps: 9e6}
+	if got := agg.Bits(1); !units.AlmostEq(got, 1e6) {
+		t.Errorf("aggregate observed caller mutation: Bits(1) = %v, want 1e6", got)
+	}
+}
+
+func TestDelayed(t *testing.T) {
+	d := mustDual(t)
+	if _, err := NewDelayed(nil, 0.001, 0); err == nil {
+		t.Error("nil inner should be rejected")
+	}
+	if _, err := NewDelayed(d, -1, 0); err == nil {
+		t.Error("negative delay should be rejected")
+	}
+	if _, err := NewDelayed(d, math.Inf(1), 0); err == nil {
+		t.Error("infinite delay should be rejected")
+	}
+	del, err := NewDelayed(d, 0.002, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, iv := range []float64{0.0001, 0.001, 0.01, 0.1} {
+		want := math.Min(100e6*iv, d.Bits(iv+0.002))
+		if got := del.Bits(iv); !units.AlmostEq(got, want) {
+			t.Errorf("Bits(%v) = %v, want %v", iv, got, want)
+		}
+	}
+	if got := del.LongTermRate(); !units.AlmostEq(got, 15e6) {
+		t.Errorf("LongTermRate = %v, want 15e6", got)
+	}
+}
+
+func TestDelayedDominatesInner(t *testing.T) {
+	// The output envelope of a server must dominate its input envelope:
+	// what left in window I arrived in window I+d, so A_out(I) <= A_in(I+d),
+	// and without the cap A_out >= A_in pointwise is NOT required — but
+	// A_in(I) <= A_in(I+d) always, so Delayed without cap dominates inner.
+	d := mustDual(t)
+	del, err := NewDelayed(d, 0.003, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 300; i++ {
+		iv := float64(i) * 0.0002
+		if del.Bits(iv)+units.Eps < d.Bits(iv) {
+			t.Fatalf("Delayed envelope below inner at I=%v", iv)
+		}
+	}
+}
+
+func TestQuantized(t *testing.T) {
+	d := mustDual(t)
+	if _, err := NewQuantized(nil, 100, 100); err == nil {
+		t.Error("nil inner should be rejected")
+	}
+	if _, err := NewQuantized(d, 0, 100); err == nil {
+		t.Error("zero quantum should be rejected")
+	}
+	if _, err := NewQuantized(d, 100, 50); err == nil {
+		t.Error("lossy conversion (out < quantum) should be rejected")
+	}
+	// Frame payload 36000 bits (4500 bytes) → 94 cells of 384 payload bits.
+	const frame, cells = 36000.0, 94 * 384.0
+	q, err := NewQuantized(d, frame, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One sub-burst of 30 kbit is less than one frame: rounds to one frame.
+	if got := q.Bits(0.0003); !units.AlmostEq(got, cells) {
+		t.Errorf("Bits(0.3ms) = %v, want one frame's cells %v", got, cells)
+	}
+	// 150 kbit within 5 ms = 4.17 frames → 5 frames.
+	if got := q.Bits(0.005); !units.AlmostEq(got, 5*cells) {
+		t.Errorf("Bits(5ms) = %v, want %v", got, 5*cells)
+	}
+	wantRho := 15e6 * cells / frame
+	if got := q.LongTermRate(); !units.AlmostEq(got, wantRho) {
+		t.Errorf("LongTermRate = %v, want %v", got, wantRho)
+	}
+}
+
+func TestQuantizedDominatesScaledInner(t *testing.T) {
+	// ⌈A/q⌉·out >= A·(out/q) >= A: quantization is conservative.
+	d := mustDual(t)
+	q, err := NewQuantized(d, 36000, 94*384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 500; i++ {
+		iv := float64(i) * 0.0001
+		if q.Bits(iv)+units.Eps < d.Bits(iv) {
+			t.Fatalf("quantized envelope below inner at I=%v", iv)
+		}
+	}
+}
+
+func TestRateCapped(t *testing.T) {
+	d := mustDual(t)
+	if _, err := NewRateCapped(nil, 1); err == nil {
+		t.Error("nil inner should be rejected")
+	}
+	if _, err := NewRateCapped(d, 0); err == nil {
+		t.Error("zero cap should be rejected")
+	}
+	rc, err := NewRateCapped(d, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Short windows are cap-limited (source peak is 100 Mbps > 50 Mbps cap).
+	if got, want := rc.Bits(0.0001), 50e6*0.0001; !units.AlmostEq(got, want) {
+		t.Errorf("Bits(0.1ms) = %v, want %v", got, want)
+	}
+	// Long windows are source-limited.
+	if got, want := rc.Bits(1.0), d.Bits(1.0); !units.AlmostEq(got, want) {
+		t.Errorf("Bits(1s) = %v, want %v", got, want)
+	}
+	if got := rc.PeakRate(); got != 50e6 {
+		t.Errorf("PeakRate = %v, want 50e6", got)
+	}
+}
+
+func TestMin(t *testing.T) {
+	if _, err := NewMin(); err == nil {
+		t.Error("empty Min should be rejected")
+	}
+	if _, err := NewMin(nil); err == nil {
+		t.Error("nil member should be rejected")
+	}
+	d := mustDual(t)
+	lb, err := NewLeakyBucket(2e4, 12e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMin(d, lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, iv := range []float64{1e-4, 1e-3, 1e-2, 0.1, 1} {
+		want := math.Min(d.Bits(iv), lb.Bits(iv))
+		if got := m.Bits(iv); !units.AlmostEq(got, want) {
+			t.Errorf("Bits(%v) = %v, want %v", iv, got, want)
+		}
+	}
+	if got := m.LongTermRate(); !units.AlmostEq(got, 12e6) {
+		t.Errorf("LongTermRate = %v, want 12e6 (the tighter member)", got)
+	}
+	if len(m.Breakpoints(0.02)) == 0 {
+		t.Error("Min should expose member breakpoints")
+	}
+}
+
+func TestMinTightensMACBound(t *testing.T) {
+	// Min with an extra constraint can only tighten an envelope.
+	d := mustDual(t)
+	lb, err := NewLeakyBucket(25e3, 15e6, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMin(d, lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 500; i++ {
+		iv := float64(i) * 1e-4
+		if m.Bits(iv) > d.Bits(iv)+units.Eps {
+			t.Fatalf("Min exceeded a member at I=%v", iv)
+		}
+	}
+}
+
+func TestSampledValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		grid    []float64
+		bits    []float64
+		rho     float64
+		wantErr bool
+	}{
+		{"valid", []float64{0.001, 0.002}, []float64{10, 20}, 1e4, false},
+		{"empty", nil, nil, 0, true},
+		{"length mismatch", []float64{1}, []float64{1, 2}, 0, true},
+		{"non-increasing grid", []float64{0.002, 0.001}, []float64{1, 2}, 0, true},
+		{"zero grid point", []float64{0, 1}, []float64{1, 2}, 0, true},
+		{"decreasing bits", []float64{1, 2}, []float64{5, 1}, 0, true},
+		{"negative bits", []float64{1}, []float64{-1}, 0, true},
+		{"negative rho", []float64{1}, []float64{1}, -1, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewSampled(tt.grid, tt.bits, tt.rho)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSampledInterpolation(t *testing.T) {
+	s, err := NewSampled([]float64{0.001, 0.002, 0.004}, []float64{100, 150, 200}, 10e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		interval, want float64
+	}{
+		{0, 0},
+		{0.0005, 100},        // below first sample: bounded by first sample
+		{0.001, 100},         // exact sample
+		{0.0015, 150},        // between samples: next sample bounds
+		{0.004, 200},         // last sample
+		{0.009, 2*200 + 100}, // subadditive extension: 2 horizons + 1 ms remainder
+	}
+	for _, tt := range tests {
+		if got := s.Bits(tt.interval); !units.AlmostEq(got, tt.want) {
+			t.Errorf("Bits(%v) = %v, want %v", tt.interval, got, tt.want)
+		}
+	}
+}
+
+func TestSampledCopiesInput(t *testing.T) {
+	grid := []float64{0.001}
+	bits := []float64{5}
+	s, err := NewSampled(grid, bits, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits[0] = 999
+	if got := s.Bits(0.001); got != 5 {
+		t.Errorf("Sampled observed caller mutation: Bits = %v, want 5", got)
+	}
+}
+
+func TestMaterializeDominates(t *testing.T) {
+	// A materialized envelope must dominate the original at every point
+	// (conservative upward interpolation).
+	d := mustDual(t)
+	grid := Grid(d, 0.05, 256)
+	s, err := Materialize(d, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x float64) bool {
+		iv := math.Mod(math.Abs(x), 0.05)
+		if iv <= 0 {
+			return true
+		}
+		return s.Bits(iv)+units.Eps >= d.Bits(iv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaterializeExactOnGrid(t *testing.T) {
+	d := mustDual(t)
+	grid := Grid(d, 0.05, 128)
+	s, err := Materialize(d, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range grid {
+		if got, want := s.Bits(g), d.Bits(g); !units.AlmostEq(got, want) {
+			t.Fatalf("Bits(%v) = %v, want %v", g, got, want)
+		}
+	}
+}
+
+func TestGridProperties(t *testing.T) {
+	d := mustDual(t)
+	g := Grid(d, 0.05, 100)
+	if len(g) == 0 {
+		t.Fatal("empty grid")
+	}
+	prev := 0.0
+	for _, p := range g {
+		if p <= prev {
+			t.Fatalf("grid not strictly increasing at %v (prev %v)", p, prev)
+		}
+		if p > 0.05 {
+			t.Fatalf("grid point %v beyond horizon", p)
+		}
+		prev = p
+	}
+	// Breakpoints of the source must be represented.
+	if g[len(g)-1] != 0.05 {
+		t.Errorf("grid should include the horizon, last = %v", g[len(g)-1])
+	}
+}
+
+func TestMergeGrids(t *testing.T) {
+	got := MergeGrids(1.0, []float64{0.5, 0.1}, []float64{0.1, 2.0, 0.7})
+	want := []float64{0.1, 0.5, 0.7}
+	if len(got) != len(want) {
+		t.Fatalf("MergeGrids = %v, want %v", got, want)
+	}
+	for i := range want {
+		if !units.AlmostEq(got[i], want[i]) {
+			t.Fatalf("MergeGrids[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGridHandlesNoHorizon(t *testing.T) {
+	if g := Grid(CBR{RateBps: 1}, 0, 10); g != nil {
+		t.Errorf("Grid with zero horizon = %v, want nil", g)
+	}
+}
+
+func TestTransformChainRemainssMonotone(t *testing.T) {
+	// A realistic chain: source → delayed → quantized → capped. Monotonicity
+	// must survive composition.
+	d := mustDual(t)
+	del, err := NewDelayed(d, 0.0015, 140e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewQuantized(del, 36000, 94*384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewRateCapped(q, 140e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for i := 1; i <= 2000; i++ {
+		iv := float64(i) * 2e-5
+		cur := rc.Bits(iv)
+		if cur < prev-units.Eps {
+			t.Fatalf("chain envelope decreased at I=%v: %v after %v", iv, cur, prev)
+		}
+		prev = cur
+	}
+}
