@@ -1,0 +1,42 @@
+# Developer entry points. `make check` is the full pre-merge gate.
+
+GO      ?= go
+FAFVET  := bin/fafvet
+
+.PHONY: all build fmt vet race test short check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# gofmt -l prints unformatted files; fail when any exist.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+$(FAFVET): FORCE
+	$(GO) build -o $(FAFVET) ./cmd/fafvet
+FORCE:
+
+# Standard vet plus this repository's analyzer suite (unitcheck, floatcmp,
+# epslit, randsrc — see README "Static analysis & unit conventions").
+vet: $(FAFVET)
+	$(GO) vet ./...
+	$(GO) vet -vettool=$(CURDIR)/$(FAFVET) ./...
+
+race:
+	$(GO) test -race -short ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+check: build fmt vet race test
+
+clean:
+	rm -rf bin

@@ -1,0 +1,36 @@
+// Command fafvet is this repository's static-analysis suite, run as a vet
+// tool:
+//
+//	go build -o bin/fafvet ./cmd/fafvet
+//	go vet -vettool=$(pwd)/bin/fafvet ./...
+//
+// It bundles four analyzers that enforce the correctness conventions the Go
+// type system cannot see (README "Static analysis & unit conventions"):
+//
+//	unitcheck  dimensional consistency of float64 seconds/bits/bps
+//	floatcmp   no exact ==/<=/>= between computed physical quantities
+//	epslit     no raw tolerance/physical-constant literals
+//	randsrc    no unseeded randomness or wall-clock reads in simulators
+//
+// Individual analyzers can be disabled with -<name>=false. Findings are
+// suppressed in source with a justified comment:
+//
+//	//lint:allow <analyzer> <reason>
+package main
+
+import (
+	"fafnet/internal/lint"
+	"fafnet/internal/lint/epslit"
+	"fafnet/internal/lint/floatcmp"
+	"fafnet/internal/lint/randsrc"
+	"fafnet/internal/lint/unitcheck"
+)
+
+func main() {
+	lint.Main(
+		unitcheck.Analyzer,
+		floatcmp.Analyzer,
+		epslit.Analyzer,
+		randsrc.Analyzer,
+	)
+}

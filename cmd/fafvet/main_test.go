@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles the fafvet binary into a temporary directory and
+// returns its path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "fafvet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building fafvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// vetModule runs `go vet -vettool=bin ./...` inside dir and returns the
+// combined output and whether vet succeeded.
+func vetModule(t *testing.T, bin, dir string) (string, bool) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	return string(out), err == nil
+}
+
+// writeModule materializes a throwaway module named fafnet so the analyzers'
+// path-based scoping applies to its packages.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module fafnet\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestSeededViolationsFail re-introduces one violation per analyzer into a
+// scratch module and checks that the suite rejects each: the zero-findings
+// baseline over this repository is only meaningful if the gate actually
+// trips.
+func TestSeededViolationsFail(t *testing.T) {
+	bin := buildTool(t)
+
+	cases := []struct {
+		name string
+		file string
+		src  string
+		want string // diagnostic substring expected in the vet output
+	}{
+		{
+			name: "randsrc global rand",
+			file: "internal/des/bad.go",
+			src: `package des
+
+import "math/rand"
+
+func Jitter() float64 { return rand.Float64() }
+`,
+			want: "breaks seeded replay",
+		},
+		{
+			name: "epslit raw tolerance literal",
+			file: "internal/core/bad.go",
+			src: `package core
+
+var ttrt = 4e-3
+`,
+			want: "raw physical literal",
+		},
+		{
+			name: "floatcmp exact comparison",
+			file: "internal/core/bad.go",
+			src: `package core
+
+func Beats(delayA, delayB float64) bool { return delayA <= delayB }
+`,
+			want: "units.AlmostLE",
+		},
+		{
+			name: "unitcheck dimension mismatch",
+			file: "internal/core/bad.go",
+			src: `package core
+
+func Sum(delay, rateBps float64) float64 { return delay + rateBps }
+`,
+			want: "cross-dimension addition",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := writeModule(t, map[string]string{tc.file: tc.src})
+			out, ok := vetModule(t, bin, dir)
+			if ok {
+				t.Fatalf("vet passed on a module seeded with a %s violation", tc.name)
+			}
+			if !strings.Contains(out, tc.want) {
+				t.Errorf("vet output does not contain %q:\n%s", tc.want, out)
+			}
+		})
+	}
+}
+
+// TestCleanModulePasses checks the other side of the gate: conformant code
+// (named constants, tolerance comparisons, seeded RNG plumbing) vets clean.
+func TestCleanModulePasses(t *testing.T) {
+	bin := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"internal/core/good.go": `package core
+
+// defaultTTRT is the target token rotation time (seconds).
+const defaultTTRT = 4e-3
+
+func Later(delayA, delayB float64) bool { return delayA < delayB }
+`,
+	})
+	if out, ok := vetModule(t, bin, dir); !ok {
+		t.Fatalf("vet failed on a clean module:\n%s", out)
+	}
+}
+
+// TestRepoIsClean runs the suite over this repository: the tree must stay at
+// zero findings so the vet gate keeps meaning "no new violations".
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repository vet sweep in -short mode")
+	}
+	bin := buildTool(t)
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, ok := vetModule(t, bin, root); !ok {
+		t.Fatalf("fafvet reports findings on the repository:\n%s", out)
+	}
+}

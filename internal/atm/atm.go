@@ -20,12 +20,22 @@ const (
 	// DefaultLinkBps is the standard OC-3 link rate used in the paper's
 	// evaluation: 155 Mb/s.
 	DefaultLinkBps = 155e6
+	// DefaultInputDelay is the per-cell input-stage processing latency of a
+	// backbone switch (seconds), per DESIGN.md.
+	DefaultInputDelay = 10e-6
+	// DefaultFabricDelay is the fabric transit latency of a backbone switch
+	// (seconds), per DESIGN.md.
+	DefaultFabricDelay = 10e-6
 )
+
+// payloadFraction is the dimensionless payload share of each cell's wire
+// bits: 48 of 53 octets.
+const payloadFraction = float64(CellPayloadBits) / float64(CellWireBits)
 
 // PayloadCapacity converts a wire rate to the payload-effective service rate
 // seen by envelopes that count payload bits.
 func PayloadCapacity(wireBps float64) float64 {
-	return wireBps * CellPayloadBits / CellWireBits
+	return wireBps * payloadFraction
 }
 
 // CellTime returns the transmission time of one cell on a link of the given
@@ -75,5 +85,5 @@ func (p SwitchParams) ConstantDelay() float64 { return p.InputDelay + p.FabricDe
 // DefaultSwitchParams returns the constants recorded in DESIGN.md: 10 µs
 // input processing and 10 µs fabric transit.
 func DefaultSwitchParams() SwitchParams {
-	return SwitchParams{InputDelay: 10e-6, FabricDelay: 10e-6}
+	return SwitchParams{InputDelay: DefaultInputDelay, FabricDelay: DefaultFabricDelay}
 }

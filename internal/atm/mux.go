@@ -28,6 +28,15 @@ type MuxParams struct {
 	BufferBits float64
 }
 
+// Busy-period search defaults.
+const (
+	// defaultInitialHorizon seeds the doubling busy-period search (seconds);
+	// 16 ms covers several TTRTs of the paper's scenarios on the first try.
+	defaultInitialHorizon = 16e-3
+	// defaultMaxHorizon bounds the busy-period search (seconds).
+	defaultMaxHorizon = 4
+)
+
 // MuxOptions tunes the numeric search. The zero value selects defaults.
 type MuxOptions struct {
 	// GridPoints is the uniform fallback resolution per busy-period search
@@ -45,10 +54,10 @@ func (o MuxOptions) withDefaults() MuxOptions {
 		o.GridPoints = 128
 	}
 	if o.InitialHorizon <= 0 {
-		o.InitialHorizon = 16e-3
+		o.InitialHorizon = defaultInitialHorizon
 	}
 	if o.MaxHorizon <= 0 {
-		o.MaxHorizon = 4
+		o.MaxHorizon = defaultMaxHorizon
 	}
 	return o
 }
@@ -104,7 +113,7 @@ func AnalyzeMux(inputs []traffic.Descriptor, p MuxParams, opts MuxOptions) (MuxR
 		return MuxResult{}, err
 	}
 	// The t→0+ limit matters for envelopes with an instantaneous burst.
-	grid = traffic.MergeGrids(busy, grid, []float64{1e-10})
+	grid = traffic.MergeGrids(busy, grid, []float64{traffic.GridNudge})
 
 	var delay, backlog float64
 	for _, t := range grid {

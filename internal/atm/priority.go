@@ -43,7 +43,9 @@ func AnalyzePriorityMux(classes []PriorityClass, p MuxParams, opts MuxOptions) (
 		return PriorityMuxResult{}, fmt.Errorf("atm: capacity %v must be positive", p.CapacityBps)
 	}
 	opts = opts.withDefaults()
-	blocking := float64(CellWireBits) / (p.CapacityBps * CellWireBits / CellPayloadBits)
+	// One wire cell at the wire rate equals one payload's worth of bits at
+	// the payload-effective rate: wire/(C·wire/payload) = payload/C.
+	blocking := CellPayloadBits / p.CapacityBps
 
 	res := PriorityMuxResult{
 		ClassDelay: make([]float64, len(classes)),
@@ -69,7 +71,7 @@ func AnalyzePriorityMux(classes []PriorityClass, p MuxParams, opts MuxOptions) (
 		if err != nil {
 			return PriorityMuxResult{}, fmt.Errorf("atm: class %d: %w", k, err)
 		}
-		grid = traffic.MergeGrids(busy, grid, []float64{1e-10})
+		grid = traffic.MergeGrids(busy, grid, []float64{traffic.GridNudge})
 		var backlog float64
 		for _, t := range grid {
 			if t > busy+units.Eps {

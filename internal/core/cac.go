@@ -72,7 +72,7 @@ func (o Options) withDefaults() Options {
 		o.Beta = 0.5
 	}
 	if o.HMinAbs <= 0 {
-		o.HMinAbs = 50e-6
+		o.HMinAbs = 50 * units.Microsecond
 	}
 	if o.SearchIters <= 0 {
 		// Theorem 1 delays move in TTRT-sized quantization steps, so α

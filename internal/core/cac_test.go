@@ -53,7 +53,8 @@ func TestAdmitOnEmptyNetwork(t *testing.T) {
 	}
 	// Stability floor: HS·BW >= ρ·TTRT for the workload.
 	ring := ctl.Network().Config().Ring
-	floor := 15e6 * ring.TTRT / ring.BandwidthBps
+	const loadBps = 15e6 // the workload's long-term rate ρ
+	floor := loadBps * ring.TTRT / ring.BandwidthBps
 	if dec.HS < floor-1e-6 {
 		t.Errorf("HS = %v below the stability floor %v", dec.HS, floor)
 	}

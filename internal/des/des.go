@@ -195,27 +195,28 @@ func (g *RNG) Float64() float64 { return g.r.Float64() }
 // Perm returns a random permutation of [0, n).
 func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
 
-// PoissonProcess generates inter-arrival times for a Poisson process of the
-// given rate (events per second) using the wrapped RNG.
+// PoissonProcess generates inter-arrival times for a Poisson process of
+// intensity λ (events per second — a frequency, not a data rate) using the
+// wrapped RNG.
 type PoissonProcess struct {
-	rng  *RNG
-	rate float64
+	rng    *RNG
+	lambda float64
 }
 
-// NewPoissonProcess returns a Poisson process with the given rate in events
-// per second; rate must be positive.
-func NewPoissonProcess(rng *RNG, rate float64) (*PoissonProcess, error) {
-	if rate <= 0 {
-		return nil, fmt.Errorf("des: Poisson rate %v must be positive", rate)
+// NewPoissonProcess returns a Poisson process with intensity lambda in events
+// per second; lambda must be positive.
+func NewPoissonProcess(rng *RNG, lambda float64) (*PoissonProcess, error) {
+	if lambda <= 0 {
+		return nil, fmt.Errorf("des: Poisson intensity %v must be positive", lambda)
 	}
 	if rng == nil {
 		return nil, errors.New("des: Poisson process requires an RNG")
 	}
-	return &PoissonProcess{rng: rng, rate: rate}, nil
+	return &PoissonProcess{rng: rng, lambda: lambda}, nil
 }
 
-// Next returns the time to the next arrival (an Exp(1/rate) variate).
-func (p *PoissonProcess) Next() float64 { return p.rng.Exp(1 / p.rate) }
+// Next returns the time to the next arrival (an Exp(1/λ) variate).
+func (p *PoissonProcess) Next() float64 { return p.rng.Exp(1 / p.lambda) }
 
-// Rate returns the configured arrival rate.
-func (p *PoissonProcess) Rate() float64 { return p.rate }
+// Rate returns the configured arrival intensity λ.
+func (p *PoissonProcess) Rate() float64 { return p.lambda }

@@ -168,7 +168,7 @@ func AnalyzeMAC(in traffic.Descriptor, p MACParams, opts Options) (MACResult, er
 	grid := traffic.Grid(in, busy, opts.TGridPoints)
 	// The t→0+ limit matters: a burst at the very start of the busy interval
 	// waits the full worst-case token latency.
-	grid = traffic.MergeGrids(busy, grid, multiplesOf(ttrt, busy), []float64{1e-10})
+	grid = traffic.MergeGrids(busy, grid, multiplesOf(ttrt, busy), []float64{traffic.GridNudge})
 
 	// Worst-case backlog F (Eq. 10) and worst-case delay χ (Eq. 11).
 	// For the delay: the first time avail reaches A(t) is the first multiple
@@ -253,7 +253,7 @@ func outputEnvelope(in traffic.Descriptor, p MACParams, opts Options, busy, dela
 func multiplesOf(step, limit float64) []float64 {
 	var pts []float64
 	for t := step; t <= limit+units.Eps; t += step {
-		pts = append(pts, t-1e-10, t, t+1e-10)
+		pts = append(pts, t-traffic.GridNudge, t, t+traffic.GridNudge)
 	}
 	return pts
 }

@@ -23,6 +23,9 @@ const (
 	// DefaultOverhead is the protocol-dependent per-rotation overhead Δ
 	// (token walk, preambles, claim margin) reserved out of the TTRT.
 	DefaultOverhead = 1e-3
+	// DefaultHopLatency is the per-hop propagation plus station latency
+	// (seconds) used by the paper's evaluation rings.
+	DefaultHopLatency = 5e-6
 )
 
 // RingConfig describes one FDDI ring.
@@ -48,7 +51,7 @@ func DefaultRingConfig() RingConfig {
 		BandwidthBps: DefaultBandwidthBps,
 		TTRT:         DefaultTTRT,
 		Overhead:     DefaultOverhead,
-		HopLatency:   5e-6,
+		HopLatency:   DefaultHopLatency,
 	}
 }
 
@@ -61,7 +64,7 @@ func (c RingConfig) Validate() error {
 		return fmt.Errorf("fddi: TTRT %v must be positive", c.TTRT)
 	case c.Overhead < 0:
 		return fmt.Errorf("fddi: overhead %v must be non-negative", c.Overhead)
-	case c.Overhead >= c.TTRT:
+	case c.Overhead >= c.TTRT: //lint:allow floatcmp exact validation bound: any Overhead strictly below TTRT is acceptable
 		return fmt.Errorf("fddi: overhead %v leaves no usable TTRT (%v)", c.Overhead, c.TTRT)
 	case c.HopLatency < 0:
 		return fmt.Errorf("fddi: hop latency %v must be non-negative", c.HopLatency)

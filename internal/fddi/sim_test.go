@@ -110,17 +110,18 @@ func TestTokenRotationRespectsTTRT(t *testing.T) {
 	if err := r.Start(); err != nil {
 		t.Fatal(err)
 	}
-	sim.Run(0.2)
+	const simTime = 0.2 // seconds of simulated ring time
+	sim.Run(simTime)
 	visits := r.TokenVisits()
 	if visits == 0 {
 		t.Fatal("token never moved")
 	}
 	// Rotations in 0.2 s: each full rotation serves 4 stations and takes at
 	// most ΣH + walk = 6 ms + 20 µs < TTRT.
-	rotations := float64(visits) / 4
-	minRotations := 0.2/cfg.TTRT - 1
-	if rotations < minRotations {
-		t.Errorf("only %.1f rotations in 0.2 s; protocol guarantees at least %.1f", rotations, minRotations)
+	rounds := float64(visits) / 4
+	minRounds := simTime/cfg.TTRT - 1
+	if rounds < minRounds {
+		t.Errorf("only %.1f rotations in 0.2 s; protocol guarantees at least %.1f", rounds, minRounds)
 	}
 }
 

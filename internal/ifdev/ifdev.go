@@ -30,14 +30,26 @@ type Params struct {
 	CellFrameProcessing float64
 }
 
+// Default stage latencies recorded in DESIGN.md (all in seconds).
+const (
+	// DefaultInputPortDelay is the fixed input-port stage latency.
+	DefaultInputPortDelay = 25e-6
+	// DefaultFrameSwitchDelay is the fixed frame-switching stage latency.
+	DefaultFrameSwitchDelay = 25e-6
+	// DefaultFrameCellProcessing is the per-frame segmentation latency.
+	DefaultFrameCellProcessing = 50e-6
+	// DefaultCellFrameProcessing is the per-frame reassembly handoff latency.
+	DefaultCellFrameProcessing = 50e-6
+)
+
 // DefaultParams returns the constants recorded in DESIGN.md: 25 µs port
 // stages and 50 µs conversion processing.
 func DefaultParams() Params {
 	return Params{
-		InputPortDelay:      25e-6,
-		FrameSwitchDelay:    25e-6,
-		FrameCellProcessing: 50e-6,
-		CellFrameProcessing: 50e-6,
+		InputPortDelay:      DefaultInputPortDelay,
+		FrameSwitchDelay:    DefaultFrameSwitchDelay,
+		FrameCellProcessing: DefaultFrameCellProcessing,
+		CellFrameProcessing: DefaultCellFrameProcessing,
 	}
 }
 

@@ -1,0 +1,17 @@
+package epslit_test
+
+import (
+	"testing"
+
+	"fafnet/internal/lint/epslit"
+	"fafnet/internal/lint/linttest"
+)
+
+func TestEpslit(t *testing.T) {
+	linttest.Run(t, epslit.Analyzer, "testdata/c", "fafnet/internal/linttestdata/c")
+}
+
+// TestOutOfScope checks that packages outside fafnet/internal/ are exempt.
+func TestOutOfScope(t *testing.T) {
+	linttest.RunExpectNone(t, epslit.Analyzer, "testdata/clean", "example.com/outside")
+}

@@ -1,0 +1,18 @@
+// Package c exercises the epslit analyzer: inline sub-unity
+// scientific-notation literals are flagged; named constants, plain decimals
+// and scale factors stay silent.
+package c
+
+// gridNudge brackets grid points; a named const is the sanctioned form.
+const gridNudge = 1e-10
+
+var ttrt = 4e-3 // want `raw physical literal 4e-3`
+
+func f() float64 {
+	x := 5e-6 // want `raw physical literal 5e-6`
+	y := 1e6  // scale factor: conversions live above the threshold
+	z := 0.25 // plain decimal reads as what it is
+	// slack is a function-level const: still the sanctioned form.
+	const slack = 1e-12
+	return x + y + z + slack + gridNudge + ttrt
+}

@@ -1,0 +1,5 @@
+// Package clean holds a literal that epslit flags inside fafnet/internal/
+// but must ignore for out-of-scope package paths (examples, third parties).
+package clean
+
+var tht = 2e-3 // no "want": out of scope

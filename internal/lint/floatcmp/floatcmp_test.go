@@ -1,0 +1,12 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"fafnet/internal/lint/floatcmp"
+	"fafnet/internal/lint/linttest"
+)
+
+func TestFloatcmp(t *testing.T) {
+	linttest.Run(t, floatcmp.Analyzer, "testdata/b", "fafnet/internal/linttestdata/b")
+}

@@ -1,0 +1,24 @@
+// Package b exercises the floatcmp analyzer: exact comparisons between
+// physical quantities are flagged; ordering tests, constant comparisons,
+// tolerance-adjusted comparisons, loop guards and suppressed findings stay
+// silent.
+package b
+
+const eps = 1e-9
+
+func positives(measuredDelay, boundDelay float64) {
+	_ = measuredDelay == boundDelay // want `exact == between seconds quantities; use units.AlmostEq`
+	_ = measuredDelay <= boundDelay // want `use units.AlmostLE`
+	_ = measuredDelay >= boundDelay // want `use units.AlmostGE`
+}
+
+func negatives(curDelay, maxDelay, x, y float64) {
+	_ = curDelay < maxDelay      // strict ordering is rounding-robust
+	_ = curDelay <= 0            // constant bound: intended exact
+	_ = x == y                   // no physical dimension inferred
+	_ = curDelay <= maxDelay+eps // already tolerance-adjusted
+	for t := 0.0; t <= maxDelay; t += 0.5 {
+		_ = t // loop guard: an extra/missing iteration is harmless
+	}
+	_ = curDelay == maxDelay //lint:allow floatcmp fixpoint check wants bit-exact equality
+}

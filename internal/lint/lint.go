@@ -1,0 +1,157 @@
+// Package lint is a small, dependency-free static-analysis framework modeled
+// on golang.org/x/tools/go/analysis. It exists because this repository's
+// correctness rests on unit conventions (float64 seconds, bits, bits/second —
+// see internal/units) that the Go type system cannot express; the analyzers
+// built on this framework (cmd/fafvet) enforce them mechanically.
+//
+// The API mirrors go/analysis closely — Analyzer, Pass, Diagnostic — so the
+// analyzers can migrate to the upstream framework verbatim if the dependency
+// ever becomes available. The framework adds one repo-specific feature:
+// findings can be suppressed with a justification comment,
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the offending line or the line immediately above it. An allow
+// comment without a reason does not suppress anything (and is itself
+// reported), so every suppression is self-documenting.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the analyzer identifier used in diagnostics, enable flags and
+	// //lint:allow comments. It must look like a Go identifier.
+	Name string
+	// Doc is the help text; the first line is the summary.
+	Doc string
+	// Run applies the check to one package and reports findings via
+	// Pass.Report/Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, message string) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  message,
+	})
+}
+
+// Reportf records a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(pos, fmt.Sprintf(format, args...))
+}
+
+// allowKey identifies one suppressed (file line, analyzer) pair.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// AllowPrefix introduces a suppression comment.
+const AllowPrefix = "//lint:allow"
+
+// collectAllows scans the files' comments for //lint:allow directives. A
+// directive suppresses the named analyzer on its own line and on the line
+// below it (so it can trail the offending expression or sit above it).
+// Malformed directives — missing analyzer or missing reason — are returned as
+// diagnostics instead, so they cannot silently disable a check.
+func collectAllows(fset *token.FileSet, files []*ast.File) (map[allowKey]bool, []Diagnostic) {
+	allows := make(map[allowKey]bool)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, AllowPrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Analyzer: "lint",
+						Pos:      fset.Position(c.Pos()),
+						Message:  "malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\"",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					allows[allowKey{pos.Filename, line, fields[0]}] = true
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// RunAnalyzers applies every analyzer to one type-checked package and returns
+// the surviving diagnostics, sorted by position. Findings matched by a
+// well-formed //lint:allow comment are dropped.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	allows, bad := collectAllows(fset, files)
+	kept := bad
+	for _, d := range diags {
+		if allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return kept, nil
+}

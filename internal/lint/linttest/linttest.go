@@ -1,0 +1,142 @@
+// Package linttest is a dependency-free equivalent of
+// golang.org/x/tools/go/analysis/analysistest: it type-checks a directory of
+// test sources, runs an analyzer over them, and compares the diagnostics
+// against // want "regexp" comments in the sources.
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"fafnet/internal/lint"
+)
+
+// wantRe matches a // want "pattern" or // want `pattern` expectation
+// comment (the two quoting styles analysistest accepts).
+var wantRe = regexp.MustCompile("//\\s*want\\s+(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+// expectation is one `// want` comment: the diagnostic pattern expected on
+// its line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run type-checks the package in dir (non-test .go files, stdlib imports
+// only), runs the analyzer under the lint framework — including
+// //lint:allow suppression — and asserts that diagnostics and // want
+// comments agree one-to-one by line.
+//
+// pkgPath is the import path the package poses as; analyzers that scope
+// themselves by package path (epslit, randsrc) see this value.
+func Run(t *testing.T, a *lint.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	run(t, a, dir, pkgPath, true)
+}
+
+// RunExpectNone runs like Run but ignores // want comments and asserts the
+// analyzer stays entirely silent — used to show a scoped analyzer's
+// positives vanish when the same sources sit outside its scope.
+func RunExpectNone(t *testing.T, a *lint.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	run(t, a, dir, pkgPath, false)
+}
+
+func run(t *testing.T, a *lint.Analyzer, dir, pkgPath string, useWants bool) {
+	t.Helper()
+	pattern := filepath.Join(dir, "*.go")
+	matches, err := filepath.Glob(pattern)
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no test sources under %s: %v", dir, err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var wants []*expectation
+	for _, path := range matches {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat := m[1]
+				if m[2] != "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", fset.Position(c.Pos()), pat, err)
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+			}
+		}
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(err error) { t.Fatalf("typecheck: %v", err) },
+	}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", dir, err)
+	}
+
+	diags, err := lint.RunAnalyzers(fset, files, pkg, info, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !useWants {
+		for _, d := range diags {
+			t.Errorf("unexpected diagnostic at %s: %s", shortPos(d.Pos), d.Message)
+		}
+		return
+	}
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: %s", shortPos(d.Pos), d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.pattern)
+		}
+	}
+}
+
+func shortPos(p token.Position) string {
+	return strings.TrimPrefix(p.String(), filepath.Dir(p.Filename)+string(filepath.Separator))
+}

@@ -1,0 +1,85 @@
+// Package randsrc defines an analyzer that keeps the simulation packages
+// replayable: every random draw must come from the seeded des.RNG, and
+// simulation logic must never read the wall clock. A single global
+// rand.Float64() or time.Now() breaks bit-exact replication of experiment
+// runs (internal/sim replays scenarios by seed) and invalidates the
+// paired-seed comparisons the evaluation rests on.
+package randsrc
+
+import (
+	"go/types"
+	"strings"
+
+	"fafnet/internal/lint"
+)
+
+// Analyzer forbids unseeded randomness and wall-clock reads in simulators.
+var Analyzer = &lint.Analyzer{
+	Name: "randsrc",
+	Doc: `forbid global math/rand and time.Now in simulation packages
+
+Inside internal/des, internal/sim, internal/packetsim, internal/atm and
+internal/fddi, every variate must be drawn from a seeded des.RNG and
+simulation time must come from the DES clock (Simulator.Now). The analyzer
+reports any use of math/rand package-level functions (except the New*
+constructors, which build seeded generators) and any use of time.Now.`,
+	Run: run,
+}
+
+// scopes are the package-path prefixes the determinism rule covers.
+var scopes = []string{
+	"fafnet/internal/des",
+	"fafnet/internal/sim",
+	"fafnet/internal/packetsim",
+	"fafnet/internal/atm",
+	"fafnet/internal/fddi",
+}
+
+// allowedRand are math/rand package-level constructors that produce a
+// generator from an explicit seed — the only sanctioned way in.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *lint.Pass) error {
+	inScope := false
+	for _, s := range scopes {
+		p := pass.Pkg.Path()
+		if p == s || strings.HasPrefix(p, s+"/") {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for id, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue // methods on an explicit generator instance are fine
+		}
+		switch fn.Pkg().Path() {
+		case "math/rand", "math/rand/v2":
+			if !allowedRand[fn.Name()] {
+				pass.Reportf(id.Pos(), "global %s.%s breaks seeded replay; draw from a des.RNG", pathBase(fn.Pkg().Path()), fn.Name())
+			}
+		case "time":
+			switch fn.Name() {
+			case "Now", "Since", "Until":
+				pass.Reportf(id.Pos(), "time.%s reads the wall clock in a simulation package; use the DES clock (Simulator.Now)", fn.Name())
+			}
+		}
+	}
+	return nil
+}
+
+func pathBase(p string) string {
+	if i := strings.LastIndex(p, "/"); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

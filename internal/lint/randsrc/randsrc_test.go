@@ -1,0 +1,18 @@
+package randsrc_test
+
+import (
+	"testing"
+
+	"fafnet/internal/lint/linttest"
+	"fafnet/internal/lint/randsrc"
+)
+
+func TestRandsrc(t *testing.T) {
+	linttest.Run(t, randsrc.Analyzer, "testdata/d", "fafnet/internal/des/linttestdata")
+}
+
+// TestOutOfScope checks that packages outside the simulation set may use the
+// wall clock (the signaling server legitimately measures real time).
+func TestOutOfScope(t *testing.T) {
+	linttest.RunExpectNone(t, randsrc.Analyzer, "testdata/d", "fafnet/internal/signaling/linttestdata")
+}

@@ -1,0 +1,23 @@
+// Package d exercises the randsrc analyzer: global math/rand draws and wall
+// clock reads are flagged inside simulation packages; seeded constructors
+// and instance methods stay silent.
+package d
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = rand.Float64() // want `global rand.Float64 breaks seeded replay`
+	_ = rand.Intn(4)   // want `global rand.Intn breaks seeded replay`
+	_ = time.Now()     // want `time.Now reads the wall clock`
+	_ = time.Since     // want `time.Since reads the wall clock`
+}
+
+func good() time.Duration {
+	r := rand.New(rand.NewSource(42)) // seeded constructor: the sanctioned way in
+	_ = r.Float64()                   // method on an explicit generator
+	_ = r.Perm(4)
+	return 3 * time.Second // time arithmetic without the wall clock is fine
+}

@@ -1,0 +1,41 @@
+// Package a exercises the unitcheck analyzer: true positives for
+// cross-dimension arithmetic and deliberate near-misses that must stay
+// silent.
+package a
+
+import "math"
+
+func needBits(payloadBits float64) float64 { return payloadBits }
+
+func positives(totalDelay, frameBits, linkRate, peakRate float64) {
+	_ = totalDelay + frameBits  // want `cross-dimension addition: seconds \+ bits`
+	_ = linkRate * peakRate     // want `suspicious product dimension`
+	_ = totalDelay <= frameBits // want `cross-dimension comparison`
+	_ = needBits(totalDelay)    // want `argument is seconds but parameter "payloadBits"`
+
+	var queueDelay float64
+	queueDelay = frameBits // want `bits value stored in "queueDelay"`
+	_ = queueDelay
+}
+
+type config struct {
+	HopLatency float64
+}
+
+func positiveComposite(burstBits float64) config {
+	return config{HopLatency: burstBits} // want `bits value stored in "HopLatency"`
+}
+
+func negatives(txDelay, frameBits, linkRate float64, n int) {
+	_ = txDelay + frameBits/linkRate // bits/bps is seconds: consistent
+	_ = linkRate * txDelay           // bps*seconds is bits: sanctioned
+	_ = txDelay * 2                  // scalar scaling preserves the dimension
+	_ = frameBits / float64(n)       // unknown divisor: stay silent
+	_ = math.Max(txDelay, 0)         // dimension-preserving helper
+	total := txDelay + 1e-9          // additive tolerance rides along
+	_ = total
+	h := 0.004            // terse locals have no declared dimension
+	_ = h * frameBits     // unknown operand: stay silent
+	_ = txDelay - 2e-3    // literal operands are scalars
+	_ = frameBits * 2 / 8 // scalar chain keeps bits
+}

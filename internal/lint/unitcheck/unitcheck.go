@@ -1,0 +1,178 @@
+// Package unitcheck defines an analyzer that enforces the dimensional
+// conventions of internal/units: every float64 in this repository is seconds,
+// bits, or bits-per-second, declared through its name. The analyzer infers
+// dimensions with internal/lint/dims and reports arithmetic that mixes them.
+package unitcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fafnet/internal/lint"
+	"fafnet/internal/lint/dims"
+)
+
+// Analyzer flags cross-dimension arithmetic on float64 quantities.
+var Analyzer = &lint.Analyzer{
+	Name: "unitcheck",
+	Doc: `check dimensional consistency of float64 seconds/bits/bps quantities
+
+Dimensions are inferred from identifier names per the internal/units
+conventions (Delay, TTRT, Latency → seconds; *Bits, *Kbit → bits; *Bps,
+*Rate, Bandwidth* → bits/second). The analyzer reports additions,
+subtractions and comparisons between different dimensions, products and
+quotients whose result is not a sanctioned dimension (seconds², rate²,
+bit-seconds), assignments of one dimension to a name declaring another, and
+call arguments whose dimension contradicts the parameter name.`,
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, n)
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			case *ast.ValueSpec:
+				checkValueSpec(pass, n)
+			case *ast.CompositeLit:
+				checkCompositeLit(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBinary(pass *lint.Pass, e *ast.BinaryExpr) {
+	info := pass.TypesInfo
+	switch e.Op {
+	case token.ADD, token.SUB,
+		token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		ld, lk := dims.OfExpr(info, e.X)
+		rd, rk := dims.OfExpr(info, e.Y)
+		if lk == dims.Physical && rk == dims.Physical && ld != rd {
+			pass.Reportf(e.OpPos, "cross-dimension %s: %s %s %s", describeOp(e.Op), ld, e.Op, rd)
+		}
+	case token.MUL, token.QUO:
+		d, k := dims.OfExpr(info, e)
+		if k == dims.Physical && !d.Recognized() {
+			pass.Reportf(e.OpPos, "suspicious product dimension %s (operands %s and %s)", d, fmtOperand(info, e.X), fmtOperand(info, e.Y))
+		}
+	}
+}
+
+func describeOp(op token.Token) string {
+	switch op {
+	case token.ADD:
+		return "addition"
+	case token.SUB:
+		return "subtraction"
+	default:
+		return "comparison"
+	}
+}
+
+func fmtOperand(info *types.Info, e ast.Expr) string {
+	d, k := dims.OfExpr(info, e)
+	if k == dims.Physical {
+		return d.String()
+	}
+	return "dimensionless"
+}
+
+// checkCall compares each float argument's inferred dimension against the
+// dimension declared by the callee's parameter name.
+func checkCall(pass *lint.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	var callee *types.Func
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		callee, _ = info.Uses[fn].(*types.Func)
+	case *ast.SelectorExpr:
+		callee, _ = info.Uses[fn.Sel].(*types.Func)
+	}
+	if callee == nil {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if ok && sig.Variadic() {
+		return // variadic tails (MergeGrids, Printf) carry no per-param names
+	}
+	if !ok || sig.Params().Len() != len(call.Args) {
+		return
+	}
+	for i, arg := range call.Args {
+		param := sig.Params().At(i)
+		pd, pok := dims.FromName(param.Name())
+		if !pok {
+			continue
+		}
+		ad, ak := dims.OfExpr(info, arg)
+		if ak == dims.Physical && ad != pd {
+			pass.Reportf(arg.Pos(), "argument is %s but parameter %q of %s wants %s", ad, param.Name(), callee.Name(), pd)
+		}
+	}
+}
+
+// checkAssign compares the dimension declared by each assigned name against
+// the dimension of the corresponding value.
+func checkAssign(pass *lint.Pass, s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		reportStore(pass, lhs, s.Rhs[i])
+	}
+}
+
+func checkValueSpec(pass *lint.Pass, s *ast.ValueSpec) {
+	if len(s.Names) != len(s.Values) {
+		return
+	}
+	for i, name := range s.Names {
+		reportStore(pass, name, s.Values[i])
+	}
+}
+
+// checkCompositeLit checks keyed struct-literal fields: Field: value.
+func checkCompositeLit(pass *lint.Pass, lit *ast.CompositeLit) {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		reportStore(pass, key, kv.Value)
+	}
+}
+
+// reportStore flags a value of one dimension stored under a name that
+// declares another.
+func reportStore(pass *lint.Pass, dst, src ast.Expr) {
+	var name string
+	switch dst := dst.(type) {
+	case *ast.Ident:
+		name = dst.Name
+	case *ast.SelectorExpr:
+		name = dst.Sel.Name
+	default:
+		return
+	}
+	dd, dok := dims.FromName(name)
+	if !dok {
+		return
+	}
+	sd, sk := dims.OfExpr(pass.TypesInfo, src)
+	if sk == dims.Physical && sd != dd {
+		pass.Reportf(src.Pos(), "%s value stored in %q, which is declared %s by name", sd, name, dd)
+	}
+}

@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// This file implements the `go vet -vettool` driver protocol — a
+// dependency-free equivalent of golang.org/x/tools/go/analysis/unitchecker.
+// The go command invokes the tool three ways:
+//
+//	fafvet -V=full        print a version line keyed by the binary's hash
+//	fafvet -flags         print the supported flags as JSON
+//	fafvet [flags] x.cfg  analyze one package described by the JSON config
+//
+// The .cfg file names the package's sources and maps each import path to a
+// compiler export-data file; type-checking therefore needs no network, no
+// GOPATH and no source for dependencies.
+
+// Config is the per-package configuration the go command writes for vet
+// tools. Field names and semantics follow cmd/go's vetConfig.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vettool built from lint analyzers. It never
+// returns.
+func Main(analyzers ...*Analyzer) {
+	progname := os.Args[0]
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	printVersion := flag.String("V", "", "print version and exit (-V=full)")
+	printFlags := flag.Bool("flags", false, "print analyzer flags in JSON")
+	enabled := make(map[string]*bool)
+	for _, a := range analyzers {
+		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+firstLine(a.Doc))
+	}
+	flag.Parse()
+
+	switch {
+	case *printVersion == "full":
+		versionLine(progname)
+		os.Exit(0)
+	case *printVersion != "":
+		log.Fatalf("unsupported flag value: -V=%s", *printVersion)
+	case *printFlags:
+		flagsJSON(analyzers)
+		os.Exit(0)
+	}
+
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		log.Fatalf(`invoke via "go vet -vettool=%s [packages]"`, progname)
+	}
+	var active []*Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+	diags, err := runConfig(args[0], active)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// versionLine prints the tool identification the go command's build cache
+// expects: "<prog> version devel comments-go-here buildID=<content hash>".
+func versionLine(progname string) {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h.Sum(nil)[:16]))
+}
+
+// flagsJSON prints the flag inventory `go vet` queries before running the
+// tool, in the format cmd/go/internal/vet expects.
+func flagsJSON(analyzers []*Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{
+		{Name: "V", Bool: false, Usage: "print version and exit"},
+		{Name: "flags", Bool: true, Usage: "print analyzer flags in JSON"},
+	}
+	for _, a := range analyzers {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: firstLine(a.Doc)})
+	}
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(append(data, '\n'))
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// runConfig analyzes the one package described by cfgFile and returns its
+// diagnostics.
+func runConfig(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, fmt.Errorf("reading vet config: %w", err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", cfgFile, err)
+	}
+
+	// The go command caches and reuses this file; it must exist even though
+	// these analyzers exchange no cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, fmt.Errorf("writing facts output: %w", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			path = importPath
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tc := &types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+	return RunAnalyzers(fset, files, pkg, info, analyzers)
+}

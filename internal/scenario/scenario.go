@@ -15,6 +15,7 @@ import (
 	"fafnet/internal/core"
 	"fafnet/internal/topo"
 	"fafnet/internal/traffic"
+	"fafnet/internal/units"
 )
 
 // Scenario is the top-level JSON document.
@@ -93,9 +94,9 @@ func (s Source) Descriptor() (traffic.Descriptor, error) {
 	}
 	switch s.Type {
 	case "dualPeriodic":
-		return traffic.NewDualPeriodic(s.C1Kbit*1e3, s.P1Millis*1e-3, s.C2Kbit*1e3, s.P2Millis*1e-3, peak)
+		return traffic.NewDualPeriodic(s.C1Kbit*1e3, s.P1Millis*units.Millisecond, s.C2Kbit*1e3, s.P2Millis*units.Millisecond, peak)
 	case "periodic":
-		return traffic.NewPeriodic(s.C1Kbit*1e3, s.P1Millis*1e-3, peak)
+		return traffic.NewPeriodic(s.C1Kbit*1e3, s.P1Millis*units.Millisecond, peak)
 	case "cbr":
 		return traffic.NewCBR(s.RateMbps * 1e6)
 	case "leakyBucket":
@@ -116,7 +117,7 @@ func (r Request) Spec() (core.ConnSpec, error) {
 		Src:      topo.HostID{Ring: r.SrcRing, Index: r.SrcHost},
 		Dst:      topo.HostID{Ring: r.DstRing, Index: r.DstHost},
 		Source:   desc,
-		Deadline: r.DeadlineMillis * 1e-3,
+		Deadline: r.DeadlineMillis * units.Millisecond,
 	}
 	if err := spec.Validate(); err != nil {
 		return core.ConnSpec{}, err
@@ -144,7 +145,7 @@ func (s Scenario) TopologyConfig() topo.Config {
 		cfg.LinkBps = t.LinkMbps * 1e6
 	}
 	if t.TTRTMillis > 0 {
-		cfg.Ring.TTRT = t.TTRTMillis * 1e-3
+		cfg.Ring.TTRT = t.TTRTMillis * units.Millisecond
 	}
 	return cfg
 }
@@ -166,7 +167,7 @@ func (s Scenario) CACOptions() (core.Options, error) {
 	default:
 		return core.Options{}, fmt.Errorf("scenario: unknown rule %q", s.CAC.Rule)
 	}
-	opts.HMinAbs = s.CAC.HMinAbsMicros * 1e-6
+	opts.HMinAbs = s.CAC.HMinAbsMicros * units.Microsecond
 	return opts, nil
 }
 

@@ -67,6 +67,10 @@ func (o Options) withDefaults() Options {
 // ErrUnstable indicates the token rate cannot sustain the input.
 var ErrUnstable = errors.New("shaper: token rate below the input's long-term rate")
 
+// initialHorizon seeds the doubling busy-period search (seconds), matching
+// the ATM mux default.
+const initialHorizon = 16e-3
+
 // Analyze bounds a (σ, ρ) regulator fed by in: the worst-case shaping delay
 // is the largest time by which the bucket constraint lags the arrivals,
 //
@@ -93,15 +97,15 @@ func Analyze(in traffic.Descriptor, spec Spec, opts Options) (Result, error) {
 	var delay float64
 	found := false
 	prev := -1.0
-	for horizon := 16e-3; horizon <= opts.MaxHorizon*2; horizon *= 2 {
-		grid := traffic.MergeGrids(horizon, traffic.Grid(in, horizon, opts.GridPoints), []float64{1e-10})
+	for horizon := initialHorizon; horizon <= opts.MaxHorizon*2; horizon *= 2 {
+		grid := traffic.MergeGrids(horizon, traffic.Grid(in, horizon, opts.GridPoints), []float64{traffic.GridNudge})
 		for _, t := range grid {
 			if lag := (in.Bits(t)-spec.SigmaBits)/spec.RhoBps - t; lag > delay {
 				delay = lag
 			}
 		}
 		caughtUp := in.Bits(horizon) <= spec.SigmaBits+spec.RhoBps*horizon+units.Eps
-		if caughtUp && delay == prev {
+		if caughtUp && units.AlmostEq(delay, prev) {
 			found = true
 			break
 		}

@@ -60,6 +60,18 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
+// Addr returns the address the server is listening on, or nil when Serve has
+// not yet stored its listener. Callers that need the address to reach a server
+// started concurrently should prefer the address they dialed.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
 // Close stops accepting and closes the listener. In-flight requests finish.
 func (s *Server) Close() error {
 	s.mu.Lock()

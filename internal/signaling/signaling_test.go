@@ -163,9 +163,12 @@ func TestProtocolErrors(t *testing.T) {
 }
 
 func TestConcurrentClients(t *testing.T) {
-	client1, srv := startServer(t)
-	// Second client over a raw dial to the same server.
-	addr := srv.listener.Addr().String()
+	client1, _ := startServer(t)
+	// Second client over a raw dial to the same server. The address comes
+	// from the first client's connection: srv.listener is written by the
+	// Serve goroutine, so reading it here would race (and Addr() may still
+	// be nil if Serve has not run yet).
+	addr := client1.conn.RemoteAddr().String()
 	client2, err := Dial(addr, 2*time.Second)
 	if err != nil {
 		t.Fatal(err)

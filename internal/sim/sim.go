@@ -16,6 +16,7 @@ import (
 	"fafnet/internal/stats"
 	"fafnet/internal/topo"
 	"fafnet/internal/traffic"
+	"fafnet/internal/units"
 )
 
 // SourceParams is the dual-periodic source model of Eq. 37.
@@ -54,10 +55,10 @@ type Workload struct {
 // Figures 7–8 explore.
 func DefaultWorkload() Workload {
 	return Workload{
-		Source:       SourceParams{C1: 50e3, P1: 10e-3, C2: 10e3, P2: 1e-3, PeakBps: 100e6},
+		Source:       SourceParams{C1: 50e3, P1: 10 * units.Millisecond, C2: 10e3, P2: units.Millisecond, PeakBps: 100e6},
 		MeanLifetime: 60,
-		DeadlineMin:  30e-3,
-		DeadlineMax:  70e-3,
+		DeadlineMin:  30 * units.Millisecond,
+		DeadlineMax:  70 * units.Millisecond,
 	}
 }
 

@@ -56,6 +56,9 @@ func TestRunBasics(t *testing.T) {
 }
 
 func TestRunDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full admission runs in -short mode")
+	}
 	a, err := Run(fastCfg(0.5, 42))
 	if err != nil {
 		t.Fatal(err)
@@ -117,6 +120,9 @@ func TestArrivalRateFormula(t *testing.T) {
 }
 
 func TestHigherLoadLowersAP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load comparison runs in -short mode")
+	}
 	low, err := Run(fastCfg(0.2, 7))
 	if err != nil {
 		t.Fatal(err)
@@ -131,6 +137,9 @@ func TestHigherLoadLowersAP(t *testing.T) {
 }
 
 func TestBetaSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("β sweep in -short mode")
+	}
 	base := fastCfg(0, 3)
 	base.Requests = 40
 	base.Warmup = 5
@@ -155,6 +164,9 @@ func TestBetaSweepShape(t *testing.T) {
 }
 
 func TestLoadSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load sweep in -short mode")
+	}
 	base := fastCfg(0, 5)
 	base.Requests = 40
 	base.Warmup = 5
@@ -171,6 +183,9 @@ func TestLoadSweepShape(t *testing.T) {
 }
 
 func TestRuleSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rule sweep in -short mode")
+	}
 	base := fastCfg(0, 9)
 	base.Requests = 30
 	base.Warmup = 5
@@ -187,6 +202,9 @@ func TestRuleSweepShape(t *testing.T) {
 }
 
 func TestRunReplicated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated runs in -short mode")
+	}
 	cfg := fastCfg(0.5, 77)
 	cfg.Requests = 30
 	cfg.Warmup = 5

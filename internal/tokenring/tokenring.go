@@ -40,13 +40,24 @@ type RingConfig struct {
 	HopLatency float64
 }
 
+// Default 802.5 timing parameters.
+const (
+	// defaultWalkTime is the token walk latency per rotation (seconds).
+	defaultWalkTime = 0.5e-3
+	// defaultTargetRotation is the rotation target (seconds), the 802.5
+	// counterpart of FDDI's TTRT.
+	defaultTargetRotation = 8e-3
+	// defaultHopLatency is the per-hop propagation latency (seconds).
+	defaultHopLatency = 5e-6
+)
+
 // DefaultRingConfig returns a 16 Mb/s ring with an 8 ms rotation target.
 func DefaultRingConfig() RingConfig {
 	return RingConfig{
 		BandwidthBps:   Rate16Mbps,
-		WalkTime:       0.5e-3,
-		TargetRotation: 8e-3,
-		HopLatency:     5e-6,
+		WalkTime:       defaultWalkTime,
+		TargetRotation: defaultTargetRotation,
+		HopLatency:     defaultHopLatency,
 	}
 }
 
@@ -59,7 +70,7 @@ func (c RingConfig) Validate() error {
 		return fmt.Errorf("tokenring: target rotation %v must be positive", c.TargetRotation)
 	case c.WalkTime < 0:
 		return fmt.Errorf("tokenring: walk time %v must be non-negative", c.WalkTime)
-	case c.WalkTime >= c.TargetRotation:
+	case c.WalkTime >= c.TargetRotation: //lint:allow floatcmp exact validation bound: any WalkTime strictly below TargetRotation is acceptable
 		return fmt.Errorf("tokenring: walk time %v leaves no usable rotation (%v)", c.WalkTime, c.TargetRotation)
 	case c.HopLatency < 0:
 		return fmt.Errorf("tokenring: hop latency %v must be non-negative", c.HopLatency)

@@ -51,17 +51,28 @@ type Config struct {
 	Switch atm.SwitchParams
 }
 
+// Section 6 evaluation constants.
+const (
+	// defaultTTRT is the evaluation rings' target token rotation time
+	// (seconds); real-time FDDI deployments tuned the TTRT low.
+	defaultTTRT = 4e-3
+	// defaultRingOverhead is the per-rotation protocol overhead Δ (seconds).
+	defaultRingOverhead = 0.25e-3
+	// defaultLinkPropagation is the propagation delay of every ATM link
+	// (seconds).
+	defaultLinkPropagation = 10e-6
+)
+
 // Default returns the evaluation network of Section 6: three FDDI rings with
 // four hosts each, three interface devices, and three switches on 155 Mb/s
-// links. The rings run a 4 ms TTRT — real-time FDDI deployments tuned the
-// TTRT low, and it keeps the two-MAC protocol floor (≈2·TTRT per ring) well
-// under the evaluation's deadlines.
+// links. The rings run a 4 ms TTRT, which keeps the two-MAC protocol floor
+// (≈2·TTRT per ring) well under the evaluation's deadlines.
 func Default() Config {
 	ring := fddi.RingConfig{
 		BandwidthBps: fddi.DefaultBandwidthBps,
-		TTRT:         4e-3,
-		Overhead:     0.25e-3,
-		HopLatency:   5e-6,
+		TTRT:         defaultTTRT,
+		Overhead:     defaultRingOverhead,
+		HopLatency:   fddi.DefaultHopLatency,
 	}
 	return Config{
 		NumRings:        3,
@@ -69,7 +80,7 @@ func Default() Config {
 		Ring:            ring,
 		NumSwitches:     3,
 		LinkBps:         atm.DefaultLinkBps,
-		LinkPropagation: 10e-6,
+		LinkPropagation: defaultLinkPropagation,
 		ID:              ifdev.DefaultParams(),
 		Switch:          atm.DefaultSwitchParams(),
 	}

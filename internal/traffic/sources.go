@@ -276,7 +276,7 @@ func (b LeakyBucket) PeakRate() float64 {
 // Breakpoints implements BreakpointProvider: the only vertex is where the
 // peak segment meets the sustained segment.
 func (b LeakyBucket) Breakpoints(float64) []float64 {
-	if b.PeakBps <= b.Rho || b.PeakBps == 0 {
+	if b.PeakBps == 0 || units.AlmostLE(b.PeakBps, b.Rho) {
 		return nil
 	}
 	return []float64{b.Sigma / (b.PeakBps - b.Rho)}

@@ -50,9 +50,11 @@ func Rate(d Descriptor, interval float64) float64 {
 	return d.Bits(interval) / interval
 }
 
-// jitterEps is the offset used to probe an envelope "just after" a burst
-// instant. It is far below any physical time constant in the system.
-const jitterEps = 1e-10
+// GridNudge is the offset (seconds) used to probe an envelope "just after"
+// or "just before" a burst instant or grid vertex. It is far below any
+// physical time constant in the system; extremum searches across the
+// analysis packages bracket candidate points with ±GridNudge.
+const GridNudge = 1e-10
 
 // Grid returns a sorted, deduplicated slice of candidate evaluation points in
 // (0, horizon] for extremum searches involving d. The grid combines:
@@ -84,13 +86,13 @@ func Grid(d Descriptor, horizon float64, n int) []float64 {
 			if b > 0 {
 				pts = append(pts, b)
 			}
-			if b > jitterEps {
-				pts = append(pts, b-jitterEps)
+			if b > GridNudge {
+				pts = append(pts, b-GridNudge)
 			}
-			if b+jitterEps <= horizon {
+			if b+GridNudge <= horizon {
 				// Probing just after a vertex also covers a burst at b=0,
 				// where the envelope jumps but 0 itself is outside the grid.
-				pts = append(pts, b+jitterEps)
+				pts = append(pts, b+GridNudge)
 			}
 		}
 	}

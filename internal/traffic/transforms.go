@@ -126,7 +126,7 @@ func (d Delayed) Breakpoints(horizon float64) []float64 {
 	inner := bp.Breakpoints(horizon + d.Delay)
 	pts := make([]float64, 0, len(inner))
 	for _, t := range inner {
-		if s := t - d.Delay; s > 0 && s <= horizon {
+		if s := t - d.Delay; s > 0 && units.AlmostLE(s, horizon) {
 			pts = append(pts, s)
 		}
 	}
@@ -184,7 +184,8 @@ func (q Quantized) Bits(interval float64) float64 {
 // window, which vanishes in the long-term limit, but padding scales the rate
 // by Out/Quantum.
 func (q Quantized) LongTermRate() float64 {
-	return q.Inner.LongTermRate() * q.OutBits / q.QuantumBits
+	// The padding ratio Out/Quantum is a dimensionless scale on the rate.
+	return q.Inner.LongTermRate() * (q.OutBits / q.QuantumBits)
 }
 
 // Breakpoints implements BreakpointProvider by delegation; the ceil steps at
@@ -392,7 +393,7 @@ func (s *Sampled) LongTermRate() float64 { return s.rho }
 // potential vertex.
 func (s *Sampled) Breakpoints(horizon float64) []float64 {
 	idx := sort.SearchFloat64s(s.grid, horizon)
-	if idx < len(s.grid) && s.grid[idx] <= horizon {
+	if idx < len(s.grid) && units.AlmostLE(s.grid[idx], horizon) {
 		idx++
 	}
 	out := make([]float64, idx)
