@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"fafnet/internal/core"
@@ -26,13 +27,15 @@ func main() {
 		verbose = flag.Bool("v", false, "print the delay breakdown of every admitted connection")
 	)
 	flag.Parse()
-	if err := run(*path, *verbose); err != nil {
+	if err := run(os.Stdout, *path, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "fafcac:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, verbose bool) error {
+// run executes the scenario and writes the decision log to w. Keeping w a
+// parameter lets the golden-file test pin the output bytes.
+func run(w io.Writer, path string, verbose bool) error {
 	var (
 		s   scenario.Scenario
 		err error
@@ -56,16 +59,16 @@ func run(path string, verbose bool) error {
 		return err
 	}
 
-	fmt.Printf("scenario %q: %d rings × %d hosts, %d switches, beta=%.2g, rule=%s\n\n",
+	fmt.Fprintf(w, "scenario %q: %d rings × %d hosts, %d switches, beta=%.2g, rule=%s\n\n",
 		s.Name, net.Config().NumRings, net.Config().HostsPerRing, net.Config().NumSwitches,
 		ctl.Options().Beta, ctl.Options().Rule)
 
 	for i, a := range s.Actions {
 		if a.Release != "" {
 			if ctl.Release(a.Release) {
-				fmt.Printf("%2d. release %-10s ok\n", i+1, a.Release)
+				fmt.Fprintf(w, "%2d. release %-10s ok\n", i+1, a.Release)
 			} else {
-				fmt.Printf("%2d. release %-10s (not admitted)\n", i+1, a.Release)
+				fmt.Fprintf(w, "%2d. release %-10s (not admitted)\n", i+1, a.Release)
 			}
 			continue
 		}
@@ -78,30 +81,30 @@ func run(path string, verbose bool) error {
 			return err
 		}
 		if !dec.Admitted {
-			fmt.Printf("%2d. admit   %-10s REJECTED: %s (probes=%d)\n", i+1, spec.ID, dec.Reason, dec.Probes)
+			fmt.Fprintf(w, "%2d. admit   %-10s REJECTED: %s (probes=%d)\n", i+1, spec.ID, dec.Reason, dec.Probes)
 			continue
 		}
-		fmt.Printf("%2d. admit   %-10s %v→%v  H_S=%.3fms H_R=%.3fms  delay=%.2fms/deadline=%.0fms (probes=%d)\n",
+		fmt.Fprintf(w, "%2d. admit   %-10s %v→%v  H_S=%.3fms H_R=%.3fms  delay=%.2fms/deadline=%.0fms (probes=%d)\n",
 			i+1, spec.ID, spec.Src, spec.Dst, dec.HS*1e3, dec.HR*1e3,
 			dec.Delays[spec.ID]*1e3, spec.Deadline*1e3, dec.Probes)
 		if verbose {
-			printBreakdown(ctl, spec.ID)
+			printBreakdown(w, ctl, spec.ID)
 		}
 	}
 
-	fmt.Println()
-	fmt.Println("final state:")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "final state:")
 	report, err := ctl.DelayReport()
 	if err != nil {
 		return err
 	}
 	for _, c := range ctl.Connections() {
-		fmt.Printf("  %-10s %v→%v  worst-case %.2f ms  (deadline %.0f ms, slack %.2f ms)\n",
+		fmt.Fprintf(w, "  %-10s %v→%v  worst-case %.2f ms  (deadline %.0f ms, slack %.2f ms)\n",
 			c.ID, c.Src, c.Dst, report[c.ID]*1e3, c.Deadline*1e3, (c.Deadline-report[c.ID])*1e3)
 	}
 	for r := 0; r < net.NumRings(); r++ {
 		ring := net.Ring(r)
-		fmt.Printf("  ring %d: %.3f ms of %.3f ms synchronous time allocated\n",
+		fmt.Fprintf(w, "  ring %d: %.3f ms of %.3f ms synchronous time allocated\n",
 			r, ring.Allocated()*1e3, ring.Config().UsableTTRT()*1e3)
 	}
 	if verbose {
@@ -109,27 +112,27 @@ func run(path string, verbose bool) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("buffer provisioning (Theorem 1, Eq. 10):")
+		fmt.Fprintln(w, "buffer provisioning (Theorem 1, Eq. 10):")
 		for _, b := range buffers {
-			fmt.Printf("  %-10s source MAC %.1f kbit, interface-device MAC %.1f kbit\n",
+			fmt.Fprintf(w, "  %-10s source MAC %.1f kbit, interface-device MAC %.1f kbit\n",
 				b.ConnID, b.SrcBufferBits/1e3, b.DstBufferBits/1e3)
 		}
 	}
 	return nil
 }
 
-func printBreakdown(ctl *core.Controller, id string) {
+func printBreakdown(w io.Writer, ctl *core.Controller, id string) {
 	bd, err := ctl.BreakdownFor(id)
 	if err != nil {
-		fmt.Printf("      breakdown unavailable: %v\n", err)
+		fmt.Fprintf(w, "      breakdown unavailable: %v\n", err)
 		return
 	}
-	fmt.Printf("      src MAC %.3fms", bd.SrcMAC*1e3)
+	fmt.Fprintf(w, "      src MAC %.3fms", bd.SrcMAC*1e3)
 	for _, p := range bd.Ports {
-		fmt.Printf(" | %s %.3fms", p.Port, p.Delay*1e3)
+		fmt.Fprintf(w, " | %s %.3fms", p.Port, p.Delay*1e3)
 	}
 	if bd.DstMAC > 0 {
-		fmt.Printf(" | dst MAC %.3fms", bd.DstMAC*1e3)
+		fmt.Fprintf(w, " | dst MAC %.3fms", bd.DstMAC*1e3)
 	}
-	fmt.Printf(" | constant %.3fms = %.3fms\n", bd.Constant*1e3, bd.Total*1e3)
+	fmt.Fprintf(w, " | constant %.3fms = %.3fms\n", bd.Constant*1e3, bd.Total*1e3)
 }

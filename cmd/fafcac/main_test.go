@@ -1,13 +1,18 @@
 package main
 
 import (
+	"bytes"
+	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 )
 
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
 func TestRunDefaultScenario(t *testing.T) {
-	if err := run("", true); err != nil {
+	if err := run(io.Discard, "", true); err != nil {
 		t.Fatalf("default scenario failed: %v", err)
 	}
 }
@@ -27,13 +32,44 @@ func TestRunScenarioFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(doc), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, false); err != nil {
+	if err := run(io.Discard, path, false); err != nil {
 		t.Fatalf("scenario file failed: %v", err)
 	}
 }
 
 func TestRunMissingFile(t *testing.T) {
-	if err := run("/nonexistent.json", false); err == nil {
+	if err := run(io.Discard, "/nonexistent.json", false); err == nil {
 		t.Error("missing scenario should error")
+	}
+}
+
+// TestOutputMatchesGolden pins the demo scenario's verbose output byte for
+// byte. The log encodes every admission decision, allocation, delay bound
+// and buffer size of the paper's built-in demonstration; a refactor or
+// sweep that changes any digit here changed the admission arithmetic and
+// must justify itself. Regenerate deliberately with:
+//
+//	go test ./cmd/fafcac -run TestOutputMatchesGolden -update
+func TestOutputMatchesGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", true); err != nil {
+		t.Fatalf("default scenario failed: %v", err)
+	}
+	golden := filepath.Join("testdata", "demo.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output differs from %s (regenerate with -update if the change is intended)\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
 	}
 }

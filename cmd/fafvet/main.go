@@ -1,27 +1,41 @@
-// Command fafvet is this repository's static-analysis suite, run as a vet
-// tool:
+// Command fafvet is this repository's static-analysis suite. It runs two
+// ways. As a vet tool, per package:
 //
 //	go build -o bin/fafvet ./cmd/fafvet
 //	go vet -vettool=$(pwd)/bin/fafvet ./...
 //
-// It bundles four analyzers that enforce the correctness conventions the Go
+// And as a standalone driver over package patterns, which re-invokes go vet
+// against itself, aggregates diagnostics across packages, applies the
+// committed baseline, and emits text, JSON or SARIF 2.1.0:
+//
+//	bin/fafvet -baseline=.fafvet-baseline.json ./...
+//	bin/fafvet -format=sarif -o fafvet.sarif ./...
+//
+// It bundles seven analyzers that enforce the correctness conventions the Go
 // type system cannot see (README "Static analysis & unit conventions"):
 //
 //	unitcheck  dimensional consistency of float64 seconds/bits/bps
 //	floatcmp   no exact ==/<=/>= between computed physical quantities
 //	epslit     no raw tolerance/physical-constant literals
 //	randsrc    no unseeded randomness or wall-clock reads in simulators
+//	flowdims   interprocedural unit dataflow via exported per-package facts
+//	desorder   no goroutines/channels/sleeps/global writes in DES handlers
+//	lockorder  consistent mutex ordering, no blocking calls under a lock
 //
 // Individual analyzers can be disabled with -<name>=false. Findings are
-// suppressed in source with a justified comment:
+// suppressed in source with a justified comment (unused suppressions are
+// themselves findings):
 //
 //	//lint:allow <analyzer> <reason>
 package main
 
 import (
 	"fafnet/internal/lint"
+	"fafnet/internal/lint/desorder"
 	"fafnet/internal/lint/epslit"
 	"fafnet/internal/lint/floatcmp"
+	"fafnet/internal/lint/flowdims"
+	"fafnet/internal/lint/lockorder"
 	"fafnet/internal/lint/randsrc"
 	"fafnet/internal/lint/unitcheck"
 )
@@ -32,5 +46,8 @@ func main() {
 		floatcmp.Analyzer,
 		epslit.Analyzer,
 		randsrc.Analyzer,
+		flowdims.Analyzer,
+		desorder.Analyzer,
+		lockorder.Analyzer,
 	)
 }

@@ -56,53 +56,106 @@ func TestSeededViolationsFail(t *testing.T) {
 	bin := buildTool(t)
 
 	cases := []struct {
-		name string
-		file string
-		src  string
-		want string // diagnostic substring expected in the vet output
+		name  string
+		files map[string]string
+		want  string // diagnostic substring expected in the vet output
 	}{
 		{
 			name: "randsrc global rand",
-			file: "internal/des/bad.go",
-			src: `package des
+			files: map[string]string{"internal/des/bad.go": `package des
 
 import "math/rand"
 
 func Jitter() float64 { return rand.Float64() }
-`,
+`},
 			want: "breaks seeded replay",
 		},
 		{
 			name: "epslit raw tolerance literal",
-			file: "internal/core/bad.go",
-			src: `package core
+			files: map[string]string{"internal/core/bad.go": `package core
 
 var ttrt = 4e-3
-`,
+`},
 			want: "raw physical literal",
 		},
 		{
 			name: "floatcmp exact comparison",
-			file: "internal/core/bad.go",
-			src: `package core
+			files: map[string]string{"internal/core/bad.go": `package core
 
 func Beats(delayA, delayB float64) bool { return delayA <= delayB }
-`,
+`},
 			want: "units.AlmostLE",
 		},
 		{
 			name: "unitcheck dimension mismatch",
-			file: "internal/core/bad.go",
-			src: `package core
+			files: map[string]string{"internal/core/bad.go": `package core
 
 func Sum(delay, rateBps float64) float64 { return delay + rateBps }
-`,
+`},
 			want: "cross-dimension addition",
+		},
+		{
+			// flowdims needs two packages: the unit of Span's result is only
+			// known through the fact file exported when vetting package a.
+			name: "flowdims cross-package unit flow",
+			files: map[string]string{
+				"internal/core/a/a.go": `package a
+
+// Span returns the gap between two delays.
+func Span(startDelay, endDelay float64) float64 { return endDelay - startDelay }
+`,
+				"internal/core/b/b.go": `package b
+
+import "fafnet/internal/core/a"
+
+func Use(aDelay, bDelay float64) float64 {
+	var frameBits float64
+	frameBits = a.Span(aDelay, bDelay)
+	return frameBits
+}
+`,
+			},
+			want: `seconds value flows into "frameBits"`,
+		},
+		{
+			name: "desorder goroutine in event handler",
+			files: map[string]string{"internal/des/bad.go": `package des
+
+type Sim struct{}
+
+func (s *Sim) Schedule(t float64, fire func()) error { fire(); _ = t; return nil }
+
+func Chatter(s *Sim, done chan int) error {
+	return s.Schedule(1, func() {
+		go func() { done <- 1 }()
+	})
+}
+`},
+			want: "goroutine spawned inside a DES event handler",
+		},
+		{
+			name: "lockorder wait under mutex",
+			files: map[string]string{"internal/signaling/bad.go": `package signaling
+
+import "sync"
+
+type Srv struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+}
+
+func (s *Srv) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wg.Wait()
+}
+`},
+			want: "WaitGroup.Wait while s.mu is held",
 		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			dir := writeModule(t, map[string]string{tc.file: tc.src})
+			dir := writeModule(t, tc.files)
 			out, ok := vetModule(t, bin, dir)
 			if ok {
 				t.Fatalf("vet passed on a module seeded with a %s violation", tc.name)
@@ -132,8 +185,10 @@ func Later(delayA, delayB float64) bool { return delayA < delayB }
 	}
 }
 
-// TestRepoIsClean runs the suite over this repository: the tree must stay at
-// zero findings so the vet gate keeps meaning "no new violations".
+// TestRepoIsClean runs the suite over this repository in driver mode with
+// the committed baseline: the tree must stay at zero non-baselined findings
+// so the vet gate keeps meaning "no new violations", and the baseline must
+// stay fresh (stale entries are findings too).
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-repository vet sweep in -short mode")
@@ -143,7 +198,9 @@ func TestRepoIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out, ok := vetModule(t, bin, root); !ok {
-		t.Fatalf("fafvet reports findings on the repository:\n%s", out)
+	cmd := exec.Command(bin, "-baseline=.fafvet-baseline.json", "./...")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("fafvet reports findings on the repository: %v\n%s", err, out)
 	}
 }

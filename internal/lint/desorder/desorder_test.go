@@ -1,0 +1,19 @@
+package desorder_test
+
+import (
+	"testing"
+
+	"fafnet/internal/lint/desorder"
+	"fafnet/internal/lint/linttest"
+)
+
+func TestDesorder(t *testing.T) {
+	linttest.Run(t, desorder.Analyzer, "testdata/e", "fafnet/internal/des/linttestdata")
+}
+
+// TestOutOfScope checks that packages outside the simulator set may schedule
+// whatever they like (the signaling server legitimately spawns per-connection
+// goroutines).
+func TestOutOfScope(t *testing.T) {
+	linttest.RunExpectNone(t, desorder.Analyzer, "testdata/e", "fafnet/internal/signaling/linttestdata")
+}

@@ -1,0 +1,84 @@
+// Package e exercises the desorder analyzer: event-handler callbacks must
+// not spawn goroutines, touch channels, sleep, or write package globals.
+package e
+
+import "time"
+
+// sched mimics the des.Simulator scheduling surface.
+type sched struct{ now float64 }
+
+func (s *sched) Schedule(t float64, fire func()) error { fire(); _ = t; return nil }
+func (s *sched) After(d float64, fire func()) error    { fire(); _ = d; return nil }
+
+// Event mimics des.Event.
+type Event struct {
+	Time float64
+	Fire func()
+}
+
+var totalFired int // package-level state a handler must not touch
+
+var results = make(chan int, 1)
+
+func badLiteral(s *sched) {
+	_ = s.Schedule(1, func() {
+		go drain()              // want `goroutine spawned inside a DES event handler`
+		results <- 1            // want `channel send inside a DES event handler`
+		<-results               // want `channel receive inside a DES event handler`
+		time.Sleep(time.Second) // want `time.Sleep inside a DES event handler`
+		totalFired++            // want `write to package-level variable totalFired`
+	})
+}
+
+func badSelect(s *sched) {
+	_ = s.After(1, func() {
+		select { // want `select inside a DES event handler`
+		case <-results: // the receive below the select keyword is part of it
+		default:
+		}
+	})
+}
+
+func badClosureVar(s *sched) {
+	var tick func()
+	tick = func() {
+		totalFired = 3 // want `write to package-level variable totalFired`
+		_ = s.After(1, tick)
+	}
+	_ = s.Schedule(0, tick)
+}
+
+func badFireField() {
+	ev := Event{Time: 1, Fire: func() {
+		for range results { // want `range over a channel inside a DES event handler`
+		}
+	}}
+	ev.Fire = func() {
+		_ = time.After(time.Second) // want `time.After inside a DES event handler`
+	}
+	_ = ev
+}
+
+func drain() {}
+
+// goodHandler mutates only captured locals and schedules follow-up events —
+// the sanctioned shape.
+func goodHandler(s *sched) float64 {
+	var acc float64
+	var next func()
+	next = func() {
+		acc += s.now
+		_ = s.After(1, next)
+	}
+	_ = s.Schedule(0, next)
+	return acc
+}
+
+// goodOutside uses channels outside any handler (a parallel sweep harness is
+// legitimate); only handler bodies are constrained.
+func goodOutside() {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	<-ch
+	totalFired++
+}

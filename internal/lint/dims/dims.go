@@ -197,6 +197,10 @@ func splitWords(name string) []string {
 	return words
 }
 
+// IsFloat reports whether t is float64/float32 or an untyped numeric — the
+// only types dimension inference applies to.
+func IsFloat(t types.Type) bool { return isFloat(t) }
+
 // isFloat reports whether t is float64/float32 or an untyped numeric.
 func isFloat(t types.Type) bool {
 	if t == nil {

@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"fafnet/internal/lint/sarif"
+)
+
+// This file implements fafvet's standalone driver mode. Invoked on package
+// patterns instead of a .cfg file, the binary re-invokes the go command
+// against itself —
+//
+//	go vet -vettool=<self> -emit=machine <patterns>
+//
+// — so the go command keeps doing what it is good at (loading packages,
+// export data, the facts cache), while this process aggregates the
+// machine-readable diagnostics across packages, applies the committed
+// baseline, and emits text, JSON or SARIF. Exit codes: 0 clean, 2 findings
+// (or stale baseline entries), 1 operational failure.
+
+// DriverOptions configure the standalone driver.
+type DriverOptions struct {
+	Format   string // "text", "json" or "sarif"
+	Output   string // output file; empty means stdout
+	Baseline string // baseline JSON path; empty disables baselining
+}
+
+// Baseline is the committed waiver file: findings listed here are known and
+// accepted. Entries match on (analyzer, file, message) — line numbers drift
+// with every edit, so they are deliberately not part of the key. An entry
+// that matches nothing is stale and becomes a finding itself, so the file
+// can only shrink ratchet-style.
+type Baseline struct {
+	Comment  string          `json:"comment,omitempty"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry identifies one accepted finding.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// Driver runs the standalone aggregation mode and returns the process exit
+// code. disabled lists analyzers to pass through as -name=false.
+func Driver(analyzers []*Analyzer, disabled []string, opts DriverOptions, patterns []string) int {
+	switch opts.Format {
+	case "", "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "fafvet: unknown -format %q (want text, json or sarif)\n", opts.Format)
+		return 1
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fafvet: %v\n", err)
+		return 1
+	}
+	args := []string{"vet", "-vettool=" + exe, "-emit=machine"}
+	for _, name := range disabled {
+		args = append(args, "-"+name+"=false")
+	}
+	args = append(args, patterns...)
+	out, vetErr := exec.Command("go", args...).CombinedOutput()
+
+	diags, noise := parseMachineOutput(out)
+	if vetErr != nil && len(diags) == 0 && len(noise) > 0 {
+		// go vet failed without producing a single diagnostic: an operational
+		// error (bad pattern, compile failure), not findings.
+		fmt.Fprintf(os.Stderr, "fafvet: go vet failed:\n%s", strings.Join(noise, "\n"))
+		fmt.Fprintln(os.Stderr)
+		return 1
+	}
+	for _, line := range noise {
+		fmt.Fprintln(os.Stderr, line)
+	}
+
+	relativizeFiles(diags)
+	diags = dedupe(diags)
+	sortMachine(diags)
+
+	if opts.Baseline != "" {
+		var err error
+		diags, err = applyBaseline(diags, opts.Baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fafvet: %v\n", err)
+			return 1
+		}
+	}
+
+	var rendered []byte
+	switch opts.Format {
+	case "json":
+		rendered, err = json.MarshalIndent(diags, "", "  ")
+		rendered = append(rendered, '\n')
+	case "sarif":
+		rendered, err = renderSARIF(analyzers, diags)
+	default:
+		var b strings.Builder
+		for _, d := range diags {
+			fmt.Fprintf(&b, "%s:%d:%d: %s (%s)\n", d.File, d.Line, d.Column, d.Message, d.Analyzer)
+		}
+		rendered = []byte(b.String())
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fafvet: %v\n", err)
+		return 1
+	}
+	if opts.Output != "" {
+		if err := os.WriteFile(opts.Output, rendered, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "fafvet: %v\n", err)
+			return 1
+		}
+	} else {
+		os.Stdout.Write(rendered)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// parseMachineOutput splits go vet output into machine diagnostics and the
+// remaining human-readable noise (package headers are dropped).
+func parseMachineOutput(out []byte) (diags []MachineDiag, noise []string) {
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, MachinePrefix):
+			var d MachineDiag
+			if err := json.Unmarshal([]byte(line[len(MachinePrefix):]), &d); err == nil {
+				diags = append(diags, d)
+				continue
+			}
+			noise = append(noise, line)
+		case strings.HasPrefix(line, "#"), strings.TrimSpace(line) == "":
+			// "# fafnet/internal/..." package headers carry no information
+			// the diagnostics don't.
+		case strings.HasPrefix(line, "exit status"):
+		default:
+			noise = append(noise, line)
+		}
+	}
+	return diags, noise
+}
+
+// relativizeFiles rewrites absolute file names relative to the working
+// directory, with forward slashes, so output and baselines are stable
+// across checkouts.
+func relativizeFiles(diags []MachineDiag) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(cwd, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = filepath.ToSlash(rel)
+		}
+	}
+}
+
+// dedupe removes identical diagnostics: a package and its test variant are
+// vetted separately and re-report the same positions.
+func dedupe(diags []MachineDiag) []MachineDiag {
+	seen := make(map[MachineDiag]bool, len(diags))
+	var out []MachineDiag
+	for _, d := range diags {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		out = append(out, d)
+	}
+	return out
+}
+
+// sortMachine orders diagnostics by file, line, column, analyzer, message.
+func sortMachine(diags []MachineDiag) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// applyBaseline drops diagnostics matching baseline entries and converts
+// stale entries (matching nothing) into findings anchored at the baseline
+// file, so a waiver outliving its finding fails the gate until deleted.
+func applyBaseline(diags []MachineDiag, path string) ([]MachineDiag, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var bl Baseline
+	if err := json.Unmarshal(data, &bl); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	used := make([]bool, len(bl.Findings))
+	var out []MachineDiag
+	for _, d := range diags {
+		matched := false
+		for i, e := range bl.Findings {
+			if e.Analyzer == d.Analyzer && e.File == d.File && e.Message == d.Message {
+				used[i] = true
+				matched = true
+			}
+		}
+		if !matched {
+			out = append(out, d)
+		}
+	}
+	base := filepath.ToSlash(path)
+	for i, e := range bl.Findings {
+		if !used[i] {
+			out = append(out, MachineDiag{
+				Analyzer: "baseline",
+				File:     base,
+				Line:     1,
+				Message: fmt.Sprintf("stale baseline entry: no %s finding %q in %s; delete the entry",
+					e.Analyzer, e.Message, e.File),
+			})
+		}
+	}
+	sortMachine(out)
+	return out, nil
+}
+
+// renderSARIF converts diagnostics to a SARIF 2.1.0 log. Every registered
+// analyzer appears as a rule (plus "lint" for suppression hygiene and
+// "baseline" for stale waivers) so a clean run still documents what was
+// checked.
+func renderSARIF(analyzers []*Analyzer, diags []MachineDiag) ([]byte, error) {
+	ruleDocs := map[string]string{
+		"lint":     "unused //lint:allow suppressions",
+		"baseline": "stale baseline entries",
+	}
+	for _, a := range analyzers {
+		ruleDocs[a.Name] = firstLine(a.Doc)
+	}
+	findings := make([]sarif.Finding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, sarif.Finding{
+			Analyzer: d.Analyzer,
+			File:     d.File,
+			Line:     d.Line,
+			Column:   d.Column,
+			Message:  d.Message,
+		})
+	}
+	log := sarif.Build("fafvet", "https://github.com/fafnet/fafnet", ruleDocs, findings)
+	return log.Encode()
+}

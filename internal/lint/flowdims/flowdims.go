@@ -1,0 +1,886 @@
+// Package flowdims defines the interprocedural half of the unit-dimension
+// analysis: where unitcheck sees only what identifier names declare locally,
+// flowdims propagates the dims lattice through function bodies, signatures,
+// struct fields and — via per-package fact files (the unitchecker facts
+// protocol) — across package boundaries. A function whose name says nothing
+// about units but whose body demonstrably returns seconds gets a summary;
+// storing its result into a *Bits variable three packages away is then a
+// finding at the store site.
+//
+// The analysis stays conservative in the same way dims does: a dimension is
+// attached to a parameter, result or field only when every observed use
+// agrees on it. Conflicting evidence drops the object back to Unknown, and
+// flowdims only ever reports where name-based unitcheck is blind, so the two
+// analyzers never duplicate a diagnostic on the same expression.
+package flowdims
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"fafnet/internal/lint"
+	"fafnet/internal/lint/dims"
+)
+
+// Analyzer propagates unit dimensions through signatures, returns, fields
+// and package boundaries.
+var Analyzer = &lint.Analyzer{
+	Name: "flowdims",
+	Doc: `propagate unit dimensions across functions, fields and packages
+
+flowdims builds a per-function summary — the dimension of each float64
+parameter and result — from three evidence sources: the identifier names the
+dims conventions already recognize, the dimensions of returned expressions,
+and how parameters and struct fields are used (added to a known quantity,
+passed to a unit-named parameter, stored under a unit-named variable).
+Summaries of exported functions and fields are written to the package's fact
+file and imported by downstream packages, so a bits-per-second value flowing
+into a seconds slot is flagged at the call or store site anywhere in the
+module. Conflicting evidence demotes an object to Unknown rather than
+guessing; findings are only raised where the purely name-based unitcheck
+analyzer cannot see the mismatch.`,
+	Run:          run,
+	ExportsFacts: true,
+}
+
+// spec is what the analysis knows about one float parameter, result or
+// field.
+type spec struct {
+	// Known reports whether a dimension was established.
+	Known bool `json:"known"`
+	// Named reports the dimension is derivable from the identifier name
+	// alone; such specs are never exported (downstream dims inference
+	// recovers them from the name) and never reported on (unitcheck owns
+	// name-declared mismatches).
+	Named bool `json:"named,omitempty"`
+	// T and B are the dims.Dim exponents.
+	T int8 `json:"t,omitempty"`
+	B int8 `json:"b,omitempty"`
+}
+
+func (s *spec) dim() dims.Dim { return dims.Dim{T: s.T, B: s.B} }
+
+func (s *spec) setDim(d dims.Dim, named bool) {
+	s.Known, s.Named, s.T, s.B = true, named, d.T, d.B
+}
+
+// objFact is the serialized fact for one exported object: a function or
+// method (Params/Results) or a struct field (Field).
+type objFact struct {
+	Params  []spec `json:"params,omitempty"`
+	Results []spec `json:"results,omitempty"`
+	Field   *spec  `json:"field,omitempty"`
+}
+
+// summary is the in-memory per-function record.
+type summary struct {
+	params  []*spec
+	results []*spec
+}
+
+// fieldInfo tracks one struct field declared in the current package.
+type fieldInfo struct {
+	key      string // "Type.Field" fact key
+	exported bool   // both type and field name are exported
+	spec     *spec
+}
+
+type engine struct {
+	pass *lint.Pass
+	info *types.Info
+
+	funcs  map[*types.Func]*summary
+	decls  map[*types.Func]*ast.FuncDecl
+	params map[*types.Var]*spec
+	fields map[*types.Var]*fieldInfo
+
+	// frozen marks specs established by names or strong evidence before the
+	// weak-constraint round; weak evidence (a suspect comparison is exactly
+	// what the checker flags) can neither override nor poison them.
+	frozen map[*spec]bool
+}
+
+func run(pass *lint.Pass) error {
+	e := &engine{
+		pass:   pass,
+		info:   pass.TypesInfo,
+		funcs:  make(map[*types.Func]*summary),
+		decls:  make(map[*types.Func]*ast.FuncDecl),
+		params: make(map[*types.Var]*spec),
+		fields: make(map[*types.Var]*fieldInfo),
+		frozen: make(map[*spec]bool),
+	}
+	e.collect()
+	e.constrain()
+	e.inferReturns()
+	e.check()
+	return e.export()
+}
+
+// ----- phase 1: collect declarations, seed specs from names -----
+
+func (e *engine) collect() {
+	for _, f := range e.pass.Files {
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				e.collectFunc(decl)
+			case *ast.GenDecl:
+				if decl.Tok == token.TYPE {
+					for _, s := range decl.Specs {
+						if ts, ok := s.(*ast.TypeSpec); ok {
+							e.collectFields(ts)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (e *engine) collectFunc(decl *ast.FuncDecl) {
+	fn, ok := e.info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	sum := &summary{}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		s := &spec{}
+		if dims.IsFloat(p.Type()) {
+			if d, ok := dims.FromName(p.Name()); ok {
+				s.setDim(d, true)
+			} else {
+				e.params[p] = s
+			}
+		}
+		sum.params = append(sum.params, s)
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		r := sig.Results().At(i)
+		s := &spec{}
+		if dims.IsFloat(r.Type()) {
+			if d, ok := dims.FromName(r.Name()); ok {
+				s.setDim(d, true)
+			} else if d, ok := dims.FromName(fn.Name()); ok && sig.Results().Len() == 1 {
+				// A unit-named function (LongTermRate, WalkDelay): the name
+				// covers its single result, and dims.ofCall already infers
+				// this downstream.
+				s.setDim(d, true)
+			}
+		}
+		sum.results = append(sum.results, s)
+	}
+	e.funcs[fn] = sum
+	e.decls[fn] = decl
+}
+
+func (e *engine) collectFields(ts *ast.TypeSpec) {
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			v, ok := e.info.Defs[name].(*types.Var)
+			if !ok || !dims.IsFloat(v.Type()) {
+				continue
+			}
+			fi := &fieldInfo{
+				key:      ts.Name.Name + "." + name.Name,
+				exported: ast.IsExported(ts.Name.Name) && ast.IsExported(name.Name),
+				spec:     &spec{},
+			}
+			if d, ok := dims.FromName(name.Name); ok {
+				fi.spec.setDim(d, true)
+			}
+			e.fields[v] = fi
+		}
+	}
+}
+
+// ----- phase 2: unify usage constraints onto params and fields -----
+
+// target returns the spec slot for expressions whose dimension the analysis
+// is still trying to learn: a bare parameter identifier or a selector of a
+// package-local struct field, with no name-declared dimension.
+func (e *engine) target(x ast.Expr) *spec {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		v, ok := e.info.Uses[x].(*types.Var)
+		if !ok {
+			return nil
+		}
+		if s, ok := e.params[v]; ok {
+			return s
+		}
+		return e.fieldSpecOf(v)
+	case *ast.SelectorExpr:
+		sel, ok := e.info.Selections[x]
+		if !ok {
+			return nil
+		}
+		v, ok := sel.Obj().(*types.Var)
+		if !ok {
+			return nil
+		}
+		return e.fieldSpecOf(v)
+	}
+	return nil
+}
+
+func (e *engine) fieldSpecOf(v *types.Var) *spec {
+	fi, ok := e.fields[v]
+	if !ok || fi.spec.Named {
+		return nil
+	}
+	return fi.spec
+}
+
+// learn records the evidence that s carries dimension d. Disagreeing
+// evidence poisons the spec back to Unknown permanently; frozen specs
+// (established by a name or by strong evidence) ignore weak evidence
+// entirely — a mismatched use of a frozen spec is a finding, not a lesson.
+func (e *engine) learn(s *spec, d dims.Dim) {
+	if s == nil || s.Named || e.frozen[s] {
+		return
+	}
+	if s.Known && s.dim() != d {
+		s.Known = false
+		s.Named = true // poisoned: Named without Known blocks further learning and reporting
+		return
+	}
+	if !s.Known {
+		s.setDim(d, false)
+	}
+}
+
+// constrain runs two evidence rounds. Strong evidence — stores, call
+// arguments against unit-named parameters, returns against unit-named
+// results — states intent and is gathered first. Weak evidence — arithmetic
+// and comparisons — fills remaining gaps only: a buggy `window > sigmaBits`
+// comparison must produce a finding against the strongly-established
+// dimension, not silently re-teach it.
+func (e *engine) constrain() {
+	for _, f := range e.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				e.constrainCall(n)
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						e.constrainStore(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						e.constrainStore(n.Names[i], n.Values[i])
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						e.constrainStore(kv.Key, kv.Value)
+					}
+				}
+			case *ast.FuncDecl:
+				e.constrainReturns(n)
+			}
+			return true
+		})
+	}
+	for _, s := range e.params {
+		if s.Known {
+			e.frozen[s] = true
+		}
+	}
+	for _, fi := range e.fields {
+		if fi.spec.Known {
+			e.frozen[fi.spec] = true
+		}
+	}
+	for _, f := range e.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if b, ok := n.(*ast.BinaryExpr); ok {
+				e.constrainBinary(b)
+			}
+			return true
+		})
+	}
+}
+
+// constrainBinary: a still-unknown operand added to, subtracted from or
+// compared against a known physical quantity must share its dimension.
+func (e *engine) constrainBinary(b *ast.BinaryExpr) {
+	switch b.Op {
+	case token.ADD, token.SUB,
+		token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+	default:
+		return
+	}
+	xd, xk := dims.OfExpr(e.info, b.X)
+	yd, yk := dims.OfExpr(e.info, b.Y)
+	if xk == dims.Physical && yk == dims.Unknown {
+		e.learn(e.target(b.Y), xd)
+	}
+	if yk == dims.Physical && xk == dims.Unknown {
+		e.learn(e.target(b.X), yd)
+	}
+}
+
+// constrainCall: passing a still-unknown value to a unit-named parameter
+// pins its dimension.
+func (e *engine) constrainCall(call *ast.CallExpr) {
+	sig := calleeSignature(e.info, call)
+	if sig == nil || sig.Variadic() || sig.Params().Len() != len(call.Args) {
+		return
+	}
+	for i, arg := range call.Args {
+		pd, ok := dims.FromName(sig.Params().At(i).Name())
+		if !ok {
+			continue
+		}
+		if _, k := dims.OfExpr(e.info, arg); k == dims.Unknown {
+			e.learn(e.target(arg), pd)
+		}
+	}
+}
+
+// constrainStore propagates dimensions both ways across an assignment: a
+// known value teaches an unknown destination field, and a unit-named
+// destination teaches an unknown source.
+func (e *engine) constrainStore(dst, src ast.Expr) {
+	sd, sk := dims.OfExpr(e.info, src)
+	if sk == dims.Physical {
+		e.learn(e.target(dst), sd)
+	}
+	var dstName string
+	switch d := dst.(type) {
+	case *ast.Ident:
+		dstName = d.Name
+	case *ast.SelectorExpr:
+		dstName = d.Sel.Name
+	default:
+		return
+	}
+	if dd, ok := dims.FromName(dstName); ok && sk == dims.Unknown {
+		e.learn(e.target(src), dd)
+	}
+}
+
+// constrainReturns: returning a still-unknown parameter or field from a
+// function whose result dimension is name-declared pins it.
+func (e *engine) constrainReturns(decl *ast.FuncDecl) {
+	fn, ok := e.info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sum := e.funcs[fn]
+	if sum == nil || decl.Body == nil {
+		return
+	}
+	forEachReturn(decl.Body, func(ret *ast.ReturnStmt) {
+		if len(ret.Results) != len(sum.results) {
+			return
+		}
+		for i, res := range ret.Results {
+			s := sum.results[i]
+			if !s.Known || !s.Named {
+				continue
+			}
+			if _, k := dims.OfExpr(e.info, res); k == dims.Unknown {
+				e.learn(e.target(res), s.dim())
+			}
+		}
+	})
+}
+
+// forEachReturn visits the return statements belonging to body itself,
+// skipping nested function literals (their returns answer a different
+// signature).
+func forEachReturn(body *ast.BlockStmt, fn func(*ast.ReturnStmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			fn(n)
+		}
+		return true
+	})
+}
+
+// ----- phase 3: infer result dimensions from return expressions -----
+
+// inferReturns fills result specs that names did not declare by agreeing
+// return expressions, iterating so chains of unnamed functions (f returns
+// g()) converge.
+func (e *engine) inferReturns() {
+	for iter := 0; iter < 3; iter++ {
+		changed := false
+		for fn, sum := range e.funcs {
+			decl := e.decls[fn]
+			if decl.Body == nil {
+				continue
+			}
+			for i, s := range sum.results {
+				if s.Known || s.Named {
+					continue // already established, or poisoned
+				}
+				d, ok := e.commonReturnDim(decl, sum, i)
+				if ok {
+					s.setDim(d, false)
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// commonReturnDim reports the dimension shared by every return expression
+// for result index i, if all of them are Physical and agree.
+func (e *engine) commonReturnDim(decl *ast.FuncDecl, sum *summary, i int) (dims.Dim, bool) {
+	var d dims.Dim
+	found, consistent := false, true
+	forEachReturn(decl.Body, func(ret *ast.ReturnStmt) {
+		if !consistent || len(ret.Results) != len(sum.results) {
+			consistent = consistent && len(ret.Results) == len(sum.results)
+			return
+		}
+		rd, rk := e.ofExpr(ret.Results[i])
+		if rk != dims.Physical {
+			consistent = false
+			return
+		}
+		if found && rd != d {
+			consistent = false
+			return
+		}
+		d, found = rd, true
+	})
+	return d, found && consistent
+}
+
+// ----- flow-aware inference -----
+
+// ofExpr mirrors dims.OfExpr but consults function summaries, imported
+// facts and learned field dimensions wherever the name-based engine gives
+// up.
+func (e *engine) ofExpr(x ast.Expr) (dims.Dim, dims.Kind) {
+	switch x := x.(type) {
+	case *ast.ParenExpr:
+		return e.ofExpr(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.SUB || x.Op == token.ADD {
+			return e.ofExpr(x.X)
+		}
+	case *ast.BinaryExpr:
+		return e.ofBinary(x)
+	case *ast.IndexExpr:
+		return e.ofExpr(x.X)
+	case *ast.CallExpr:
+		if d, k, ok := e.callResult(x); ok {
+			return d, k
+		}
+	case *ast.Ident:
+		if v, ok := e.info.Uses[x].(*types.Var); ok {
+			if d, ok := e.learned(v); ok {
+				return d, dims.Physical
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := e.info.Selections[x]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				if d, ok := e.learned(v); ok {
+					return d, dims.Physical
+				}
+				if d, ok := e.importedFieldDim(x, v); ok {
+					return d, dims.Physical
+				}
+			}
+		}
+	}
+	return dims.OfExpr(e.info, x)
+}
+
+func (e *engine) ofBinary(b *ast.BinaryExpr) (dims.Dim, dims.Kind) {
+	ld, lk := e.ofExpr(b.X)
+	rd, rk := e.ofExpr(b.Y)
+	switch b.Op {
+	case token.ADD, token.SUB:
+		if lk == dims.Physical {
+			return ld, dims.Physical
+		}
+		if rk == dims.Physical {
+			return rd, dims.Physical
+		}
+		if lk == dims.Scalar && rk == dims.Scalar {
+			return dims.Dim{}, dims.Scalar
+		}
+	case token.MUL:
+		if lk == dims.Unknown || rk == dims.Unknown {
+			return dims.Dim{}, dims.Unknown
+		}
+		return dims.Dim{T: ld.T + rd.T, B: ld.B + rd.B}, maxKind(lk, rk)
+	case token.QUO:
+		if lk == dims.Unknown || rk == dims.Unknown {
+			return dims.Dim{}, dims.Unknown
+		}
+		return dims.Dim{T: ld.T - rd.T, B: ld.B - rd.B}, maxKind(lk, rk)
+	}
+	return dims.Dim{}, dims.Unknown
+}
+
+func maxKind(a, b dims.Kind) dims.Kind {
+	if a == dims.Physical || b == dims.Physical {
+		return dims.Physical
+	}
+	return dims.Scalar
+}
+
+// learned reports the flow-established (not name-declared) dimension of a
+// local parameter or field object.
+func (e *engine) learned(v *types.Var) (dims.Dim, bool) {
+	if s, ok := e.params[v]; ok && s.Known && !s.Named {
+		return s.dim(), true
+	}
+	if fi, ok := e.fields[v]; ok && fi.spec.Known && !fi.spec.Named {
+		return fi.spec.dim(), true
+	}
+	return dims.Dim{}, false
+}
+
+// importedFieldDim resolves a cross-package field's exported dimension fact.
+func (e *engine) importedFieldDim(sel *ast.SelectorExpr, v *types.Var) (dims.Dim, bool) {
+	if v.Pkg() == nil || v.Pkg() == e.pass.Pkg || !inModule(v.Pkg().Path()) {
+		return dims.Dim{}, false
+	}
+	named := receiverTypeName(e.info.Types[sel.X].Type)
+	if named == "" {
+		return dims.Dim{}, false
+	}
+	var fact objFact
+	if !e.pass.ImportFact(v.Pkg().Path(), named+"."+v.Name(), &fact) || fact.Field == nil || !fact.Field.Known {
+		return dims.Dim{}, false
+	}
+	return fact.Field.dim(), true
+}
+
+// callResult resolves a call's single-result dimension through the callee's
+// summary (same package) or imported fact (other module packages).
+func (e *engine) callResult(call *ast.CallExpr) (dims.Dim, dims.Kind, bool) {
+	fn := calleeFunc(e.info, call)
+	if fn == nil {
+		return dims.Dim{}, 0, false
+	}
+	fact, ok := e.factFor(fn)
+	if !ok || len(fact.Results) != 1 || !fact.Results[0].Known {
+		return dims.Dim{}, 0, false
+	}
+	return fact.Results[0].dim(), dims.Physical, true
+}
+
+// factFor returns the summary of fn as an objFact, from the local summary
+// table or from the defining package's fact file.
+func (e *engine) factFor(fn *types.Func) (objFact, bool) {
+	if sum, ok := e.funcs[fn]; ok {
+		var fact objFact
+		for _, p := range sum.params {
+			fact.Params = append(fact.Params, *p)
+		}
+		for _, r := range sum.results {
+			fact.Results = append(fact.Results, *r)
+		}
+		return fact, true
+	}
+	if fn.Pkg() == nil || fn.Pkg() == e.pass.Pkg || !inModule(fn.Pkg().Path()) {
+		return objFact{}, false
+	}
+	var fact objFact
+	if !e.pass.ImportFact(fn.Pkg().Path(), factKey(fn), &fact) {
+		return objFact{}, false
+	}
+	return fact, true
+}
+
+// ----- phase 4: checks -----
+
+func (e *engine) check() {
+	for _, f := range e.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				e.checkBinary(n)
+			case *ast.CallExpr:
+				e.checkCall(n)
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						e.checkStore(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						e.checkStore(n.Names[i], n.Values[i])
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						e.checkStore(kv.Key, kv.Value)
+					}
+				}
+			case *ast.FuncDecl:
+				e.checkReturns(n)
+			}
+			return true
+		})
+	}
+}
+
+// checkBinary reports cross-dimension addition/subtraction/comparison that
+// only the flow-aware engine can see (unitcheck owns the case where both
+// operand names declare their dimensions).
+func (e *engine) checkBinary(b *ast.BinaryExpr) {
+	switch b.Op {
+	case token.ADD, token.SUB,
+		token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+	default:
+		return
+	}
+	ld, lk := e.ofExpr(b.X)
+	rd, rk := e.ofExpr(b.Y)
+	if lk != dims.Physical || rk != dims.Physical || ld == rd {
+		return
+	}
+	bld, blk := dims.OfExpr(e.info, b.X)
+	brd, brk := dims.OfExpr(e.info, b.Y)
+	if blk == dims.Physical && brk == dims.Physical && bld != brd {
+		return // unitcheck reports this one
+	}
+	pass := e.pass
+	pass.Reportf(b.OpPos, "cross-dimension %s via dataflow: %s %s %s", describeOp(b.Op), ld, b.Op, rd)
+}
+
+func describeOp(op token.Token) string {
+	switch op {
+	case token.ADD:
+		return "addition"
+	case token.SUB:
+		return "subtraction"
+	default:
+		return "comparison"
+	}
+}
+
+// checkCall reports arguments whose flow-established dimension contradicts
+// the callee parameter's dimension, where either side is invisible to the
+// name-based check.
+func (e *engine) checkCall(call *ast.CallExpr) {
+	fn := calleeFunc(e.info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Variadic() || sig.Params().Len() != len(call.Args) {
+		return
+	}
+	fact, ok := e.factFor(fn)
+	if !ok || len(fact.Params) != len(call.Args) {
+		return
+	}
+	for i, arg := range call.Args {
+		p := fact.Params[i]
+		if !p.Known {
+			continue
+		}
+		ad, ak := e.ofExpr(arg)
+		if ak != dims.Physical || ad == p.dim() {
+			continue
+		}
+		// unitcheck already compares name-inferred argument dimensions
+		// against name-declared parameters; skip exactly that overlap.
+		_, bk := dims.OfExpr(e.info, arg)
+		if p.Named && bk == dims.Physical {
+			continue
+		}
+		e.pass.Reportf(arg.Pos(), "argument flows %s into parameter %q of %s, which carries %s",
+			ad, sig.Params().At(i).Name(), fn.Name(), p.dim())
+	}
+}
+
+// checkStore reports a flow-established dimension stored under a name that
+// declares a different one.
+func (e *engine) checkStore(dst, src ast.Expr) {
+	var name string
+	switch dst := dst.(type) {
+	case *ast.Ident:
+		name = dst.Name
+	case *ast.SelectorExpr:
+		name = dst.Sel.Name
+	default:
+		return
+	}
+	dd, ok := dims.FromName(name)
+	if !ok {
+		return
+	}
+	sd, sk := e.ofExpr(src)
+	if sk != dims.Physical || sd == dd {
+		return
+	}
+	if bd, bk := dims.OfExpr(e.info, src); bk == dims.Physical && bd != dd {
+		return // unitcheck reports this one
+	}
+	e.pass.Reportf(src.Pos(), "%s value flows into %q, which is declared %s by name", sd, name, dd)
+}
+
+// checkReturns reports return expressions whose dimension contradicts the
+// function's name-declared result dimension.
+func (e *engine) checkReturns(decl *ast.FuncDecl) {
+	fn, ok := e.info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sum := e.funcs[fn]
+	if sum == nil || decl.Body == nil {
+		return
+	}
+	forEachReturn(decl.Body, func(ret *ast.ReturnStmt) {
+		if len(ret.Results) != len(sum.results) {
+			return
+		}
+		for i, res := range ret.Results {
+			s := sum.results[i]
+			if !s.Known || !s.Named {
+				continue // only name-declared results form a contract to check against
+			}
+			rd, rk := e.ofExpr(res)
+			if rk == dims.Physical && rd != s.dim() {
+				e.pass.Reportf(res.Pos(), "%s returns %s but its result is declared %s", fn.Name(), rd, s.dim())
+			}
+		}
+	})
+}
+
+// ----- phase 5: fact export -----
+
+// export publishes summaries of exported functions and fields that carry at
+// least one flow-established (non-name-derivable) dimension. Name-declared
+// specs are recoverable downstream from export data, so packages whose
+// naming already tells the whole story export nothing and keep their fact
+// file empty.
+func (e *engine) export() error {
+	for fn, sum := range e.funcs {
+		if !exportedFunc(fn) {
+			continue
+		}
+		fact := objFact{}
+		flow := false
+		for _, p := range sum.params {
+			fact.Params = append(fact.Params, *p)
+			flow = flow || (p.Known && !p.Named)
+		}
+		for _, r := range sum.results {
+			fact.Results = append(fact.Results, *r)
+			flow = flow || (r.Known && !r.Named)
+		}
+		if !flow {
+			continue
+		}
+		if err := e.pass.ExportFact(factKey(fn), fact); err != nil {
+			return err
+		}
+	}
+	for _, fi := range e.fields {
+		if !fi.exported || !fi.spec.Known || fi.spec.Named {
+			continue
+		}
+		s := *fi.spec
+		if err := e.pass.ExportFact(fi.key, objFact{Field: &s}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ----- shared helpers -----
+
+func inModule(path string) bool {
+	return path == lint.ModulePath || strings.HasPrefix(path, lint.ModulePath+"/")
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return sig
+}
+
+// factKey is the object path a function's fact is stored under: "Func" or
+// "Recv.Method".
+func factKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		if name := receiverTypeName(sig.Recv().Type()); name != "" {
+			return name + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+// exportedFunc reports whether fn's fact key is reachable from other
+// packages: the function name is exported, and so is the receiver type for
+// methods.
+func exportedFunc(fn *types.Func) bool {
+	if !fn.Exported() {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		name := receiverTypeName(sig.Recv().Type())
+		return name != "" && ast.IsExported(name)
+	}
+	return true
+}
+
+// receiverTypeName names the defined type behind t, unwrapping one level of
+// pointer.
+func receiverTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package flowdims_test
+
+import (
+	"testing"
+
+	"fafnet/internal/lint/flowdims"
+	"fafnet/internal/lint/linttest"
+)
+
+func TestFlowdims(t *testing.T) {
+	linttest.Run(t, flowdims.Analyzer, "testdata/a", "fafnet/internal/linttestdata/a")
+}

@@ -23,6 +23,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"fafnet/internal/lint/facts"
 )
 
 // Analyzer describes one static check.
@@ -35,6 +37,10 @@ type Analyzer struct {
 	// Run applies the check to one package and reports findings via
 	// Pass.Report/Reportf.
 	Run func(*Pass) error
+	// ExportsFacts marks analyzers that publish per-package facts
+	// (Pass.ExportFact) for downstream packages. Only these analyzers run
+	// during facts-only passes over dependency packages (Config.VetxOnly).
+	ExportsFacts bool
 }
 
 // Pass carries one package's syntax and type information to an Analyzer.
@@ -45,7 +51,27 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	diags *[]Diagnostic
+	diags    *[]Diagnostic
+	imported map[string]facts.File
+	exported facts.File
+}
+
+// ExportFact publishes a fact under the running analyzer's name for
+// downstream packages to import. Keys are analyzer-defined object paths
+// ("Func", "Type.Method", "Type.Field").
+func (p *Pass) ExportFact(key string, v any) error {
+	return p.exported.Set(p.Analyzer.Name, key, v)
+}
+
+// ImportFact decodes into out the fact the running analyzer exported for
+// pkgPath under key, reporting whether it exists. Packages with no fact file
+// (not yet vetted, or outside the module) simply yield no facts.
+func (p *Pass) ImportFact(pkgPath, key string, out any) bool {
+	f, ok := p.imported[pkgPath]
+	if !ok {
+		return false
+	}
+	return f.Get(p.Analyzer.Name, key, out)
 }
 
 // Diagnostic is one finding.
@@ -80,6 +106,14 @@ type allowKey struct {
 	analyzer string
 }
 
+// directive is one well-formed //lint:allow comment, tracked so unused
+// suppressions can be reported instead of silently accumulating.
+type directive struct {
+	pos      token.Position
+	analyzer string
+	used     bool
+}
+
 // AllowPrefix introduces a suppression comment.
 const AllowPrefix = "//lint:allow"
 
@@ -88,8 +122,8 @@ const AllowPrefix = "//lint:allow"
 // below it (so it can trail the offending expression or sit above it).
 // Malformed directives — missing analyzer or missing reason — are returned as
 // diagnostics instead, so they cannot silently disable a check.
-func collectAllows(fset *token.FileSet, files []*ast.File) (map[allowKey]bool, []Diagnostic) {
-	allows := make(map[allowKey]bool)
+func collectAllows(fset *token.FileSet, files []*ast.File) (map[allowKey][]*directive, []Diagnostic) {
+	allows := make(map[allowKey][]*directive)
 	var bad []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -108,8 +142,10 @@ func collectAllows(fset *token.FileSet, files []*ast.File) (map[allowKey]bool, [
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				d := &directive{pos: pos, analyzer: fields[0]}
 				for _, line := range []int{pos.Line, pos.Line + 1} {
-					allows[allowKey{pos.Filename, line, fields[0]}] = true
+					key := allowKey{pos.Filename, line, fields[0]}
+					allows[key] = append(allows[key], d)
 				}
 			}
 		}
@@ -118,11 +154,32 @@ func collectAllows(fset *token.FileSet, files []*ast.File) (map[allowKey]bool, [
 }
 
 // RunAnalyzers applies every analyzer to one type-checked package and returns
-// the surviving diagnostics, sorted by position. Findings matched by a
-// well-formed //lint:allow comment are dropped.
+// the surviving diagnostics, sorted deterministically. Findings matched by a
+// well-formed //lint:allow comment are dropped; see Run for the full
+// contract including facts.
 func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := Run(fset, files, pkg, info, analyzers, nil)
+	return diags, err
+}
+
+// Run applies every analyzer to one type-checked package. imported maps
+// dependency import paths to their decoded fact files; the returned File
+// holds the facts the analyzers exported for this package.
+//
+// Suppression: findings matched by a well-formed //lint:allow comment are
+// dropped, and any directive that suppressed nothing — for an analyzer that
+// actually ran — is itself reported, so stale annotations cannot accumulate
+// as the code under them evolves.
+//
+// Diagnostics are sorted by (file, line, column, analyzer, message) so
+// emission order is stable across runs regardless of analyzer iteration or
+// map ordering — golden tests and CI diffs depend on this.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, imported map[string]facts.File) ([]Diagnostic, facts.File, error) {
 	var diags []Diagnostic
+	exported := facts.File{}
+	ran := make(map[string]bool)
 	for _, a := range analyzers {
+		ran[a.Name] = true
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      fset,
@@ -130,28 +187,63 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			Pkg:       pkg,
 			TypesInfo: info,
 			diags:     &diags,
+			imported:  imported,
+			exported:  exported,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+			return nil, nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
 		}
 	}
 	allows, bad := collectAllows(fset, files)
 	kept := bad
 	for _, d := range diags {
-		if allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+		if ds := allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; len(ds) > 0 {
+			for _, dir := range ds {
+				dir.used = true
+			}
 			continue
 		}
 		kept = append(kept, d)
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i].Pos, kept[j].Pos
+	// Report each unused directive once (it is indexed under two line keys).
+	// A directive for an analyzer that did not run (disabled on the command
+	// line) is left alone: its finding may reappear the moment the analyzer
+	// is re-enabled.
+	seen := make(map[*directive]bool)
+	for _, ds := range allows {
+		for _, dir := range ds {
+			if dir.used || seen[dir] || !ran[dir.analyzer] {
+				continue
+			}
+			seen[dir] = true
+			kept = append(kept, Diagnostic{
+				Analyzer: "lint",
+				Pos:      dir.pos,
+				Message:  fmt.Sprintf("unused //lint:allow %s: no %s finding on this line or the next; delete the stale suppression", dir.analyzer, dir.analyzer),
+			})
+		}
+	}
+	SortDiagnostics(kept)
+	return kept, exported, nil
+}
+
+// SortDiagnostics orders diagnostics by (file, line, column, analyzer,
+// message) — the canonical emission order for every fafvet output format.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i].Pos, ds[j].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Column < b.Column
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if ds[i].Analyzer != ds[j].Analyzer {
+			return ds[i].Analyzer < ds[j].Analyzer
+		}
+		return ds[i].Message < ds[j].Message
 	})
-	return kept, nil
 }

@@ -1,0 +1,653 @@
+// Package lockorder defines a call-graph-based lock-acquisition checker for
+// the concurrent packages (the signaling server and its daemon). It walks
+// each function in statement order tracking the set of held mutexes, follows
+// same-package calls through transitive acquisition summaries, and reports
+// three classes of deadlock risk the race detector can only find if a test
+// happens to interleave badly:
+//
+//   - inconsistent order: mutex B acquired while A is held in one place and
+//     A while B is held in another;
+//   - re-entry: a mutex (re)acquired — directly or through a callee — while
+//     already held (sync.Mutex is not reentrant);
+//   - held-across-blocking: a blocking operation (channel send/receive,
+//     select, sync.WaitGroup.Wait, net Accept, time.Sleep) reached with a
+//     mutex held, stalling every contender for as long as the peer takes.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"fafnet/internal/lint"
+)
+
+// Analyzer reports inconsistent mutex orderings and mutex-held blocking
+// calls.
+var Analyzer = &lint.Analyzer{
+	Name: "lockorder",
+	Doc: `flag inconsistent mutex acquisition orders and blocking calls under a lock
+
+Within internal/signaling and cmd/fafcacd the analyzer tracks, per function
+and in statement order, which sync.Mutex/RWMutex objects are held (keyed by
+field or variable identity, so s.mu in one method and srv.mu in another are
+the same lock). Same-package calls contribute their transitive acquisitions.
+It reports opposite-order acquisition pairs, re-entrant locking, and
+channel operations, selects, WaitGroup.Wait, net Accept and time.Sleep
+executed while a mutex is held. Branches merge conservatively
+(intersection), and goroutine bodies start with an empty held set.`,
+	Run: run,
+}
+
+// scopes are the package-path prefixes the lock discipline covers.
+var scopes = []string{
+	"fafnet/internal/signaling",
+	"fafnet/cmd/fafcacd",
+}
+
+func run(pass *lint.Pass) error {
+	p := pass.Pkg.Path()
+	inScope := false
+	for _, s := range scopes {
+		if p == s || strings.HasPrefix(p, s+"/") {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	c := &checker{
+		pass:     pass,
+		decls:    make(map[*types.Func]*ast.FuncDecl),
+		acquires: make(map[*types.Func]map[*types.Var]bool),
+		blocks:   make(map[*types.Func]bool),
+		edges:    make(map[[2]*types.Var]*edge),
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					c.decls[fn] = fd
+				}
+			}
+		}
+	}
+	c.summarize()
+	// Walk bodies in source order so the "first" edge per mutex pair is the
+	// lexically earliest one, independent of map iteration order.
+	var fds []*ast.FuncDecl
+	for _, fd := range c.decls {
+		fds = append(fds, fd)
+	}
+	sort.Slice(fds, func(i, j int) bool { return fds[i].Pos() < fds[j].Pos() })
+	for _, fd := range fds {
+		w := &walker{c: c, held: make(map[*types.Var]string)}
+		w.block(fd.Body)
+	}
+	c.reportCycles()
+	return nil
+}
+
+// edge records one observed acquisition order: to was acquired while from
+// was held.
+type edge struct {
+	pos        token.Pos
+	fromD, toD string // display names at the recording site
+}
+
+type checker struct {
+	pass  *lint.Pass
+	decls map[*types.Func]*ast.FuncDecl
+
+	// acquires is the transitive set of mutexes each same-package function
+	// may lock; blocks marks functions that may execute a blocking
+	// operation. Both exclude goroutine bodies (they run on their own
+	// stack, with their own held set).
+	acquires map[*types.Func]map[*types.Var]bool
+	blocks   map[*types.Func]bool
+
+	edges map[[2]*types.Var]*edge
+}
+
+// summarize computes direct acquisition/blocking facts per function, then
+// closes them over the same-package call graph.
+func (c *checker) summarize() {
+	callees := make(map[*types.Func]map[*types.Func]bool)
+	for fn, fd := range c.decls {
+		acq := make(map[*types.Var]bool)
+		calls := make(map[*types.Func]bool)
+		blocks := false
+		inspectSkippingGo(fd.Body, func(n ast.Node) {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if mv, op := c.mutexOp(n); mv != nil && (op == "Lock" || op == "RLock") {
+					acq[mv] = true
+				} else if g := c.calleeIn(n); g != nil {
+					calls[g] = true
+				} else if c.blockingCall(n) != "" {
+					blocks = true
+				}
+			case *ast.SendStmt:
+				blocks = true
+			case *ast.SelectStmt:
+				if !hasDefaultClause(n.Body) {
+					blocks = true
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					blocks = true
+				}
+			}
+		})
+		c.acquires[fn] = acq
+		c.blocks[fn] = blocks
+		callees[fn] = calls
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, calls := range callees {
+			for g := range calls {
+				for mv := range c.acquires[g] {
+					if !c.acquires[fn][mv] {
+						c.acquires[fn][mv] = true
+						changed = true
+					}
+				}
+				if c.blocks[g] && !c.blocks[fn] {
+					c.blocks[fn] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// hasDefaultClause reports whether a select body contains a default clause
+// (making the select non-blocking).
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, cc := range body.List {
+		if c, ok := cc.(*ast.CommClause); ok && c.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// inspectSkippingGo visits body without descending into goroutine bodies.
+func inspectSkippingGo(body ast.Node, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			// Visit the call's arguments (evaluated on this stack) but not
+			// the spawned function literal's body.
+			for _, arg := range g.Call.Args {
+				inspectSkippingGo(arg, visit)
+			}
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// mutexOp recognizes m.Lock / m.RLock / m.Unlock / m.RUnlock calls on a
+// sync.Mutex or sync.RWMutex and resolves the mutex's identity (field or
+// variable object, so every instance path names the same lock).
+func (c *checker) mutexOp(call *ast.CallExpr) (*types.Var, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	if recv := receiverNamed(fn); recv != "Mutex" && recv != "RWMutex" {
+		return nil, ""
+	}
+	return c.resolveVar(sel.X), fn.Name()
+}
+
+func receiverNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// resolveVar identifies the variable or field object behind a mutex
+// expression (mu, s.mu, a.b.mu).
+func (c *checker) resolveVar(x ast.Expr) *types.Var {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		v, _ := c.pass.TypesInfo.Uses[x].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.TypesInfo.Selections[x]; ok {
+			v, _ := sel.Obj().(*types.Var)
+			return v
+		}
+	}
+	return nil
+}
+
+// calleeIn resolves a call to a function declared in this package.
+func (c *checker) calleeIn(call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = c.pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = c.pass.TypesInfo.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	if _, ok := c.decls[fn]; !ok {
+		return nil
+	}
+	return fn
+}
+
+// blockingCall names the blocking operation a call performs, or "".
+func (c *checker) blockingCall(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Sleep" {
+			return "time.Sleep"
+		}
+	case "sync":
+		if fn.Name() == "Wait" {
+			return receiverNamed(fn) + ".Wait"
+		}
+	case "net":
+		if fn.Name() == "Accept" {
+			return "net Accept"
+		}
+	}
+	return ""
+}
+
+// walker tracks the held-mutex set through one function body in statement
+// order.
+type walker struct {
+	c *checker
+	// held maps each held mutex to the display name it was locked under.
+	held map[*types.Var]string
+	// terminated marks a branch that returned/branched out; merges skip it.
+	terminated bool
+}
+
+func (w *walker) clone() *walker {
+	h := make(map[*types.Var]string, len(w.held))
+	for k, v := range w.held {
+		h[k] = v
+	}
+	return &walker{c: w.c, held: h}
+}
+
+// mergeBranches replaces held with the intersection of the surviving
+// branches (plus none if every branch terminated — then the pre state
+// passed as fallthrough applies).
+func (w *walker) mergeBranches(branches []*walker, fallthroughState map[*types.Var]string) {
+	var live []map[*types.Var]string
+	for _, b := range branches {
+		if !b.terminated {
+			live = append(live, b.held)
+		}
+	}
+	if fallthroughState != nil {
+		live = append(live, fallthroughState)
+	}
+	if len(live) == 0 {
+		w.terminated = true
+		return
+	}
+	merged := make(map[*types.Var]string)
+	for k, v := range live[0] {
+		inAll := true
+		for _, other := range live[1:] {
+			if _, ok := other[k]; !ok {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			merged[k] = v
+		}
+	}
+	w.held = merged
+}
+
+func (w *walker) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		if w.terminated {
+			return
+		}
+		w.stmt(s)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.expr(r)
+		}
+		for _, l := range s.Lhs {
+			w.expr(l)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+		w.blockingOp(s.Arrow, "channel send")
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	case *ast.DeferStmt:
+		// A deferred Unlock releases at return; for order tracking the lock
+		// stays held through the remainder of the body, which is exactly
+		// what leaving the held set untouched models. Other deferred calls
+		// do not run here.
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			w.expr(arg)
+		}
+		// The spawned body runs on its own stack with nothing held.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			g := &walker{c: w.c, held: make(map[*types.Var]string)}
+			g.block(lit.Body)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r)
+		}
+		w.terminated = true
+	case *ast.BranchStmt:
+		w.terminated = true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.expr(s.Cond)
+		body := w.clone()
+		body.block(s.Body)
+		branches := []*walker{body}
+		var fallthroughState map[*types.Var]string
+		if s.Else != nil {
+			els := w.clone()
+			els.stmt(s.Else)
+			branches = append(branches, els)
+		} else {
+			fallthroughState = w.held
+		}
+		w.mergeBranches(branches, fallthroughState)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond)
+		}
+		body := w.clone()
+		body.block(s.Body)
+		if s.Post != nil && !body.terminated {
+			body.stmt(s.Post)
+		}
+		// Held set after a loop: conservative, what we held going in.
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		if t := w.c.pass.TypesInfo.Types[s.X].Type; t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				w.blockingOp(s.For, "channel receive (range)")
+			}
+		}
+		body := w.clone()
+		body.block(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		w.caseClauses(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.caseClauses(s.Body)
+	case *ast.SelectStmt:
+		// A select with a default clause never parks the goroutine.
+		if !hasDefaultClause(s.Body) {
+			w.blockingOp(s.Pos(), "select")
+		}
+		w.caseClauses(s.Body)
+	case *ast.BlockStmt:
+		w.block(s)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	}
+}
+
+// caseClauses walks each clause body on a clone and merges the survivors;
+// the pre state rides along as the implicit no-case-taken path.
+func (w *walker) caseClauses(body *ast.BlockStmt) {
+	var branches []*walker
+	for _, cc := range body.List {
+		b := w.clone()
+		switch cc := cc.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				b.expr(e)
+			}
+			for _, s := range cc.Body {
+				if b.terminated {
+					break
+				}
+				b.stmt(s)
+			}
+		case *ast.CommClause:
+			// The comm statement's channel op is part of the select itself
+			// (already reported, or non-blocking under a default clause), so
+			// only the clause body is walked.
+			for _, s := range cc.Body {
+				if b.terminated {
+					break
+				}
+				b.stmt(s)
+			}
+		}
+		branches = append(branches, b)
+	}
+	w.mergeBranches(branches, w.held)
+}
+
+// expr walks an expression in evaluation order, handling calls and channel
+// receives.
+func (w *walker) expr(x ast.Expr) {
+	switch x := x.(type) {
+	case *ast.ParenExpr:
+		w.expr(x.X)
+	case *ast.UnaryExpr:
+		w.expr(x.X)
+		if x.Op == token.ARROW {
+			w.blockingOp(x.OpPos, "channel receive")
+		}
+	case *ast.BinaryExpr:
+		w.expr(x.X)
+		w.expr(x.Y)
+	case *ast.StarExpr:
+		w.expr(x.X)
+	case *ast.SelectorExpr:
+		w.expr(x.X)
+	case *ast.IndexExpr:
+		w.expr(x.X)
+		w.expr(x.Index)
+	case *ast.SliceExpr:
+		w.expr(x.X)
+	case *ast.TypeAssertExpr:
+		w.expr(x.X)
+	case *ast.KeyValueExpr:
+		w.expr(x.Value)
+	case *ast.CompositeLit:
+		for _, e := range x.Elts {
+			w.expr(e)
+		}
+	case *ast.CallExpr:
+		for _, a := range x.Args {
+			w.expr(a)
+		}
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+			w.expr(sel.X)
+		}
+		w.call(x)
+	case *ast.FuncLit:
+		// A literal that is not (statically) invoked here: its body runs
+		// later; analyzed separately only via go statements. Calls through
+		// stored closures are beyond this checker.
+	}
+}
+
+// call applies the lock semantics of one call with the current held set.
+func (w *walker) call(call *ast.CallExpr) {
+	c := w.c
+	if mv, op := c.mutexOp(call); mv != nil {
+		// mutexOp guarantees Fun is a selector; display the receiver chain
+		// (s.mu), not the method.
+		display := exprDisplay(ast.Unparen(call.Fun).(*ast.SelectorExpr).X)
+		switch op {
+		case "Lock", "RLock":
+			if heldAs, ok := w.held[mv]; ok {
+				c.pass.Reportf(call.Pos(), "%s acquired while %s is already held; sync mutexes are not reentrant — this deadlocks at runtime", display, heldAs)
+				return
+			}
+			for hv, heldAs := range w.held {
+				c.recordEdge(hv, mv, heldAs, display, call.Pos())
+			}
+			w.held[mv] = display
+		case "Unlock", "RUnlock":
+			delete(w.held, mv)
+		}
+		return
+	}
+	if b := c.blockingCall(call); b != "" {
+		w.blockingOp(call.Pos(), b)
+		return
+	}
+	if g := c.calleeIn(call); g != nil {
+		display := exprDisplay(call.Fun)
+		for hv, heldAs := range w.held {
+			for acq := range c.acquires[g] {
+				if acq == hv {
+					c.pass.Reportf(call.Pos(), "call to %s (re)acquires %s, which is already held here; sync mutexes are not reentrant — this deadlocks at runtime", display, heldAs)
+					continue
+				}
+				c.recordEdge(hv, acq, heldAs, display+"'s "+acq.Name(), call.Pos())
+			}
+			if c.blocks[g] {
+				c.pass.Reportf(call.Pos(), "call to %s may block while %s is held; every contender for the lock stalls until it returns", display, heldAs)
+			}
+		}
+	}
+}
+
+func (w *walker) blockingOp(pos token.Pos, what string) {
+	for _, heldAs := range sortedHeld(w.held) {
+		w.c.pass.Reportf(pos, "%s while %s is held; a blocked peer keeps the lock and stalls every contender", what, heldAs)
+	}
+}
+
+// sortedHeld returns held display names in deterministic order.
+func sortedHeld(held map[*types.Var]string) []string {
+	var names []string
+	for _, n := range held {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+// recordEdge notes that `to` was acquired while `from` was held, keeping
+// the first observation per ordered pair.
+func (c *checker) recordEdge(from, to *types.Var, fromD, toD string, pos token.Pos) {
+	key := [2]*types.Var{from, to}
+	if prev, ok := c.edges[key]; ok && prev.pos <= pos {
+		return
+	}
+	c.edges[key] = &edge{pos: pos, fromD: fromD, toD: toD}
+}
+
+// reportCycles reports each pair of mutexes acquired in both orders, once,
+// anchored at the lexically earlier edge.
+func (c *checker) reportCycles() {
+	for key, e := range c.edges {
+		rev, ok := c.edges[[2]*types.Var{key[1], key[0]}]
+		if !ok {
+			continue
+		}
+		if e.pos > rev.pos {
+			continue // report from the earlier site only
+		}
+		other := c.pass.Fset.Position(rev.pos)
+		c.pass.Reportf(e.pos, "inconsistent lock order: %s acquired while %s is held here, but the opposite order appears at %s; concurrent callers can deadlock", e.toD, e.fromD, other)
+	}
+}
+
+// exprDisplay renders a (selector) expression for diagnostics: s.mu.Lock →
+// "s.mu", srv.Close → "srv.Close".
+func exprDisplay(x ast.Expr) string {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if base := exprDisplay(x.X); base != "" {
+			// For mutex ops the interesting path is the receiver chain
+			// without the method name; callers pass fun.X or fun as fits.
+			return base + "." + x.Sel.Name
+		}
+		return x.Sel.Name
+	}
+	return "<expr>"
+}

@@ -1,0 +1,18 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"fafnet/internal/lint/linttest"
+	"fafnet/internal/lint/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer, "testdata/l", "fafnet/internal/signaling/linttestdata")
+}
+
+// TestOutOfScope checks that packages outside the concurrent set are not
+// held to the lock discipline.
+func TestOutOfScope(t *testing.T) {
+	linttest.RunExpectNone(t, lockorder.Analyzer, "testdata/l", "fafnet/internal/core/linttestdata")
+}

@@ -1,0 +1,158 @@
+// Package sarif emits static-analysis results in SARIF 2.1.0, the
+// interchange format GitHub code scanning ingests. Only the subset the
+// fafvet driver needs is modeled: one run, one tool, rules with short
+// descriptions, and results with a single physical location each.
+package sarif
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// SchemaURI and Version identify the SARIF revision the output conforms to.
+const (
+	SchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+	Version   = "2.1.0"
+)
+
+// Log is the top-level SARIF document.
+type Log struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []Run  `json:"runs"`
+}
+
+// Run is one invocation of one tool.
+type Run struct {
+	Tool    Tool     `json:"tool"`
+	Results []Result `json:"results"`
+}
+
+// Tool wraps the driver description.
+type Tool struct {
+	Driver Driver `json:"driver"`
+}
+
+// Driver describes the analysis tool and its rules.
+type Driver struct {
+	Name           string `json:"name"`
+	InformationURI string `json:"informationUri,omitempty"`
+	Rules          []Rule `json:"rules"`
+}
+
+// Rule describes one analyzer.
+type Rule struct {
+	ID               string  `json:"id"`
+	ShortDescription Message `json:"shortDescription"`
+}
+
+// Message is SARIF's text wrapper.
+type Message struct {
+	Text string `json:"text"`
+}
+
+// Result is one finding.
+type Result struct {
+	RuleID    string     `json:"ruleId"`
+	RuleIndex int        `json:"ruleIndex"`
+	Level     string     `json:"level"`
+	Message   Message    `json:"message"`
+	Locations []Location `json:"locations"`
+}
+
+// Location wraps a physical location.
+type Location struct {
+	PhysicalLocation PhysicalLocation `json:"physicalLocation"`
+}
+
+// PhysicalLocation names a region of an artifact.
+type PhysicalLocation struct {
+	ArtifactLocation ArtifactLocation `json:"artifactLocation"`
+	Region           Region           `json:"region"`
+}
+
+// ArtifactLocation is a file reference. URIs use forward slashes relative
+// to the repository root so GitHub can anchor annotations.
+type ArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+// Region is a line/column range; only the start is populated.
+type Region struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// Finding is the driver's view of one diagnostic, decoupled from the lint
+// package to avoid an import cycle.
+type Finding struct {
+	Analyzer string
+	File     string // slash-separated, repo-relative
+	Line     int
+	Column   int
+	Message  string
+}
+
+// Build assembles a single-run SARIF log. ruleDocs maps analyzer name to a
+// one-line description; analyzers that produced findings but have no doc
+// entry still get a rule with the name as description. Rules are sorted by
+// ID and results keep their input order (the driver sorts them already).
+func Build(toolName, infoURI string, ruleDocs map[string]string, findings []Finding) *Log {
+	ids := make(map[string]bool, len(ruleDocs))
+	for name := range ruleDocs {
+		ids[name] = true
+	}
+	for _, f := range findings {
+		ids[f.Analyzer] = true
+	}
+	sorted := make([]string, 0, len(ids))
+	for name := range ids {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+
+	index := make(map[string]int, len(sorted))
+	rules := make([]Rule, 0, len(sorted))
+	for i, name := range sorted {
+		index[name] = i
+		doc := ruleDocs[name]
+		if doc == "" {
+			doc = name
+		}
+		rules = append(rules, Rule{ID: name, ShortDescription: Message{Text: doc}})
+	}
+
+	results := make([]Result, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, Result{
+			RuleID:    f.Analyzer,
+			RuleIndex: index[f.Analyzer],
+			Level:     "error",
+			Message:   Message{Text: f.Message},
+			Locations: []Location{{
+				PhysicalLocation: PhysicalLocation{
+					ArtifactLocation: ArtifactLocation{URI: f.File, URIBaseID: "%SRCROOT%"},
+					Region:           Region{StartLine: f.Line, StartColumn: f.Column},
+				},
+			}},
+		})
+	}
+	return &Log{
+		Schema:  SchemaURI,
+		Version: Version,
+		Runs: []Run{{
+			Tool:    Tool{Driver: Driver{Name: toolName, InformationURI: infoURI, Rules: rules}},
+			Results: results,
+		}},
+	}
+}
+
+// Encode renders the log as indented JSON with a trailing newline.
+func (l *Log) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

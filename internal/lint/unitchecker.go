@@ -15,6 +15,8 @@ import (
 	"os"
 	"runtime"
 	"strings"
+
+	"fafnet/internal/lint/facts"
 )
 
 // This file implements the `go vet -vettool` driver protocol — a
@@ -49,6 +51,26 @@ type Config struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// ModulePath is the import-path prefix of the packages this suite analyzes
+// in depth. Dependency packages outside the module (the standard library)
+// get an empty fact file and are otherwise skipped.
+const ModulePath = "fafnet"
+
+// MachinePrefix introduces one machine-readable diagnostic line on stderr
+// when the tool runs with -emit=machine. The standalone driver (cmd/fafvet
+// run on package patterns) greps these lines out of `go vet` output to
+// aggregate diagnostics across packages.
+const MachinePrefix = "fafvetdiag "
+
+// MachineDiag is the JSON payload of one MachinePrefix line.
+type MachineDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 // Main is the entry point for a vettool built from lint analyzers. It never
 // returns.
 func Main(analyzers ...*Analyzer) {
@@ -58,6 +80,10 @@ func Main(analyzers ...*Analyzer) {
 
 	printVersion := flag.String("V", "", "print version and exit (-V=full)")
 	printFlags := flag.Bool("flags", false, "print analyzer flags in JSON")
+	emit := flag.String("emit", "text", `diagnostic format on stderr: "text" or "machine"`)
+	format := flag.String("format", "text", `driver-mode output format: "text", "json" or "sarif"`)
+	output := flag.String("o", "", "driver-mode output file (default stdout)")
+	baseline := flag.String("baseline", "", "driver-mode baseline JSON of accepted findings")
 	enabled := make(map[string]*bool)
 	for _, a := range analyzers {
 		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+firstLine(a.Doc))
@@ -77,7 +103,19 @@ func Main(analyzers ...*Analyzer) {
 
 	args := flag.Args()
 	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
-		log.Fatalf(`invoke via "go vet -vettool=%s [packages]"`, progname)
+		// Not a go-vet unit invocation: run as a standalone driver over
+		// package patterns.
+		var disabled []string
+		for _, a := range analyzers {
+			if !*enabled[a.Name] {
+				disabled = append(disabled, a.Name)
+			}
+		}
+		os.Exit(Driver(analyzers, disabled, DriverOptions{
+			Format:   *format,
+			Output:   *output,
+			Baseline: *baseline,
+		}, args))
 	}
 	var active []*Analyzer
 	for _, a := range analyzers {
@@ -90,7 +128,21 @@ func Main(analyzers ...*Analyzer) {
 		log.Fatal(err)
 	}
 	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+		if *emit == "machine" {
+			data, err := json.Marshal(MachineDiag{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "%s%s\n", MachinePrefix, data)
+		} else {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(2)
@@ -135,6 +187,7 @@ func flagsJSON(analyzers []*Analyzer) {
 	flags := []jsonFlag{
 		{Name: "V", Bool: false, Usage: "print version and exit"},
 		{Name: "flags", Bool: true, Usage: "print analyzer flags in JSON"},
+		{Name: "emit", Bool: false, Usage: "diagnostic format on stderr: text or machine"},
 	}
 	for _, a := range analyzers {
 		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: firstLine(a.Doc)})
@@ -163,15 +216,21 @@ func runConfig(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return nil, fmt.Errorf("parsing vet config %s: %w", cfgFile, err)
 	}
 
-	// The go command caches and reuses this file; it must exist even though
-	// these analyzers exchange no cross-package facts.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			return nil, fmt.Errorf("writing facts output: %w", err)
-		}
-	}
+	inModule := cfg.ImportPath == ModulePath || strings.HasPrefix(cfg.ImportPath, ModulePath+"/")
 	if cfg.VetxOnly {
-		return nil, nil
+		// A dependency vetted only for its facts. Standard-library (and any
+		// other out-of-module) packages carry no fafnet facts: write the
+		// placeholder the go command's cache expects and skip the analysis.
+		if !inModule || !anyExportsFacts(analyzers) {
+			return nil, writeVetx(cfg.VetxOutput, nil)
+		}
+		var factOnly []*Analyzer
+		for _, a := range analyzers {
+			if a.ExportsFacts {
+				factOnly = append(factOnly, a)
+			}
+		}
+		analyzers = factOnly
 	}
 
 	fset := token.NewFileSet()
@@ -180,7 +239,7 @@ func runConfig(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, error) {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return nil, nil
+				return nil, writeVetx(cfg.VetxOutput, nil)
 			}
 			return nil, err
 		}
@@ -219,9 +278,60 @@ func runConfig(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return nil, nil
+			return nil, writeVetx(cfg.VetxOutput, nil)
 		}
 		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
 	}
-	return RunAnalyzers(fset, files, pkg, info, analyzers)
+
+	imported := make(map[string]facts.File)
+	for path, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			continue // dependency not vetted with facts; degrade to no facts
+		}
+		f, err := facts.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("facts for %s: %w", path, err)
+		}
+		imported[path] = f
+	}
+
+	diags, exported, err := Run(fset, files, pkg, info, analyzers, imported)
+	if err != nil {
+		return nil, err
+	}
+	encoded, err := facts.Encode(exported)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeVetx(cfg.VetxOutput, encoded); err != nil {
+		return nil, err
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+	return diags, nil
+}
+
+// anyExportsFacts reports whether any analyzer participates in the facts
+// protocol.
+func anyExportsFacts(analyzers []*Analyzer) bool {
+	for _, a := range analyzers {
+		if a.ExportsFacts {
+			return true
+		}
+	}
+	return false
+}
+
+// writeVetx writes the package's fact file. The go command caches and reuses
+// this file, so it must exist (possibly empty) after every successful run.
+func writeVetx(path string, data []byte) error {
+	if path == "" {
+		return nil
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		return fmt.Errorf("writing facts output: %w", err)
+	}
+	return nil
 }

@@ -1,0 +1,168 @@
+package signaling
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"fafnet/internal/core"
+	"fafnet/internal/topo"
+)
+
+// newIdleServer builds a server without starting it.
+func newIdleServer(t *testing.T) *Server {
+	t.Helper()
+	net0, err := topo.NewNetwork(topo.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := core.NewController(net0, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ctl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestConcurrentServeAddrClose hammers the server's public surface from
+// many goroutines under the race detector: Serve starting up, Addr polled
+// throughout, clients connecting, and Close racing everything. The test
+// passes when nothing data-races and every goroutine gets to finish —
+// i.e. Close never deadlocks against in-flight handlers.
+func TestConcurrentServeAddrClose(t *testing.T) {
+	srv := newIdleServer(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				_ = srv.Addr()
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client, err := Dial(l.Addr().String(), 2*time.Second)
+			if err != nil {
+				return // the racing Close may win; only data races fail the test
+			}
+			defer client.Close()
+			_, _ = client.Report()
+		}()
+	}
+	wg.Wait()
+
+	// Concurrent Close calls must all succeed (idempotent shutdown).
+	var closers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		closers.Add(1)
+		go func() {
+			defer closers.Done()
+			if err := srv.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}()
+	}
+	closers.Wait()
+	if err := <-serveDone; err != nil {
+		t.Errorf("serve: %v", err)
+	}
+}
+
+// TestServeTwiceRejected checks the listener handoff under mu: a second
+// Serve must fail fast instead of racing for the listener field.
+func TestServeTwiceRejected(t *testing.T) {
+	srv := newIdleServer(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	// Wait until the first Serve has stored the listener.
+	for srv.Addr() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if err := srv.Serve(l2); err == nil {
+		t.Error("second Serve should be rejected")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Errorf("serve: %v", err)
+	}
+}
+
+// badCloser is the shutdown shape Server.Close deliberately avoids: holding
+// mu across wg.Wait. A worker that needs mu to finish can then never let
+// Wait return. The lockorder analyzer flags the Wait call below statically
+// (the finding is recorded in .fafvet-baseline.json as intended); this test
+// demonstrates the same hazard dynamically.
+type badCloser struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	n  int
+}
+
+func (b *badCloser) finishWorker() {
+	defer b.wg.Done()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func (b *badCloser) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.wg.Wait()
+}
+
+func TestLockOrderHazardStallsShutdown(t *testing.T) {
+	b := &badCloser{}
+	b.wg.Add(1)
+	workerReady := make(chan struct{})
+	closeDone := make(chan struct{})
+	go func() {
+		<-workerReady
+		b.finishWorker() // blocks on mu, held by Close below
+	}()
+	go func() {
+		b.Close() // holds mu, waits for the worker — mutual wait
+		close(closeDone)
+	}()
+	// Release the worker only once Close demonstrably holds mu (TryLock
+	// failing proves it, since nothing else contends yet); Close is then
+	// parked in Wait and the worker walks into the trap.
+	for b.mu.TryLock() {
+		b.mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+	close(workerReady)
+	select {
+	case <-closeDone:
+		t.Fatal("Close returned; the hazard this test documents has silently disappeared")
+	case <-time.After(100 * time.Millisecond):
+		// Stalled, as the lock order predicts. The two goroutines stay
+		// parked for the life of the test binary; that leak is the point.
+	}
+}
