@@ -1,9 +1,16 @@
 # Developer entry points. `make check` is the full pre-merge gate.
 
-GO      ?= go
-FAFVET  := bin/fafvet
+GO       ?= go
+FAFVET   := bin/fafvet
+FAFBENCH := bin/fafbench
 
-.PHONY: all build fmt vet sarif race test short check clean
+# bench knobs: subset selector, per-benchmark time budget, output file.
+#   make bench BENCH='CACAdmit|DelayAnalysis' BENCHTIME=3s BENCH_JSON=BENCH.json
+BENCH      ?= .
+BENCHTIME  ?= 1s
+BENCH_JSON ?= BENCH.json
+
+.PHONY: all build fmt vet sarif race test short bench check clean
 
 all: build
 
@@ -45,6 +52,18 @@ test:
 
 short:
 	$(GO) test -short ./...
+
+$(FAFBENCH): FORCE
+	$(GO) build -o $(FAFBENCH) ./cmd/fafbench
+
+# Run the root-package benchmark suite with allocation stats and record the
+# results as machine-readable JSON (name → ns/op, B/op, allocs/op, plus
+# custom metrics such as AP) for before/after tracking. The raw `go test`
+# output is kept in bench.out.
+bench: $(FAFBENCH)
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchtime $(BENCHTIME) -benchmem . | tee bench.out
+	./$(FAFBENCH) -o $(BENCH_JSON) bench.out
+	@echo "wrote $(BENCH_JSON)"
 
 check: build fmt vet race test
 

@@ -1,0 +1,62 @@
+// Command fafbench converts `go test -bench` output into a machine-readable
+// JSON report for benchmark tracking (the BENCH_*.json files committed with
+// performance PRs and uploaded by the CI bench-smoke job).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | fafbench -o BENCH.json
+//	fafbench -o BENCH.json bench.out
+//
+// Each benchmark line becomes one record with the iteration count, the
+// standard ns/op, B/op and allocs/op measurements, and any custom metrics
+// reported via (*testing.B).ReportMetric (for this repository: the admission
+// probability AP of the experiment benches).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fafbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	report, err := Parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fafbench:", err)
+		os.Exit(1)
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "fafbench: no benchmark lines in input")
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fafbench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "fafbench:", err)
+		os.Exit(1)
+	}
+}

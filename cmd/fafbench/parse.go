@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Report is the JSON shape of one benchmark run.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one `BenchmarkName-P  N  v unit  v unit ...` result line.
+type Benchmark struct {
+	// Name is the benchmark name with the "Benchmark" prefix and the
+	// trailing -GOMAXPROCS suffix removed, e.g. "CACAdmit/active9".
+	Name string `json:"name"`
+	// Iterations is b.N for the reported measurement.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp and AllocsPerOp are the standard measurements;
+	// the allocation pair is present only under -benchmem.
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds every other value/unit pair on the line — custom metrics
+	// from (*testing.B).ReportMetric, such as the experiment benches' AP.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// procSuffix is the -GOMAXPROCS tail the testing package appends to names.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` output and collects every result line, in
+// input order, together with the run's environment header.
+func Parse(r io.Reader) (Report, error) {
+	var rep Report
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		b, ok, err := parseLine(line)
+		if err != nil {
+			return Report{}, err
+		}
+		if ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Report{}, err
+	}
+	return rep, nil
+}
+
+// parseLine decodes one result line. Lines that start with "Benchmark" but
+// are not results (e.g. the bare name echoed by -v) report ok=false.
+func parseLine(line string) (Benchmark, bool, error) {
+	fields := strings.Fields(line)
+	// A result line has at least: name, iterations, value, unit.
+	if len(fields) < 4 {
+		return Benchmark{}, false, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, nil
+	}
+	b := Benchmark{
+		Name:       procSuffix.ReplaceAllString(strings.TrimPrefix(fields[0], "Benchmark"), ""),
+		Iterations: iters,
+	}
+	// The remainder is value/unit pairs.
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, false, fmt.Errorf("fafbench: odd measurement fields in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, false, fmt.Errorf("fafbench: bad value %q in %q: %w", rest[i], line, err)
+		}
+		switch unit := rest[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			val := v
+			b.BytesPerOp = &val
+		case "allocs/op":
+			val := v
+			b.AllocsPerOp = &val
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true, nil
+}

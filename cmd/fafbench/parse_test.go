@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: fafnet
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkFigure7/U0.3/beta0.0-4         	       1	 312456789 ns/op	         0.9062 AP
+BenchmarkCACAdmit/active9-4             	     120	   9845401 ns/op	 8387874 B/op	   11988 allocs/op
+BenchmarkDelayAnalysis-4                	    8484	    141955 ns/op	  202337 B/op	     495 allocs/op
+BenchmarkEnvelopeEval-4                 	31415926	        38.27 ns/op
+PASS
+ok  	fafnet	42.123s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "fafnet" {
+		t.Errorf("header = %q/%q/%q", rep.Goos, rep.Goarch, rep.Pkg)
+	}
+	if rep.CPU != "Intel(R) Xeon(R) CPU" {
+		t.Errorf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+
+	fig := rep.Benchmarks[0]
+	if fig.Name != "Figure7/U0.3/beta0.0" {
+		t.Errorf("name = %q", fig.Name)
+	}
+	if fig.Iterations != 1 || fig.NsPerOp != 312456789 {
+		t.Errorf("figure bench = %+v", fig)
+	}
+	if got := fig.Metrics["AP"]; got != 0.9062 {
+		t.Errorf("AP metric = %v", got)
+	}
+	if fig.BytesPerOp != nil || fig.AllocsPerOp != nil {
+		t.Error("figure bench has alloc stats without -benchmem fields")
+	}
+
+	cac := rep.Benchmarks[1]
+	if cac.Name != "CACAdmit/active9" || cac.Iterations != 120 {
+		t.Errorf("cac bench = %+v", cac)
+	}
+	if cac.BytesPerOp == nil || *cac.BytesPerOp != 8387874 {
+		t.Errorf("cac B/op = %v", cac.BytesPerOp)
+	}
+	if cac.AllocsPerOp == nil || *cac.AllocsPerOp != 11988 {
+		t.Errorf("cac allocs/op = %v", cac.AllocsPerOp)
+	}
+	if len(cac.Metrics) != 0 {
+		t.Errorf("cac metrics = %v", cac.Metrics)
+	}
+
+	if ee := rep.Benchmarks[3]; ee.NsPerOp != 38.27 {
+		t.Errorf("sub-ns bench ns/op = %v", ee.NsPerOp)
+	}
+}
+
+func TestParseSkipsNonResultLines(t *testing.T) {
+	in := "BenchmarkBare\nBenchmarkFoo-8 10 5 ns/op\n--- BENCH: BenchmarkFoo-8\nnot a bench\n"
+	rep, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "Foo" {
+		t.Fatalf("benchmarks = %+v", rep.Benchmarks)
+	}
+}
+
+func TestParseRejectsMalformedMeasurements(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkBad-4 10 5 ns/op trailing\n")); err == nil {
+		t.Error("odd measurement fields should be rejected")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkBad-4 10 notanumber ns/op\n")); err == nil {
+		t.Error("non-numeric value should be rejected")
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -38,9 +40,17 @@ func main() {
 		doPlot     = flag.Bool("plot", false, "render an ASCII chart after the table")
 		searchIter = flag.Int("search-iters", 12, "binary-search iterations in the CAC")
 		csvPath    = flag.String("csv", "", "also write the swept series to this CSV file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	csvOut = *csvPath
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fafsim:", err)
+		os.Exit(1)
+	}
 
 	base := sim.Config{
 		Requests: *requests,
@@ -50,7 +60,6 @@ func main() {
 		CAC:      core.Options{SearchIters: *searchIter},
 	}
 
-	var err error
 	switch *experiment {
 	case "beta":
 		err = runBeta(base, *utilsFlag, *betasFlag, *doPlot)
@@ -63,10 +72,54 @@ func main() {
 	default:
 		err = fmt.Errorf("unknown experiment %q (want beta, load, ablation, or reasons)", *experiment)
 	}
+	// Flush profiles explicitly: os.Exit skips deferred calls, and a run that
+	// fails half-way is exactly the one worth profiling.
+	stopProfiles()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fafsim:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiles begins CPU profiling and/or arranges a heap snapshot, as
+// requested. The returned stop function is idempotent-safe to call once at
+// exit; it finishes the CPU profile and writes the heap profile.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	stop = func() {}
+	if cpuPath == "" && memPath == "" {
+		return stop, nil
+	}
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return stop, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return stop, err
+		}
+	}
+	stop = func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fafsim: memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the snapshot shows live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fafsim: memprofile:", err)
+		}
+	}
+	return stop, nil
 }
 
 func parseList(s string, def []float64) ([]float64, error) {

@@ -3,6 +3,7 @@ package atm
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"fafnet/internal/traffic"
 	"fafnet/internal/units"
@@ -103,7 +104,11 @@ func AnalyzeMux(inputs []traffic.Descriptor, p MuxParams, opts MuxOptions) (MuxR
 	}
 	opts = opts.withDefaults()
 
-	agg := traffic.NewAggregate(inputs...)
+	// The aggregate is scanned twice over largely the same points (busy-period
+	// search, then the extremum pass over the merged grid) and its breakpoint
+	// union is re-requested at every doubled horizon; the memo makes each
+	// distinct point cost one chain walk total instead of one per scan.
+	agg := traffic.NewMemoized(traffic.NewAggregate(inputs...))
 	if agg.LongTermRate() >= p.CapacityBps*(1-units.RelTol) {
 		return MuxResult{}, fmt.Errorf("%w: Σρ=%v bps, C=%v bps", ErrMuxOverload, agg.LongTermRate(), p.CapacityBps)
 	}
@@ -146,12 +151,32 @@ func AnalyzeMux(inputs []traffic.Descriptor, p MuxParams, opts MuxOptions) (MuxR
 // extremum search range, which keeps the delay bound conservative. It
 // returns the busy period together with the grid used, so the caller can
 // reuse it for the extremum scan.
-func busyPeriod(agg traffic.Aggregate, capacity float64, opts MuxOptions) (float64, []float64, error) {
+//
+// The scan exploits monotonicity to skip ahead: after observing a = ΣA(t),
+// no earlier-unvisited point t' with C·t' + Eps < a can be the crossing (its
+// demand is at least a), so the scan resumes at the first grid point past
+// (a − Eps)/C. The crossing found is identical to the point-by-point scan's.
+func busyPeriod(agg traffic.Descriptor, capacity float64, opts MuxOptions) (float64, []float64, error) {
 	for horizon := opts.InitialHorizon; horizon <= opts.MaxHorizon*2; horizon *= 2 {
 		grid := traffic.Grid(agg, horizon, opts.GridPoints)
-		for _, t := range grid {
-			if agg.Bits(t) <= capacity*t+units.Eps {
+		for i := 0; i < len(grid); {
+			t := grid[i]
+			a := agg.Bits(t)
+			if a <= capacity*t+units.Eps {
 				return t, grid, nil
+			}
+			catchup := (a - units.Eps) / capacity
+			i++
+			// Galloping + binary search keeps the skip cheap whether the
+			// crossing is one point or hundreds of points away.
+			if i < len(grid) && grid[i] < catchup {
+				lo, step := i, 1
+				for lo+step < len(grid) && grid[lo+step] < catchup {
+					lo += step
+					step *= 2
+				}
+				hi := min(lo+step, len(grid))
+				i = lo + sort.SearchFloat64s(grid[lo:hi], catchup)
 			}
 		}
 	}

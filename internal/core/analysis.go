@@ -29,14 +29,23 @@ var errInfeasible = errors.New("core: no finite delay bound")
 type Analyzer struct {
 	net  *topo.Network
 	opts AnalysisOptions
-	// macCache memoizes sender-MAC results keyed by (connection, H): valid
-	// as long as the connection's source descriptor is unchanged.
-	macCache map[macKey]macEntry
+	// macCache memoizes sender-MAC results, keyed first by connection and
+	// then by the probed allocation H: valid as long as the connection's
+	// source descriptor is unchanged. The two-level shape makes Forget an
+	// O(1) delete instead of a scan over every (connection, H) pair — the
+	// CAC forgets on every release and every rejected admission.
+	macCache map[string]map[float64]macEntry
+	// stage0Cache carries each connection's fused, memoized envelope at the
+	// entrance of its first shared port across evaluations. The envelope
+	// depends only on the connection's own spec and sender allocation, so it
+	// (and every Bits value its memo accumulates) stays valid until the
+	// allocation changes or Forget is called. Unused under DisableFusion.
+	stage0Cache map[string]stage0Entry
 }
 
-type macKey struct {
-	connID string
-	h      float64
+type stage0Entry struct {
+	h   float64
+	env traffic.Descriptor
 }
 
 type macEntry struct {
@@ -49,17 +58,19 @@ func NewAnalyzer(net *topo.Network, opts AnalysisOptions) (*Analyzer, error) {
 	if net == nil {
 		return nil, errors.New("core: Analyzer requires a network")
 	}
-	return &Analyzer{net: net, opts: opts, macCache: make(map[macKey]macEntry)}, nil
+	return &Analyzer{
+		net:         net,
+		opts:        opts,
+		macCache:    make(map[string]map[float64]macEntry),
+		stage0Cache: make(map[string]stage0Entry),
+	}, nil
 }
 
 // Forget drops cached results for a connection. Call it when a connection is
 // released or when an id is reused with a different traffic descriptor.
 func (a *Analyzer) Forget(connID string) {
-	for k := range a.macCache {
-		if k.connID == connID {
-			delete(a.macCache, k)
-		}
-	}
+	delete(a.macCache, connID)
+	delete(a.stage0Cache, connID)
 }
 
 // Delays returns the worst-case end-to-end delay of every connection under
@@ -125,14 +136,17 @@ type envKey struct {
 }
 
 func (a *Analyzer) newEvaluation(conns []*Connection) (*evaluation, error) {
+	// Size the memo maps for the common shape — every connection crossing the
+	// backbone contributes one envelope per route stage (plus stage 0) and
+	// one MAC/shaper entry; ports are shared, so a handful suffices.
 	ev := &evaluation{
 		a:          a,
 		conns:      make(map[string]*Connection, len(conns)),
-		portDelay:  make(map[topo.PortID]float64),
-		portBusy:   make(map[topo.PortID]bool),
-		envMemo:    make(map[envKey]traffic.Descriptor),
-		macMemo:    make(map[string]fddi.MACResult),
-		shaperMemo: make(map[string]shaper.Result),
+		portDelay:  make(map[topo.PortID]float64, 8),
+		portBusy:   make(map[topo.PortID]bool, 8),
+		envMemo:    make(map[envKey]traffic.Descriptor, 4*len(conns)),
+		macMemo:    make(map[string]fddi.MACResult, len(conns)),
+		shaperMemo: make(map[string]shaper.Result, len(conns)),
 	}
 	for _, c := range conns {
 		if c == nil {
@@ -163,8 +177,8 @@ func (ev *evaluation) srcMAC(c *Connection) (fddi.MACResult, error) {
 	if res, ok := ev.macMemo[c.ID]; ok {
 		return res, nil
 	}
-	key := macKey{connID: c.ID, h: c.HS}
-	if e, ok := ev.a.macCache[key]; ok {
+	byH := ev.a.macCache[c.ID]
+	if e, ok := byH[c.HS]; ok {
 		if e.err == nil {
 			ev.macMemo[c.ID] = e.res
 		}
@@ -179,7 +193,12 @@ func (ev *evaluation) srcMAC(c *Connection) (fddi.MACResult, error) {
 	if err != nil {
 		err = fmt.Errorf("%w: sender MAC of %q: %v", errInfeasible, c.ID, err)
 	}
-	ev.a.macCache[key] = macEntry{res: res, err: err}
+	if byH == nil {
+		// A CAC bisection probes ~2·SearchIters allocations per request.
+		byH = make(map[float64]macEntry, 32)
+		ev.a.macCache[c.ID] = byH
+	}
+	byH[c.HS] = macEntry{res: res, err: err}
 	if err == nil {
 		ev.macMemo[c.ID] = res
 	}
@@ -195,6 +214,14 @@ func (ev *evaluation) envelopeEntering(c *Connection, stage int) (traffic.Descri
 	}
 	var env traffic.Descriptor
 	if stage == 0 {
+		if !ev.a.opts.DisableFusion {
+			// Exact equality on the allocation: the cached envelope is valid
+			// only for precisely the h it was built with.
+			if e, ok := ev.a.stage0Cache[c.ID]; ok && e.h == c.HS {
+				ev.envMemo[key] = e.env
+				return e.env, nil
+			}
+		}
 		// Sender MAC output, optional ingress regulator, then frame→cell
 		// conversion (Theorem 2). The constant-delay stages in between are
 		// envelope-invariant.
@@ -216,6 +243,14 @@ func (ev *evaluation) envelopeEntering(c *Connection, stage int) (traffic.Descri
 			return nil, err
 		}
 		env = conv
+		if !ev.a.opts.DisableFusion {
+			// The stage-0 envelope depends only on this connection's spec and
+			// sender allocation, so the fused, memoized form — and every Bits
+			// value it accumulates — is reusable verbatim by later evaluations
+			// until the allocation changes or the connection is Forgotten.
+			env = traffic.Fuse(env)
+			ev.a.stage0Cache[c.ID] = stage0Entry{h: c.HS, env: env}
+		}
 	} else {
 		prev, err := ev.envelopeEntering(c, stage-1)
 		if err != nil {
@@ -230,6 +265,14 @@ func (ev *evaluation) envelopeEntering(c *Connection, stage int) (traffic.Descri
 			return nil, fmt.Errorf("core: envelope after port %v: %w", c.Route.Ports[stage-1], err)
 		}
 		env = out
+		if !ev.a.opts.DisableFusion {
+			// Every per-port stage shares the one backbone port capacity, so
+			// the Delayed stack over the stage-0 envelope collapses to a
+			// single Delayed with the summed delay; downstream consumers
+			// (later ports' mux analyses, the receiver MAC) then pay one
+			// transform per Bits call instead of one per traversed port.
+			env = traffic.Fuse(env)
+		}
 	}
 	ev.envMemo[key] = env
 	return env, nil
@@ -259,6 +302,12 @@ func (ev *evaluation) shaperResult(c *Connection, pre traffic.Descriptor) (shape
 // analyzed with the envelopes of every connection traversing it.
 func (ev *evaluation) muxDelay(p topo.PortID) (float64, error) {
 	if d, ok := ev.portDelay[p]; ok {
+		if math.IsInf(d, 1) {
+			// The first analysis of this port found no finite bound; repeat
+			// the infeasibility verdict instead of handing +Inf to envelope
+			// constructors downstream.
+			return 0, fmt.Errorf("%w: port %v has no finite bound", errInfeasible, p)
+		}
 		return d, nil
 	}
 	if ev.portBusy[p] {
@@ -319,12 +368,21 @@ func (ev *evaluation) dstMAC(c *Connection) (fddi.MACResult, error) {
 	if err != nil {
 		return fddi.MACResult{}, err
 	}
+	var input traffic.Descriptor = reassembled
+	if !ev.a.opts.DisableFusion {
+		// The receiver-MAC analysis dominates probe cost: Theorem 1 walks a
+		// grid proportional to the busy interval, paying the full transform
+		// chain at every point. Fusing flattens the reassembled chain first.
+		// (No Memoized here: the MAC grid visits each point about once, so a
+		// per-call evaluation cache would cost more than it saves.)
+		input = traffic.Fuse(reassembled)
+	}
 	params := fddi.MACParams{
 		Ring:       ev.a.net.RingConfig(c.Dst.Ring),
 		H:          c.HR,
 		BufferBits: c.IDBufferBits,
 	}
-	res, err := fddi.AnalyzeMAC(reassembled, params, ev.a.opts.MAC)
+	res, err := fddi.AnalyzeMAC(input, params, ev.a.opts.MAC)
 	if err != nil {
 		return fddi.MACResult{}, fmt.Errorf("%w: receiver MAC of %q: %v", errInfeasible, c.ID, err)
 	}

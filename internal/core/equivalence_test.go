@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fafnet/internal/topo"
+	"fafnet/internal/traffic"
+	"fafnet/internal/units"
+)
+
+// TestFusionEquivalenceRandomized is the soundness harness of the probe
+// accelerator: across randomized scenarios (connection counts, placements,
+// allocations, and source mixes), the optimized analyzer — envelope fusion,
+// stage-0 memoization, MAC and mux fast paths — must agree with the
+// unoptimized evaluation (DisableFusion) within units.RelTol on every
+// connection's end-to-end delay, and exactly on feasibility (both infinite or
+// both finite).
+func TestFusionEquivalenceRandomized(t *testing.T) {
+	net := defaultNet(t)
+	rng := rand.New(rand.NewSource(20250806))
+
+	randomSource := func() traffic.Descriptor {
+		switch rng.Intn(3) {
+		case 0:
+			c1 := 50e3 + 150e3*rng.Float64()
+			d, err := traffic.NewDualPeriodic(c1, 0.010, c1/5, 0.001, 100e6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		case 1:
+			c := 20e3 + 80e3*rng.Float64()
+			p := []float64{0.005, 0.008, 0.010}[rng.Intn(3)]
+			d, err := traffic.NewPeriodic(c, p, 100e6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		default:
+			d, err := traffic.NewCBR(2e6 + 8e6*rng.Float64())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}
+	}
+
+	const scenarios = 120
+	for sc := 0; sc < scenarios; sc++ {
+		nConns := 1 + rng.Intn(5)
+		conns := make([]*Connection, 0, nConns)
+		for i := 0; i < nConns; i++ {
+			src := topo.HostID{Ring: rng.Intn(3), Index: rng.Intn(4)}
+			dst := topo.HostID{Ring: rng.Intn(3), Index: rng.Intn(4)}
+			if src == dst {
+				dst.Index = (dst.Index + 1) % 4
+			}
+			route, err := net.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := &Connection{
+				ConnSpec: ConnSpec{
+					ID:       fmt.Sprintf("s%dc%d", sc, i),
+					Src:      src,
+					Dst:      dst,
+					Source:   randomSource(),
+					Deadline: 0.120,
+				},
+				Route: route,
+				// Spanning the stability threshold on purpose: some draws are
+				// infeasible, exercising the +Inf paths on both sides.
+				HS: 0.4e-3 + 2.1e-3*rng.Float64(),
+				HR: 0.4e-3 + 2.1e-3*rng.Float64(),
+			}
+			conns = append(conns, c)
+		}
+
+		optimized, err := NewAnalyzer(net, AnalysisOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reference, err := NewAnalyzer(net, AnalysisOptions{DisableFusion: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := optimized.Delays(conns)
+		if err != nil {
+			t.Fatalf("scenario %d: optimized: %v", sc, err)
+		}
+		want, err := reference.Delays(conns)
+		if err != nil {
+			t.Fatalf("scenario %d: reference: %v", sc, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("scenario %d: %d delays, want %d", sc, len(got), len(want))
+		}
+		for id, w := range want {
+			g := got[id]
+			if math.IsInf(w, 1) != math.IsInf(g, 1) {
+				t.Fatalf("scenario %d, conn %s: feasibility diverged: optimized %v, reference %v", sc, id, g, w)
+			}
+			if !math.IsInf(w, 1) && !units.WithinRel(g, w, units.RelTol) {
+				t.Fatalf("scenario %d, conn %s: optimized %v, reference %v", sc, id, g, w)
+			}
+		}
+
+		// A second evaluation through the warmed caches (macCache,
+		// stage0Cache) must reproduce the first exactly.
+		again, err := optimized.Delays(conns)
+		if err != nil {
+			t.Fatalf("scenario %d: warmed: %v", sc, err)
+		}
+		for id, g := range got {
+			if a := again[id]; a != g && !(math.IsInf(a, 1) && math.IsInf(g, 1)) {
+				t.Fatalf("scenario %d, conn %s: warmed cache diverged: %v then %v", sc, id, g, a)
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"fafnet/internal/topo"
+	"fafnet/internal/traffic"
 )
 
 // ProbeSession accelerates the CAC's binary searches. Across the dozens of
@@ -32,6 +33,23 @@ type ProbeSession struct {
 	cleanPortDelay map[topo.PortID]float64
 	cleanDelay     map[string]float64
 	affected       int
+
+	// stage0 holds each existing connection's envelope entering its first
+	// shared port (sender MAC → optional shaper → frame→cell conversion),
+	// fused and wrapped in an evaluation memo. That stage depends only on
+	// the connection's own source and allocation — never on the candidate's
+	// probed (hs, hr) — so one descriptor serves every probe of the session,
+	// and the memo carries envelope evaluations across probes: the grid
+	// points a port analysis visits barely move between bisection steps.
+	// Empty when the analyzer runs with DisableFusion.
+	stage0 map[string]traffic.Descriptor
+
+	// probe and scratch are reused across Delays calls: the connection set
+	// is identical every probe (existing ∪ candidate), so the evaluation's
+	// maps are cleared and re-seeded instead of reallocated ~2·SearchIters
+	// times per admission request.
+	probe   *Connection
+	scratch *evaluation
 }
 
 // NewProbeSession prepares probe acceleration for admitting cand among the
@@ -101,6 +119,17 @@ func (a *Analyzer) NewProbeSession(existing []*Connection, cand *Connection) (*P
 			s.cleanPortDelay[p] = d
 		}
 	}
+	if !a.opts.DisableFusion {
+		// envelopeEntering already fused and memoized these (stage0Cache);
+		// carrying the same wrappers into every probe shares the accumulated
+		// evaluations without even a cache lookup on the hot path.
+		s.stage0 = make(map[string]traffic.Descriptor, len(existing))
+		for _, m := range existing {
+			if env, ok := ev.envMemo[envKey{connID: m.ID, stage: 0}]; ok {
+				s.stage0[m.ID] = env
+			}
+		}
+	}
 	return s, nil
 }
 
@@ -112,23 +141,12 @@ func (s *ProbeSession) Affected() int { return s.affected }
 // reusing every result the taint analysis proved invariant. The returned map
 // is identical to Analyzer.Delays over existing ∪ {candidate@(hs,hr)}.
 func (s *ProbeSession) Delays(hs, hr float64) (map[string]float64, error) {
-	probe := s.cand.clone()
-	probe.HS, probe.HR = hs, hr
-	conns := make([]*Connection, 0, len(s.existing)+1)
-	conns = append(conns, s.existing...)
-	conns = append(conns, probe)
-
-	ev, err := s.a.newEvaluation(conns)
+	ev, err := s.evaluation(hs, hr)
 	if err != nil {
 		return nil, err
 	}
-	ev.prefilledDelay = s.cleanDelay
-	for p, d := range s.cleanPortDelay {
-		ev.portDelay[p] = d
-	}
-
-	out := make(map[string]float64, len(conns))
-	for _, c := range conns {
+	out := make(map[string]float64, len(ev.ordered))
+	for _, c := range ev.ordered {
 		d, derr := ev.totalDelay(c)
 		if derr != nil {
 			if errors.Is(derr, errInfeasible) {
@@ -140,4 +158,46 @@ func (s *ProbeSession) Delays(hs, hr float64) (map[string]float64, error) {
 		out[c.ID] = d
 	}
 	return out, nil
+}
+
+// evaluation returns the session's scratch evaluation, reset and re-seeded
+// for a probe at (hs, hr). The first call validates the connection set and
+// allocates the maps; later calls clear and reuse them, re-checking only the
+// allocation-dependent invariants (the set itself cannot have changed).
+func (s *ProbeSession) evaluation(hs, hr float64) (*evaluation, error) {
+	if s.scratch == nil {
+		s.probe = s.cand.clone()
+		s.probe.HS, s.probe.HR = hs, hr
+		conns := make([]*Connection, 0, len(s.existing)+1)
+		conns = append(conns, s.existing...)
+		conns = append(conns, s.probe)
+		ev, err := s.a.newEvaluation(conns)
+		if err != nil {
+			return nil, err
+		}
+		s.scratch = ev
+	} else {
+		s.probe.HS, s.probe.HR = hs, hr
+		if s.probe.HS <= 0 {
+			return nil, fmt.Errorf("core: connection %q has no sender allocation", s.probe.ID)
+		}
+		if s.probe.Route.CrossesBackbone && s.probe.HR <= 0 {
+			return nil, fmt.Errorf("core: connection %q crosses the backbone without a receiver allocation", s.probe.ID)
+		}
+		ev := s.scratch
+		clear(ev.portDelay)
+		clear(ev.portBusy)
+		clear(ev.envMemo)
+		clear(ev.macMemo)
+		clear(ev.shaperMemo)
+	}
+	ev := s.scratch
+	ev.prefilledDelay = s.cleanDelay
+	for p, d := range s.cleanPortDelay {
+		ev.portDelay[p] = d
+	}
+	for id, env := range s.stage0 {
+		ev.envMemo[envKey{connID: id, stage: 0}] = env
+	}
+	return ev, nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"fafnet/internal/traffic"
 	"fafnet/internal/units"
@@ -107,7 +108,7 @@ func (p MACParams) Avail(t float64) float64 {
 		return 0
 	}
 	k := math.Floor(t / p.Ring.TTRT)
-	return math.Max(0, (k-1)*p.H*p.Ring.BandwidthBps)
+	return max(0, (k-1)*p.H*p.Ring.BandwidthBps)
 }
 
 // ServiceBitsPerRotation returns H·BW.
@@ -150,16 +151,28 @@ func AnalyzeMAC(in traffic.Descriptor, p MACParams, opts Options) (MACResult, er
 
 	// Busy interval (Eq. 9). avail is constant between multiples of TTRT and
 	// A is nondecreasing, so the condition A(t) <= avail(t) first becomes
-	// true at a multiple of TTRT.
+	// true at a multiple of TTRT. Monotonicity also licenses skipping ahead:
+	// after observing a = A(k·TTRT), no k' with (k'−1)·svc + Eps < a can be
+	// the crossing (its demand is at least a), so the next candidate is the
+	// first rotation whose service catches up with the demand already seen.
+	// The jump target uses Floor (undershooting by at most one rotation)
+	// rather than Ceil so float rounding can never overshoot a true
+	// crossing; the result is identical to the rotation-by-rotation scan.
 	busy := 0.0
-	for k := 1; ; k++ {
+	for k := 1; ; {
 		if k > opts.MaxBusyRotations {
 			return MACResult{}, fmt.Errorf("%w: no busy-interval end within %d rotations", ErrNoConvergence, opts.MaxBusyRotations)
 		}
 		t := float64(k) * ttrt
-		if in.Bits(t) <= float64(k-1)*svc+units.Eps {
+		a := in.Bits(t)
+		if a <= float64(k-1)*svc+units.Eps {
 			busy = t
 			break
+		}
+		if next := 1 + int(math.Floor((a-units.Eps)/svc)); next > k {
+			k = next
+		} else {
+			k++
 		}
 	}
 
@@ -174,19 +187,68 @@ func AnalyzeMAC(in traffic.Descriptor, p MACParams, opts Options) (MACResult, er
 	// For the delay: the first time avail reaches A(t) is the first multiple
 	// m·TTRT with (m−1)·svc >= A(t), i.e. m = ⌈A(t)/svc⌉ + 1, so the
 	// candidate delay at t is m·TTRT − t.
+	//
+	// A is nondecreasing (the Descriptor contract), which licenses taking
+	// both maxima over far fewer than all grid points — with results
+	// identical to the full scan:
+	//
+	//   - avail(t) is constant wherever ⌊t/TTRT⌋ is, so over each maximal
+	//     segment of grid points sharing that value the backlog candidate
+	//     A(t) − avail(t) is maximized at the segment's last point;
+	//   - m(t) is a nondecreasing step function, so the delay candidate
+	//     m·TTRT − t is maximized at the first point of each m-run, and the
+	//     run boundaries are found by binary splitting, evaluating A at
+	//     O(runs·log |grid|) points instead of all of them.
+	vals := make([]float64, len(grid))
+	have := make([]bool, len(grid))
+	eval := func(i int) float64 {
+		if !have[i] {
+			vals[i] = in.Bits(grid[i])
+			have[i] = true
+		}
+		return vals[i]
+	}
 	var backlog, delay float64
-	for _, t := range grid {
-		a := in.Bits(t)
-		if b := a - p.Avail(t); b > backlog {
+	for i := 0; i < len(grid); {
+		k := math.Floor(grid[i] / ttrt)
+		j := i
+		// Exact comparison of the floored rotation index: grouping must
+		// follow Avail's own segmentation, ulps and all.
+		for j+1 < len(grid) && math.Floor(grid[j+1]/ttrt) == k {
+			j++
+		}
+		if b := eval(j) - p.Avail(grid[j]); b > backlog {
 			backlog = b
 		}
-		if a <= units.Eps {
-			continue
+		i = j + 1
+	}
+	// Delay candidates exist only where A(t) > Eps, a suffix of the grid by
+	// monotonicity.
+	lo := sort.Search(len(grid), func(i int) bool { return eval(i) > units.Eps })
+	if lo < len(grid) {
+		mAt := func(i int) float64 { return units.CeilDiv(eval(i), svc) + 1 }
+		consider := func(i int) {
+			if d := mAt(i)*ttrt - grid[i]; d > delay {
+				delay = d
+			}
 		}
-		m := units.CeilDiv(a, svc) + 1
-		if d := m*ttrt - t; d > delay {
-			delay = d
+		consider(lo)
+		var splits func(i, j int)
+		splits = func(i, j int) {
+			// m is an exact small integer; a run boundary is where it
+			// changes at all, so exact equality is the right test.
+			if mAt(i) == mAt(j) {
+				return
+			}
+			if j == i+1 {
+				consider(j)
+				return
+			}
+			mid := (i + j) / 2
+			splits(i, mid)
+			splits(mid, j)
 		}
+		splits(lo, len(grid)-1)
 	}
 	if p.BufferBits > 0 && backlog > p.BufferBits*(1+units.RelTol) {
 		return MACResult{}, fmt.Errorf("%w: F=%v bits, S=%v bits", ErrBufferOverflow, backlog, p.BufferBits)
@@ -251,7 +313,7 @@ func outputEnvelope(in traffic.Descriptor, p MACParams, opts Options, busy, dela
 
 // multiplesOf returns k·step for k = 1.. while <= limit, each bracketed.
 func multiplesOf(step, limit float64) []float64 {
-	var pts []float64
+	pts := make([]float64, 0, 3*(int(limit/step)+2))
 	for t := step; t <= limit+units.Eps; t += step {
 		pts = append(pts, t-traffic.GridNudge, t, t+traffic.GridNudge)
 	}

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"fafnet/internal/stats"
 )
@@ -25,17 +27,46 @@ type Replicated struct {
 
 // RunReplicated executes n independent replications of cfg, deriving each
 // replication's seed deterministically from cfg.Seed, and aggregates them.
+//
+// Replications run in parallel (each owns an isolated network, controller and
+// RNG, mirroring the sweep runner), but seeds depend only on the replication
+// index and aggregation happens sequentially in seed order after all workers
+// finish — so the returned Replicated is identical for any worker count,
+// including the serial case.
 func RunReplicated(cfg Config, n int) (Replicated, error) {
 	if n < 1 {
 		return Replicated{}, fmt.Errorf("sim: need at least one replication, got %d", n)
 	}
-	agg := Replicated{Rejections: make(map[string]int)}
+	results := make([]Result, n)
+	errs := make([]error, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				run := cfg
+				run.Seed = cfg.Seed + int64(i)*104729
+				results[i], errs[i] = Run(run)
+			}
+		}()
+	}
 	for i := 0; i < n; i++ {
-		run := cfg
-		run.Seed = cfg.Seed + int64(i)*104729
-		res, err := Run(run)
-		if err != nil {
-			return Replicated{}, fmt.Errorf("sim: replication %d: %w", i, err)
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+
+	agg := Replicated{Rejections: make(map[string]int)}
+	for i, res := range results {
+		if errs[i] != nil {
+			// Lowest failing index, matching what a serial loop would report.
+			return Replicated{}, fmt.Errorf("sim: replication %d: %w", i, errs[i])
 		}
 		agg.AP.Add(res.AP.Value())
 		agg.MeanActive.Add(res.MeanActive)

@@ -225,11 +225,17 @@ func Run(cfg Config) (Result, error) {
 		active += delta
 	}
 
+	// idle and remote are scratch buffers for the per-arrival host selection
+	// scans, hoisted out of the closure so the simulation loop reuses their
+	// backing arrays instead of allocating two slices per Poisson arrival.
+	idle := make([]topo.HostID, 0, len(hosts))
+	remote := make([]topo.HostID, 0, len(hosts))
+
 	handleArrival := func() error {
 		now := simulator.Now()
 		// Source: uniform among hosts not currently originating a
 		// connection.
-		var idle []topo.HostID
+		idle = idle[:0]
 		for _, h := range hosts {
 			if !ctl.SourceBusy(h) {
 				idle = append(idle, h)
@@ -243,7 +249,7 @@ func Run(cfg Config) (Result, error) {
 		// Destination: uniform among hosts on other rings (the route always
 		// crosses the backbone), optionally biased toward the hot ring 0.
 		hotOnly := cfg.DestBias > 0 && src.Ring != 0 && rng.Float64() < cfg.DestBias
-		var remote []topo.HostID
+		remote = remote[:0]
 		for _, h := range hosts {
 			if h.Ring == src.Ring {
 				continue

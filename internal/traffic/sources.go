@@ -88,7 +88,7 @@ func (s Periodic) Bits(interval float64) float64 {
 	if r < 0 {
 		r = 0
 	}
-	return k*s.C + math.Min(s.C, r*s.PeakBps)
+	return k*s.C + min(s.C, r*s.PeakBps)
 }
 
 // LongTermRate implements Descriptor.
@@ -99,13 +99,27 @@ func (s Periodic) PeakRate() float64 { return s.PeakBps }
 
 // Breakpoints implements BreakpointProvider.
 func (s Periodic) Breakpoints(horizon float64) []float64 {
-	var pts []float64
+	pts := make([]float64, 0, min(2*(int(horizon/s.P)+2), maxBreakpoints+2))
 	burst := s.C / s.PeakBps
 	for t := 0.0; t <= horizon; t += s.P {
-		pts = append(pts, t, t+burst)
+		pts = pushAscending(pushAscending(pts, t), t+burst)
 		if len(pts) > maxBreakpoints {
 			break
 		}
+	}
+	return pts
+}
+
+// pushAscending appends p while keeping pts ascending: emission loops produce
+// points that are ordered except for ulp-level rounding where consecutive
+// formulas meet (a sub-period landing on a period boundary, a burst length
+// rounding past the period). Restoring order here — same multiset, at most a
+// couple of swaps — lets Grid and the merge paths skip their comparison sorts,
+// which would otherwise run on every envelope evaluation of every probe.
+func pushAscending(pts []float64, p float64) []float64 {
+	pts = append(pts, p)
+	for i := len(pts) - 1; i > 0 && pts[i] < pts[i-1]; i-- {
+		pts[i], pts[i-1] = pts[i-1], pts[i]
 	}
 	return pts
 }
@@ -178,8 +192,8 @@ func (s DualPeriodic) Bits(interval float64) float64 {
 	if r2 < 0 {
 		r2 = 0
 	}
-	inner := k2*s.C2 + math.Min(s.C2, r2*s.PeakBps)
-	return k1*s.C1 + math.Min(s.C1, inner)
+	inner := k2*s.C2 + min(s.C2, r2*s.PeakBps)
+	return k1*s.C1 + min(s.C1, inner)
 }
 
 // LongTermRate implements Descriptor: ρ = C1/P1 (Eq. 38).
@@ -196,7 +210,7 @@ const maxBreakpoints = 4096
 // Breakpoints implements BreakpointProvider: envelope vertices occur at the
 // start and end of every burst, i.e. at k·P1 + j·P2 and k·P1 + j·P2 + C2/Peak.
 func (s DualPeriodic) Breakpoints(horizon float64) []float64 {
-	var pts []float64
+	pts := make([]float64, 0, min(2*(int(horizon/s.P2)+4), maxBreakpoints+2))
 	burst := s.C2 / s.PeakBps
 	perP1 := int(units.FloorDiv(s.P1, s.P2)) + 1
 	for k := 0; ; k++ {
@@ -209,7 +223,10 @@ func (s DualPeriodic) Breakpoints(horizon float64) []float64 {
 			if t > base+s.P1 || t > horizon {
 				break
 			}
-			pts = append(pts, t, t+burst)
+			// A sub-period landing on the P1 boundary re-emits the next
+			// period's base, off by up to one ulp of rounding — pushAscending
+			// keeps the list sorted through those seams.
+			pts = pushAscending(pushAscending(pts, t), t+burst)
 		}
 	}
 	return pts

@@ -45,13 +45,46 @@ func (a Aggregate) LongTermRate() float64 {
 }
 
 // Breakpoints implements BreakpointProvider by taking the union of the
-// members' breakpoints.
+// members' breakpoints. Members that emit ascending points (every generator
+// in this package) are combined by linear merges with exact duplicates
+// dropped, so downstream grid assembly never needs a comparison sort; an
+// unsorted member list is sorted defensively first.
 func (a Aggregate) Breakpoints(horizon float64) []float64 {
 	var pts []float64
 	for _, m := range a.members {
-		if bp, ok := m.(BreakpointProvider); ok {
-			pts = append(pts, bp.Breakpoints(horizon)...)
+		bp, ok := m.(BreakpointProvider)
+		if !ok {
+			continue
 		}
+		mp := bp.Breakpoints(horizon)
+		if len(mp) == 0 {
+			continue
+		}
+		if !sort.Float64sAreSorted(mp) {
+			mp = append([]float64(nil), mp...)
+			sort.Float64s(mp)
+		}
+		if pts == nil {
+			pts = append(make([]float64, 0, 2*len(mp)), mp...)
+			continue
+		}
+		merged := make([]float64, 0, len(pts)+len(mp))
+		i, j := 0, 0
+		for i < len(pts) && j < len(mp) {
+			switch {
+			case pts[i] < mp[j]:
+				merged = append(merged, pts[i])
+				i++
+			case mp[j] < pts[i]:
+				merged = append(merged, mp[j])
+				j++
+			default: // exact duplicate: grids dedup anyway, drop it here
+				merged = append(merged, pts[i])
+				i, j = i+1, j+1
+			}
+		}
+		merged = append(merged, pts[i:]...)
+		pts = append(merged, mp[j:]...)
 	}
 	return pts
 }
@@ -100,7 +133,7 @@ func (d Delayed) Bits(interval float64) float64 {
 	}
 	a := d.Inner.Bits(interval + d.Delay)
 	if d.CapBps > 0 {
-		a = math.Min(a, d.CapBps*interval)
+		a = min(a, d.CapBps*interval)
 	}
 	return a
 }
@@ -229,7 +262,7 @@ func (r RateCapped) Bits(interval float64) float64 {
 	if interval <= 0 {
 		return 0
 	}
-	return math.Min(r.CapBps*interval, r.Inner.Bits(interval))
+	return min(r.CapBps*interval, r.Inner.Bits(interval))
 }
 
 // LongTermRate implements Descriptor.

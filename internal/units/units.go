@@ -45,7 +45,7 @@ func AlmostLE(a, b float64) bool {
 	if a <= b {
 		return true
 	}
-	scale := math.Max(math.Abs(a), math.Abs(b))
+	scale := max(math.Abs(a), math.Abs(b))
 	return a-b <= Eps+RelTol*scale
 }
 
@@ -62,7 +62,7 @@ func WithinRel(a, b, tol float64) bool {
 	if diff <= Eps {
 		return true
 	}
-	scale := math.Max(math.Abs(a), math.Abs(b))
+	scale := max(math.Abs(a), math.Abs(b))
 	return diff <= tol*scale
 }
 
@@ -75,7 +75,7 @@ func CeilDiv(a, b float64) float64 {
 	}
 	q := a / b
 	f := math.Floor(q)
-	if q-f <= RelTol*math.Max(1, q) {
+	if q-f <= RelTol*max(1, q) {
 		return f
 	}
 	return f + 1
@@ -90,10 +90,12 @@ func FloorDiv(a, b float64) float64 {
 	}
 	q := a / b
 	c := math.Ceil(q)
-	if c-q <= RelTol*math.Max(1, q) {
+	if c-q <= RelTol*max(1, q) {
 		return c
 	}
-	return math.Floor(q)
+	// q is non-integral here (an integral q takes the branch above), so its
+	// floor is exactly one below its ceil.
+	return c - 1
 }
 
 // Clamp limits v to the closed interval [lo, hi].
