@@ -10,7 +10,7 @@ BENCH      ?= .
 BENCHTIME  ?= 1s
 BENCH_JSON ?= BENCH.json
 
-.PHONY: all build fmt vet sarif race test short bench check clean
+.PHONY: all build fmt vet sarif race test short bench docs-check check clean
 
 all: build
 
@@ -65,7 +65,15 @@ bench: $(FAFBENCH)
 	./$(FAFBENCH) -o $(BENCH_JSON) bench.out
 	@echo "wrote $(BENCH_JSON)"
 
-check: build fmt vet race test
+# Documentation gates: every exported identifier in internal/obs must carry
+# a doc comment, and OPERATIONS.md's metric catalog must match the names the
+# packages actually register (both directions). Both are ordinary Go tests,
+# named here so CI and reviewers can run just the docs gate.
+docs-check:
+	$(GO) test -run TestExportedIdentifiersDocumented ./internal/obs/
+	$(GO) test -run TestOperationsCatalogMatchesRegistry .
+
+check: build fmt vet race test docs-check
 
 clean:
 	rm -rf bin

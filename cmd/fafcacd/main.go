@@ -5,6 +5,7 @@
 // Usage:
 //
 //	fafcacd -addr :7447 [-beta 0.5] [-rule proportional]
+//	        [-metrics-addr :9447] [-audit-log cac-audit.jsonl]
 //
 // Try it with netcat:
 //
@@ -12,37 +13,73 @@
 //	      "dstRing":1,"dstHost":0,"deadlineMillis":60,
 //	      "source":{"type":"dualPeriodic","c1Kbit":50,"p1Millis":10,
 //	                "c2Kbit":10,"p2Millis":1}}}' | nc localhost 7447
+//
+// With -metrics-addr set, a second HTTP listener serves the operational
+// surface (see OPERATIONS.md for the full catalog):
+//
+//	/metrics       Prometheus text exposition of all fafnet_* metrics
+//	/debug/spans   most recent spans (JSON), newest last
+//	/debug/vars    Go runtime expvars
+//	/debug/pprof/  CPU, heap and contention profiles
+//
+// With -audit-log set, every admit/preview/release appends one JSON record
+// to the named file (created if absent, opened in append mode so external
+// rotation is safe).
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"fafnet/internal/core"
+	"fafnet/internal/obs"
 	"fafnet/internal/scenario"
 	"fafnet/internal/signaling"
 	"fafnet/internal/topo"
 )
 
 func main() {
-	var (
-		addr = flag.String("addr", "127.0.0.1:7447", "listen address")
-		beta = flag.Float64("beta", 0.5, "allocation knob of Eq. 35–36")
-		rule = flag.String("rule", "proportional", "allocation rule: proportional, fixed-split, or sender-biased")
-	)
+	var cfg serveConfig
+	flag.StringVar(&cfg.Addr, "addr", "127.0.0.1:7447", "signaling listen address")
+	flag.Float64Var(&cfg.Beta, "beta", 0.5, "allocation knob of Eq. 35–36")
+	flag.StringVar(&cfg.Rule, "rule", "proportional", "allocation rule: proportional, fixed-split, or sender-biased")
+	flag.StringVar(&cfg.MetricsAddr, "metrics-addr", "", "HTTP listen address for /metrics, /debug/spans, /debug/vars and /debug/pprof (disabled when empty)")
+	flag.StringVar(&cfg.AuditLog, "audit-log", "", "path of the admission audit log, one JSON record per operation (disabled when empty)")
 	flag.Parse()
-	if err := serve(*addr, *beta, *rule, nil); err != nil {
+	if err := serve(cfg, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "fafcacd:", err)
 		os.Exit(1)
 	}
 }
 
+// serveConfig bundles the daemon's knobs.
+type serveConfig struct {
+	Addr        string  // signaling listen address
+	Beta        float64 // Eq. 35–36 allocation knob
+	Rule        string  // allocation rule name
+	MetricsAddr string  // HTTP observability address; "" disables
+	AuditLog    string  // audit-log path; "" disables
+}
+
+// serveAddrs reports the addresses a running daemon actually bound (useful
+// with ":0" listeners). Metrics is empty when the HTTP surface is disabled.
+type serveAddrs struct {
+	Signaling string
+	Metrics   string
+}
+
+// spanRingSize bounds /debug/spans; old spans are overwritten, never block.
+const spanRingSize = 512
+
 // serve builds the controller and serves until the listener fails; ready,
-// when non-nil, receives the bound address once listening (used by tests).
-func serve(addr string, beta float64, rule string, ready chan<- string) error {
-	s := scenario.Scenario{CAC: scenario.CAC{Beta: &beta, Rule: rule}}
+// when non-nil, receives the bound addresses once listening (used by tests).
+func serve(cfg serveConfig, ready chan<- serveAddrs) error {
+	s := scenario.Scenario{CAC: scenario.CAC{Beta: &cfg.Beta, Rule: cfg.Rule}}
 	opts, err := s.CACOptions()
 	if err != nil {
 		return err
@@ -59,13 +96,62 @@ func serve(addr string, beta float64, rule string, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	l, err := net.Listen("tcp", addr)
+
+	if cfg.AuditLog != "" {
+		log, err := obs.OpenAuditLog(cfg.AuditLog)
+		if err != nil {
+			return fmt.Errorf("audit log: %w", err)
+		}
+		defer log.Close()
+		srv.SetAuditLog(log)
+	}
+
+	var addrs serveAddrs
+	if cfg.MetricsAddr != "" {
+		ring := obs.NewSpanRing(spanRingSize)
+		obs.SetSpanSink(ring)
+		ml, err := net.Listen("tcp", cfg.MetricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ml.Close()
+		addrs.Metrics = ml.Addr().String()
+		go func() {
+			if err := http.Serve(ml, metricsMux(ring)); err != nil {
+				// The listener dying (e.g. at shutdown) must not kill the
+				// daemon; admission service continues without metrics.
+				fmt.Fprintln(os.Stderr, "fafcacd: metrics server:", err)
+			}
+		}()
+	}
+
+	l, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("fafcacd: serving the CAC (beta=%.2g, rule=%s) on %s\n", beta, rule, l.Addr())
+	addrs.Signaling = l.Addr().String()
+	fmt.Printf("fafcacd: serving the CAC (beta=%.2g, rule=%s) on %s\n", cfg.Beta, cfg.Rule, l.Addr())
+	if addrs.Metrics != "" {
+		fmt.Printf("fafcacd: metrics on http://%s/metrics\n", addrs.Metrics)
+	}
 	if ready != nil {
-		ready <- l.Addr().String()
+		ready <- addrs
 	}
 	return srv.Serve(l)
+}
+
+// metricsMux assembles the observability HTTP surface. A dedicated mux (not
+// http.DefaultServeMux) so nothing else a future import registers leaks onto
+// the operational port.
+func metricsMux(ring *obs.SpanRing) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Default.Handler())
+	mux.Handle("/debug/spans", ring.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -1,6 +1,13 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -8,20 +15,32 @@ import (
 	"fafnet/internal/signaling"
 )
 
-func TestServeAndAdmit(t *testing.T) {
-	ready := make(chan string, 1)
+// startDaemon runs serve with ephemeral ports and waits for readiness.
+func startDaemon(t *testing.T, cfg serveConfig) serveAddrs {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	if cfg.Beta == 0 {
+		cfg.Beta = 0.5
+	}
+	if cfg.Rule == "" {
+		cfg.Rule = "proportional"
+	}
+	ready := make(chan serveAddrs, 1)
 	errCh := make(chan error, 1)
-	go func() { errCh <- serve("127.0.0.1:0", 0.5, "proportional", ready) }()
-
-	var addr string
+	go func() { errCh <- serve(cfg, ready) }()
 	select {
-	case addr = <-ready:
+	case addrs := <-ready:
+		return addrs
 	case err := <-errCh:
 		t.Fatalf("serve failed before listening: %v", err)
 	case <-time.After(5 * time.Second):
 		t.Fatal("daemon never became ready")
 	}
+	panic("unreachable")
+}
 
+func admitV1(t *testing.T, addr string) signaling.Decision {
+	t.Helper()
 	client, err := signaling.Dial(addr, 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
@@ -35,19 +54,146 @@ func TestServeAndAdmit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !dec.Admitted {
+	return dec
+}
+
+func TestServeAndAdmit(t *testing.T) {
+	addrs := startDaemon(t, serveConfig{})
+	if addrs.Metrics != "" {
+		t.Errorf("metrics address %q without -metrics-addr", addrs.Metrics)
+	}
+	if dec := admitV1(t, addrs.Signaling); !dec.Admitted {
 		t.Fatalf("rejected: %s", dec.Reason)
 	}
 }
 
+func TestMetricsEndpointServesAdmissionCounters(t *testing.T) {
+	addrs := startDaemon(t, serveConfig{MetricsAddr: "127.0.0.1:0"})
+	if addrs.Metrics == "" {
+		t.Fatal("no metrics address")
+	}
+	if dec := admitV1(t, addrs.Signaling); !dec.Admitted {
+		t.Fatalf("rejected: %s", dec.Reason)
+	}
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + addrs.Metrics + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ctype)
+	}
+	// The admission just made must be visible. Counters are cumulative across
+	// the test binary, so assert presence and a sane exposition shape rather
+	// than exact values.
+	for _, want := range []string{
+		"# TYPE fafnet_cac_decisions_total counter",
+		`fafnet_signaling_requests_total{op="admit"}`,
+		`fafnet_cac_decide_seconds_bucket{le="+Inf"}`,
+		"fafnet_cac_cache_mac_misses_total",
+		"fafnet_cac_active_connections 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	spans, _ := get("/debug/spans")
+	var recs []struct {
+		Name    string  `json:"name"`
+		Seconds float64 `json:"seconds"`
+	}
+	if err := json.Unmarshal([]byte(spans), &recs); err != nil {
+		t.Fatalf("/debug/spans is not a JSON array: %v\n%s", err, spans)
+	}
+	var sawDecide bool
+	for _, r := range recs {
+		if r.Name == "core.decide" && r.Seconds > 0 {
+			sawDecide = true
+		}
+	}
+	if !sawDecide {
+		t.Errorf("no core.decide span in /debug/spans: %s", spans)
+	}
+
+	if vars, _ := get("/debug/vars"); !strings.Contains(vars, "memstats") {
+		t.Error("/debug/vars lacks memstats")
+	}
+	if idx, _ := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Error("/debug/pprof/ lacks profile index")
+	}
+}
+
+func TestAuditLogFlagWritesRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	addrs := startDaemon(t, serveConfig{AuditLog: path})
+	if dec := admitV1(t, addrs.Signaling); !dec.Admitted {
+		t.Fatalf("rejected: %s", dec.Reason)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	n := 0
+	for sc.Scan() {
+		n++
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("audit line %d invalid: %v", n, err)
+		}
+		if rec["op"] != "admit" || rec["connId"] != "v1" {
+			t.Errorf("unexpected record: %v", rec)
+		}
+	}
+	if n != 1 {
+		t.Errorf("got %d audit records, want 1", n)
+	}
+}
+
 func TestServeBadRule(t *testing.T) {
-	if err := serve("127.0.0.1:0", 0.5, "sorcery", nil); err == nil {
+	if err := serve(serveConfig{Addr: "127.0.0.1:0", Beta: 0.5, Rule: "sorcery"}, nil); err == nil {
 		t.Fatal("bad rule should fail fast")
 	}
 }
 
 func TestServeBadAddr(t *testing.T) {
-	if err := serve("256.256.256.256:1", 0.5, "proportional", nil); err == nil {
+	if err := serve(serveConfig{Addr: "256.256.256.256:1", Beta: 0.5, Rule: "proportional"}, nil); err == nil {
 		t.Fatal("unusable address should fail")
+	}
+}
+
+func TestServeBadAuditPath(t *testing.T) {
+	cfg := serveConfig{
+		Addr: "127.0.0.1:0", Beta: 0.5, Rule: "proportional",
+		AuditLog: filepath.Join(t.TempDir(), "no", "such", "dir", "audit.jsonl"),
+	}
+	err := serve(cfg, nil)
+	if err == nil || !strings.Contains(err.Error(), "audit log") {
+		t.Fatalf("unusable audit path should fail fast, got %v", err)
+	}
+}
+
+func TestServeBadMetricsAddr(t *testing.T) {
+	cfg := serveConfig{
+		Addr: "127.0.0.1:0", Beta: 0.5, Rule: "proportional",
+		MetricsAddr: "256.256.256.256:1",
+	}
+	err := serve(cfg, nil)
+	if err == nil || !strings.Contains(err.Error(), "metrics listener") {
+		t.Fatalf("unusable metrics address should fail fast, got %v", err)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"fafnet/internal/core"
+	"fafnet/internal/obs"
 	"fafnet/internal/plot"
 	"fafnet/internal/sim"
 )
@@ -42,6 +43,7 @@ func main() {
 		csvPath    = flag.String("csv", "", "also write the swept series to this CSV file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		metricsDmp = flag.Bool("metrics-dump", false, "write a Prometheus-format metrics snapshot to stderr after the run")
 	)
 	flag.Parse()
 	csvOut = *csvPath
@@ -75,6 +77,13 @@ func main() {
 	// Flush profiles explicitly: os.Exit skips deferred calls, and a run that
 	// fails half-way is exactly the one worth profiling.
 	stopProfiles()
+	if *metricsDmp {
+		// Stderr so the stdout tables stay machine-parseable; dumped even on
+		// failure — a half-finished sweep's counters aid the diagnosis.
+		if werr := obs.Default.WritePrometheus(os.Stderr); werr != nil {
+			fmt.Fprintln(os.Stderr, "fafsim: metrics dump:", werr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fafsim:", err)
 		os.Exit(1)

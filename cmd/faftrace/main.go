@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"fafnet/internal/core"
+	"fafnet/internal/obs"
 	"fafnet/internal/packetsim"
 	"fafnet/internal/scenario"
 	"fafnet/internal/topo"
@@ -28,11 +29,20 @@ func main() {
 		random   = flag.Bool("random-phases", false, "stagger source phases randomly")
 		hist     = flag.Bool("hist", false, "print per-connection delay histograms")
 		async    = flag.Int("async", 0, "flood each host with this many max-size async frames per TTRT")
+		metrics  = flag.Bool("metrics-dump", false, "write a Prometheus-format metrics snapshot to stderr after the run")
 	)
 	flag.Parse()
 	showHist = *hist
 	asyncBackground = *async
-	if err := run(*path, *duration, *seed, *random); err != nil {
+	err := run(*path, *duration, *seed, *random)
+	if *metrics {
+		// Stderr keeps the stdout report clean; dumped even on failure so a
+		// bound violation still comes with its CAC counters.
+		if werr := obs.Default.WritePrometheus(os.Stderr); werr != nil {
+			fmt.Fprintln(os.Stderr, "faftrace: metrics dump:", werr)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "faftrace:", err)
 		os.Exit(1)
 	}

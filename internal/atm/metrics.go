@@ -1,0 +1,14 @@
+package atm
+
+import "fafnet/internal/obs"
+
+// Metric handles for the FIFO-multiplexer analysis. Counters only, for the
+// same reason as the fddi package: AnalyzeMux runs once per shared port per
+// CAC probe, so instrumentation must cost nothing next to the busy-period
+// search.
+var (
+	mMuxAnalyses = obs.Default.Counter("fafnet_atm_mux_analyses_total",
+		"FIFO multiplexer analyses run.")
+	mMuxInfeasible = obs.Default.Counter("fafnet_atm_mux_infeasible_total",
+		"Multiplexer analyses that found no finite bound (overload, overflow, or no convergence).")
+)

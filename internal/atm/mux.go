@@ -103,6 +103,7 @@ func AnalyzeMux(inputs []traffic.Descriptor, p MuxParams, opts MuxOptions) (MuxR
 		return MuxResult{}, fmt.Errorf("atm: buffer %v must be non-negative", p.BufferBits)
 	}
 	opts = opts.withDefaults()
+	mMuxAnalyses.Inc()
 
 	// The aggregate is scanned twice over largely the same points (busy-period
 	// search, then the extremum pass over the merged grid) and its breakpoint
@@ -110,11 +111,13 @@ func AnalyzeMux(inputs []traffic.Descriptor, p MuxParams, opts MuxOptions) (MuxR
 	// distinct point cost one chain walk total instead of one per scan.
 	agg := traffic.NewMemoized(traffic.NewAggregate(inputs...))
 	if agg.LongTermRate() >= p.CapacityBps*(1-units.RelTol) {
+		mMuxInfeasible.Inc()
 		return MuxResult{}, fmt.Errorf("%w: Σρ=%v bps, C=%v bps", ErrMuxOverload, agg.LongTermRate(), p.CapacityBps)
 	}
 
 	busy, grid, err := busyPeriod(agg, p.CapacityBps, opts)
 	if err != nil {
+		mMuxInfeasible.Inc()
 		return MuxResult{}, err
 	}
 	// The t→0+ limit matters for envelopes with an instantaneous burst.
@@ -131,6 +134,7 @@ func AnalyzeMux(inputs []traffic.Descriptor, p MuxParams, opts MuxOptions) (MuxR
 	}
 	delay = backlog / p.CapacityBps
 	if p.BufferBits > 0 && backlog > p.BufferBits*(1+units.RelTol) {
+		mMuxInfeasible.Inc()
 		return MuxResult{}, fmt.Errorf("%w: backlog=%v bits, buffer=%v bits", ErrMuxBufferOverflow, backlog, p.BufferBits)
 	}
 

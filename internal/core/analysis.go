@@ -41,6 +41,8 @@ type Analyzer struct {
 	// (and every Bits value its memo accumulates) stays valid until the
 	// allocation changes or Forget is called. Unused under DisableFusion.
 	stage0Cache map[string]stage0Entry
+	// stats accumulates cache hit/miss counts over the analyzer's lifetime.
+	stats CacheStats
 }
 
 type stage0Entry struct {
@@ -72,6 +74,11 @@ func (a *Analyzer) Forget(connID string) {
 	delete(a.macCache, connID)
 	delete(a.stage0Cache, connID)
 }
+
+// CacheStats returns the cache hit/miss totals accumulated since the
+// analyzer was built. Snapshot it around an operation and Sub the snapshots
+// to attribute cache traffic to that operation.
+func (a *Analyzer) CacheStats() CacheStats { return a.stats }
 
 // Delays returns the worst-case end-to-end delay of every connection under
 // the given allocations. Connections without a finite bound map to +Inf.
@@ -179,11 +186,15 @@ func (ev *evaluation) srcMAC(c *Connection) (fddi.MACResult, error) {
 	}
 	byH := ev.a.macCache[c.ID]
 	if e, ok := byH[c.HS]; ok {
+		ev.a.stats.MACHits++
+		mCacheMACHits.Inc()
 		if e.err == nil {
 			ev.macMemo[c.ID] = e.res
 		}
 		return e.res, e.err
 	}
+	ev.a.stats.MACMisses++
+	mCacheMACMisses.Inc()
 	params := fddi.MACParams{
 		Ring:       ev.a.net.RingConfig(c.Src.Ring),
 		H:          c.HS,
@@ -218,9 +229,13 @@ func (ev *evaluation) envelopeEntering(c *Connection, stage int) (traffic.Descri
 			// Exact equality on the allocation: the cached envelope is valid
 			// only for precisely the h it was built with.
 			if e, ok := ev.a.stage0Cache[c.ID]; ok && e.h == c.HS {
+				ev.a.stats.Stage0Hits++
+				mCacheStage0Hits.Inc()
 				ev.envMemo[key] = e.env
 				return e.env, nil
 			}
+			ev.a.stats.Stage0Misses++
+			mCacheStage0Misses.Inc()
 		}
 		// Sender MAC output, optional ingress regulator, then frame→cell
 		// conversion (Theorem 2). The constant-delay stages in between are

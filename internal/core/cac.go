@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 
+	"fafnet/internal/obs"
 	"fafnet/internal/topo"
 	"fafnet/internal/units"
 )
@@ -114,6 +116,13 @@ type Decision struct {
 	Delays map[string]float64
 	// Probes counts full-network feasibility evaluations performed.
 	Probes int
+	// Stages is the Eq. 7 per-server delay decomposition of the new
+	// connection at the committed allocation. Present for admitted
+	// decisions, except when numeric quantization forced the
+	// segment-maximum fallback.
+	Stages *Breakdown
+	// Cache counts the analyzer cache traffic this decision generated.
+	Cache CacheStats
 }
 
 // Controller is the connection admission controller of Section 5. It owns
@@ -185,6 +194,8 @@ func (c *Controller) Release(id string) bool {
 		c.net.Ring(conn.Dst.Ring).Release(id)
 	}
 	c.analyzer.Forget(id)
+	mReleases.Inc()
+	gActive.Set(float64(len(c.conns)))
 	return true
 }
 
@@ -219,8 +230,29 @@ func (c *Controller) RequestAdmission(spec ConnSpec) (Decision, error) {
 	return c.decide(spec, true)
 }
 
-// decide implements both the committing and the preview paths.
+// decide wraps decideInner with the observability the daemon exposes: the
+// decision-latency span/histogram, outcome counters, and the per-decision
+// cache-traffic diff the audit log reports.
 func (c *Controller) decide(spec ConnSpec, commit bool) (Decision, error) {
+	_, sp := obs.Start(context.Background(), "core.decide")
+	before := c.analyzer.stats
+	dec, err := c.decideInner(spec, commit)
+	mDecideSeconds.Observe(sp.Seconds())
+	sp.End()
+	dec.Cache = c.analyzer.stats.Sub(before)
+	switch {
+	case err != nil:
+		mDecisionErrors.Inc()
+	case dec.Admitted:
+		mAdmitted.Inc()
+	default:
+		mRejected.Inc()
+	}
+	return dec, err
+}
+
+// decideInner implements both the committing and the preview paths.
+func (c *Controller) decideInner(spec ConnSpec, commit bool) (Decision, error) {
 	if err := spec.Validate(); err != nil {
 		return Decision{}, err
 	}
@@ -261,6 +293,7 @@ func (c *Controller) decide(spec ConnSpec, commit bool) (Decision, error) {
 	}
 	probe := func(a allocation) (bool, map[string]float64) {
 		dec.Probes++
+		mProbes.Inc()
 		delays, err := session.Delays(a.hs, a.hr)
 		if err != nil {
 			// Structural errors cannot occur for specs validated above;
@@ -298,9 +331,16 @@ func (c *Controller) decide(spec ConnSpec, commit bool) (Decision, error) {
 	if !ok {
 		// Convexity (Theorem 3–4) makes this unreachable in exact
 		// arithmetic; numeric quantization can still surface it. Fall back
-		// to the segment maximum, which was verified feasible.
+		// to the segment maximum, which was verified feasible. The probe
+		// session's scratch evaluation holds the failed allocation, so no
+		// Stages decomposition is reported for this (rare) path.
 		chosen = seg.p1
 		delays = delaysMax
+	} else if bd, bderr := session.Breakdown(spec.ID); bderr == nil {
+		// The scratch evaluation is warm from the probe just run at the
+		// chosen allocation, so assembling the decomposition re-runs no
+		// analysis.
+		dec.Stages = &bd
 	}
 
 	if commit {
@@ -373,6 +413,7 @@ func (c *Controller) bisectFeasible(probe func(allocation) (bool, map[string]flo
 	}
 	lo, hi := 0.0, 1.0 // infeasible at lo, feasible at hi
 	for i := 0; i < c.opts.SearchIters; i++ {
+		mBisectSteps.Inc()
 		mid := (lo + hi) / 2
 		if ok, _ := probe(seg.at(mid)); ok {
 			hi = mid
@@ -405,6 +446,7 @@ func (c *Controller) bisectEqualDelays(probe func(allocation) (bool, map[string]
 	}
 	lo, hi := alphaMin, 1.0
 	for i := 0; i < c.opts.SearchIters; i++ {
+		mBisectSteps.Inc()
 		mid := (lo + hi) / 2
 		if equal(mid) {
 			hi = mid
@@ -429,6 +471,7 @@ func (c *Controller) commit(cand *Connection, a allocation) error {
 		}
 	}
 	c.conns[cand.ID] = cand
+	gActive.Set(float64(len(c.conns)))
 	return nil
 }
 

@@ -1,0 +1,63 @@
+package core
+
+import "fafnet/internal/obs"
+
+// CacheStats counts the analyzer's cross-evaluation cache traffic: lookups
+// of the stage-0 envelope cache and the two-level sender-MAC cache. The
+// Analyzer accumulates totals over its lifetime; Decision carries the
+// per-decision difference so an audit record shows what each admission
+// cost. Per-evaluation memo hits (envMemo, macMemo) are not counted — they
+// are scratch state, not the caches whose effectiveness PR-3 rests on.
+type CacheStats struct {
+	// Stage0Hits and Stage0Misses count cross-evaluation lookups of the
+	// fused stage-0 envelope cache. Zero under DisableFusion.
+	Stage0Hits, Stage0Misses uint64
+	// MACHits and MACMisses count lookups of the per-(connection, H)
+	// sender-MAC result cache.
+	MACHits, MACMisses uint64
+}
+
+// Sub returns the element-wise difference s − o. Use it to turn two
+// snapshots of Analyzer.CacheStats into the traffic of one decision.
+func (s CacheStats) Sub(o CacheStats) CacheStats {
+	return CacheStats{
+		Stage0Hits:   s.Stage0Hits - o.Stage0Hits,
+		Stage0Misses: s.Stage0Misses - o.Stage0Misses,
+		MACHits:      s.MACHits - o.MACHits,
+		MACMisses:    s.MACMisses - o.MACMisses,
+	}
+}
+
+// Process-wide metric handles. Incrementing an atomic counter costs a few
+// nanoseconds against probes that cost microseconds to milliseconds, so the
+// hot paths update these unconditionally.
+var (
+	mAdmitted = obs.Default.Counter("fafnet_cac_decisions_total",
+		"CAC admission decisions by outcome.", "outcome", "admitted")
+	mRejected = obs.Default.Counter("fafnet_cac_decisions_total",
+		"CAC admission decisions by outcome.", "outcome", "rejected")
+	mDecisionErrors = obs.Default.Counter("fafnet_cac_decision_errors_total",
+		"Admission requests that failed with an error before reaching a decision.")
+	mDecideSeconds = obs.Default.Histogram("fafnet_cac_decide_seconds",
+		"Wall time of one full CAC decision (probe session setup plus every bisection probe).",
+		obs.LatencyBuckets())
+	mProbes = obs.Default.Counter("fafnet_cac_probes_total",
+		"Full-network feasibility probes evaluated across all decisions.")
+	mBisectSteps = obs.Default.Counter("fafnet_cac_bisect_steps_total",
+		"Binary-search iterations across the feasibility and equal-delay searches.")
+	mReleases = obs.Default.Counter("fafnet_cac_releases_total",
+		"Connections released (admitted connections torn down).")
+	gActive = obs.Default.Gauge("fafnet_cac_active_connections",
+		"Currently admitted connections.")
+
+	mCacheStage0Hits = obs.Default.Counter("fafnet_cac_cache_stage0_hits_total",
+		"Stage-0 envelope cache lookups served from cache.")
+	mCacheStage0Misses = obs.Default.Counter("fafnet_cac_cache_stage0_misses_total",
+		"Stage-0 envelope cache lookups that rebuilt the envelope.")
+	mCacheMACHits = obs.Default.Counter("fafnet_cac_cache_mac_hits_total",
+		"Sender-MAC cache lookups served from cache.")
+	mCacheMACMisses = obs.Default.Counter("fafnet_cac_cache_mac_misses_total",
+		"Sender-MAC cache lookups that ran the Theorem 1 analysis.")
+	mProbeStage0Reused = obs.Default.Counter("fafnet_cac_probe_stage0_reused_total",
+		"Stage-0 envelopes carried into probe evaluations without recomputation.")
+)

@@ -137,6 +137,23 @@ func (a *Analyzer) NewProbeSession(existing []*Connection, cand *Connection) (*P
 // recomputed per probe (exposed for tests and instrumentation).
 func (s *ProbeSession) Affected() int { return s.affected }
 
+// Breakdown returns the Eq. 7 per-server decomposition of connection id at
+// the allocation of the most recent Delays call. The scratch evaluation is
+// still warm from that probe — every envelope, port and MAC result is
+// memoized — so assembling the decomposition re-runs no analysis. It exists
+// so the CAC can report the decomposition of the allocation it just chose
+// without paying for a fresh evaluation.
+func (s *ProbeSession) Breakdown(id string) (Breakdown, error) {
+	if s.scratch == nil {
+		return Breakdown{}, errors.New("core: Breakdown before any probe")
+	}
+	c := s.scratch.conns[id]
+	if c == nil {
+		return Breakdown{}, fmt.Errorf("core: unknown connection %q", id)
+	}
+	return s.scratch.breakdown(c)
+}
+
 // Delays evaluates the network with the candidate at allocation (hs, hr),
 // reusing every result the taint analysis proved invariant. The returned map
 // is identical to Analyzer.Delays over existing ∪ {candidate@(hs,hr)}.
@@ -199,5 +216,6 @@ func (s *ProbeSession) evaluation(hs, hr float64) (*evaluation, error) {
 	for id, env := range s.stage0 {
 		ev.envMemo[envKey{connID: id, stage: 0}] = env
 	}
+	mProbeStage0Reused.Add(uint64(len(s.stage0)))
 	return ev, nil
 }

@@ -140,12 +140,16 @@ func AnalyzeMAC(in traffic.Descriptor, p MACParams, opts Options) (MACResult, er
 		return MACResult{}, err
 	}
 	opts = opts.withDefaults()
+	mMACAnalyses.Inc()
+	envelopeEvals := 0
+	defer func() { mMACEnvelopeEvals.Add(uint64(envelopeEvals)) }()
 
 	svc := p.ServiceBitsPerRotation()
 	ttrt := p.Ring.TTRT
 	// Stability: the allocation must serve the long-term rate with margin,
 	// or the busy interval (and hence the delay) is unbounded.
 	if in.LongTermRate()*ttrt >= svc*(1-units.RelTol) {
+		mMACInfeasible.Inc()
 		return MACResult{}, fmt.Errorf("%w: rho=%v bps, H·BW/TTRT=%v bps", ErrOverload, in.LongTermRate(), svc/ttrt)
 	}
 
@@ -161,9 +165,11 @@ func AnalyzeMAC(in traffic.Descriptor, p MACParams, opts Options) (MACResult, er
 	busy := 0.0
 	for k := 1; ; {
 		if k > opts.MaxBusyRotations {
+			mMACInfeasible.Inc()
 			return MACResult{}, fmt.Errorf("%w: no busy-interval end within %d rotations", ErrNoConvergence, opts.MaxBusyRotations)
 		}
 		t := float64(k) * ttrt
+		envelopeEvals++
 		a := in.Bits(t)
 		if a <= float64(k-1)*svc+units.Eps {
 			busy = t
@@ -203,6 +209,7 @@ func AnalyzeMAC(in traffic.Descriptor, p MACParams, opts Options) (MACResult, er
 	have := make([]bool, len(grid))
 	eval := func(i int) float64 {
 		if !have[i] {
+			envelopeEvals++
 			vals[i] = in.Bits(grid[i])
 			have[i] = true
 		}
@@ -251,6 +258,7 @@ func AnalyzeMAC(in traffic.Descriptor, p MACParams, opts Options) (MACResult, er
 		splits(lo, len(grid)-1)
 	}
 	if p.BufferBits > 0 && backlog > p.BufferBits*(1+units.RelTol) {
+		mMACInfeasible.Inc()
 		return MACResult{}, fmt.Errorf("%w: F=%v bits, S=%v bits", ErrBufferOverflow, backlog, p.BufferBits)
 	}
 

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// An AuditRecord is one line of the admission audit log: the full story of
+// one admit, preview or release decision. It carries everything needed to
+// answer "why was this connection (not) admitted" after the fact — the
+// decision, the CAC's β, the chosen allocations, the Eq. 7 per-stage delay
+// decomposition, the probe count, and the cache hit/miss counts for that
+// decision — plus the original request body so a log can be replayed
+// against a fresh controller and checked for identical outcomes.
+//
+// All durations are in seconds, matching the analysis engine's base unit
+// (the wire protocol's milliseconds are a presentation choice; the audit
+// log is an engineering record).
+type AuditRecord struct {
+	// TimeUnixNanos is the wall-clock stamp of the decision. Append fills
+	// it when zero.
+	TimeUnixNanos int64 `json:"timeUnixNanos"`
+	// Op is the operation: "admit", "preview" or "release".
+	Op string `json:"op"`
+	// ConnID is the connection the operation targeted.
+	ConnID string `json:"connId"`
+	// Admitted reports the CAC decision for admit/preview ops.
+	Admitted bool `json:"admitted"`
+	// Reason is the rejection reason when Admitted is false.
+	Reason string `json:"reason,omitempty"`
+	// Error is set when the operation failed before reaching a decision
+	// (validation or topology errors).
+	Error string `json:"error,omitempty"`
+	// Beta is the controller's allocation-interpolation parameter.
+	Beta float64 `json:"beta"`
+	// HSSeconds and HRSeconds are the chosen synchronous allocations per
+	// rotation (admitted connections only).
+	HSSeconds float64 `json:"hsSeconds,omitempty"`
+	HRSeconds float64 `json:"hrSeconds,omitempty"`
+	// DeadlineSeconds is the connection's required delay bound.
+	DeadlineSeconds float64 `json:"deadlineSeconds,omitempty"`
+	// Probes counts feasibility probes the decision consumed.
+	Probes int `json:"probes,omitempty"`
+	// Stages is the Eq. 7 worst-case delay decomposition at the chosen
+	// allocation (admitted connections only).
+	Stages *StageDelays `json:"stages,omitempty"`
+	// Cache counts the analyzer cache traffic this decision generated.
+	Cache *CacheCounts `json:"cache,omitempty"`
+	// Released reports whether a release op found its connection.
+	Released *bool `json:"released,omitempty"`
+	// Request is the original wire request body (admit/preview only),
+	// kept verbatim so the log replays.
+	Request json.RawMessage `json:"request,omitempty"`
+}
+
+// StageDelays is the audit-log form of the Eq. 7 delay decomposition: the
+// worst-case delay contributed by each server on the path, in seconds.
+type StageDelays struct {
+	// SrcMACSeconds is the Theorem 1 delay at the sender's FDDI MAC.
+	SrcMACSeconds float64 `json:"srcMacSeconds"`
+	// ShaperSeconds is the ingress regulator delay (zero when unshaped).
+	ShaperSeconds float64 `json:"shaperSeconds"`
+	// PortSeconds lists each shared FIFO port's queueing delay in
+	// traversal order.
+	PortSeconds []float64 `json:"portSeconds,omitempty"`
+	// DstMACSeconds is the Theorem 1 delay at the receiving interface
+	// device's MAC.
+	DstMACSeconds float64 `json:"dstMacSeconds"`
+	// ConstantSeconds sums the fixed-latency stages.
+	ConstantSeconds float64 `json:"constantSeconds"`
+	// TotalSeconds is the end-to-end worst case.
+	TotalSeconds float64 `json:"totalSeconds"`
+}
+
+// CacheCounts is the audit-log form of the analyzer's per-decision cache
+// statistics (see core.CacheStats).
+type CacheCounts struct {
+	// Stage0Hits and Stage0Misses count lookups of the cross-connection
+	// stage-0 envelope cache.
+	Stage0Hits   uint64 `json:"stage0Hits"`
+	Stage0Misses uint64 `json:"stage0Misses"`
+	// MACHits and MACMisses count lookups of the two-level MAC analysis
+	// cache.
+	MACHits   uint64 `json:"macHits"`
+	MACMisses uint64 `json:"macMisses"`
+}
+
+// An AuditLog appends JSON-line audit records to a writer. Append marshals
+// under a mutex and issues one Write per record, so records never
+// interleave even when the writer is shared.
+type AuditLog struct {
+	mu sync.Mutex
+	w  io.Writer
+	c  io.Closer
+}
+
+// NewAuditLog wraps an arbitrary writer (a test buffer, stderr).
+func NewAuditLog(w io.Writer) *AuditLog {
+	return &AuditLog{w: w}
+}
+
+// OpenAuditLog opens (creating if needed) the file at path for appending.
+// The file is opened with O_APPEND and written one record per Write call,
+// which makes external log rotation safe: a copy-and-truncate rotation
+// never tears a record, and a rename-based rotation keeps this handle
+// writing whole records into the rotated file until the log is reopened.
+func OpenAuditLog(path string) (*AuditLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open audit log: %w", err)
+	}
+	return &AuditLog{w: f, c: f}, nil
+}
+
+// Append writes one record as a single JSON line, stamping TimeUnixNanos
+// if the caller left it zero.
+func (l *AuditLog) Append(rec AuditRecord) error {
+	if rec.TimeUnixNanos == 0 {
+		rec.TimeUnixNanos = time.Now().UnixNano()
+	}
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("obs: marshal audit record: %w", err)
+	}
+	buf = append(buf, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.w.Write(buf); err != nil {
+		return fmt.Errorf("obs: append audit record: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file, if Append opened one.
+func (l *AuditLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.c == nil {
+		return nil
+	}
+	err := l.c.Close()
+	l.c = nil
+	return err
+}

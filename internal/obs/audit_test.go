@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func sampleRecord() AuditRecord {
+	released := true
+	return AuditRecord{
+		Op:              "admit",
+		ConnID:          "m1",
+		Admitted:        true,
+		Beta:            0.5,
+		HSSeconds:       0.0004,
+		HRSeconds:       0.0003,
+		DeadlineSeconds: 0.1,
+		Probes:          17,
+		Stages: &StageDelays{
+			SrcMACSeconds:   0.012,
+			PortSeconds:     []float64{0.001, 0.002},
+			DstMACSeconds:   0.011,
+			ConstantSeconds: 0.0005,
+			TotalSeconds:    0.0265,
+		},
+		Cache:    &CacheCounts{Stage0Hits: 3, Stage0Misses: 1, MACHits: 5, MACMisses: 2},
+		Released: &released,
+		Request:  json.RawMessage(`{"id":"m1"}`),
+	}
+}
+
+func TestAuditAppendRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewAuditLog(&buf)
+	if err := log.Append(sampleRecord()); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.Bytes()
+	if line[len(line)-1] != '\n' {
+		t.Fatal("record is not newline-terminated")
+	}
+	var got AuditRecord
+	if err := json.Unmarshal(line, &got); err != nil {
+		t.Fatalf("record is not valid JSON: %v\n%s", err, line)
+	}
+	if got.TimeUnixNanos == 0 {
+		t.Error("Append left TimeUnixNanos unstamped")
+	}
+	if got.ConnID != "m1" || !got.Admitted || got.Probes != 17 {
+		t.Errorf("round trip mangled the record: %+v", got)
+	}
+	if got.Stages == nil || got.Stages.TotalSeconds != 0.0265 || len(got.Stages.PortSeconds) != 2 {
+		t.Errorf("round trip mangled the stage delays: %+v", got.Stages)
+	}
+	if got.Cache == nil || got.Cache.MACHits != 5 {
+		t.Errorf("round trip mangled the cache counts: %+v", got.Cache)
+	}
+}
+
+func TestOpenAuditLogAppendsAcrossOpens(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	for i := 0; i < 2; i++ {
+		log, err := OpenAuditLog(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Append(AuditRecord{Op: "admit", ConnID: "m1"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec AuditRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", lines+1, err)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("reopened log holds %d records, want 2 (append, not truncate)", lines)
+	}
+}
+
+func TestAuditConcurrentAppendsDoNotInterleave(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewAuditLog(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := log.Append(sampleRecord()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	lines := 0
+	for sc.Scan() {
+		var rec AuditRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("interleaved record at line %d: %v", lines+1, err)
+		}
+		lines++
+	}
+	if lines != 400 {
+		t.Fatalf("log holds %d records, want 400", lines)
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// TestExportedIdentifiersDocumented is the docs-check gate for this package
+// (run by `make docs-check` and CI): every exported top-level identifier —
+// types, functions, methods on exported types, package-level vars and
+// consts — must carry a doc comment. Struct fields are covered by their
+// type's doc; methods on unexported types are not package API.
+func TestExportedIdentifiersDocumented(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc != nil {
+						continue
+					}
+					if recv := receiverTypeName(d); recv != "" && !ast.IsExported(recv) {
+						continue
+					}
+					t.Errorf("%s: exported func %s lacks a doc comment", fset.Position(d.Pos()), d.Name.Name)
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+								t.Errorf("%s: exported type %s lacks a doc comment", fset.Position(s.Pos()), s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							for _, n := range s.Names {
+								if n.IsExported() && d.Doc == nil && s.Doc == nil {
+									t.Errorf("%s: exported %s %s lacks a doc comment", fset.Position(n.Pos()), d.Tok, n.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// receiverTypeName returns the name of a method's receiver type, or "" for
+// plain functions.
+func receiverTypeName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	expr := d.Recv.List[0].Type
+	if star, ok := expr.(*ast.StarExpr); ok {
+		expr = star.X
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

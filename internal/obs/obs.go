@@ -1,0 +1,28 @@
+// Package obs is the observability layer of the repository: counters,
+// gauges and histograms behind a registry that renders the Prometheus text
+// exposition format, a lightweight span API that records per-stage wall
+// times into a ring buffer, and a structured JSON admission audit log.
+//
+// The package is pure standard library and imports nothing else from this
+// module, so every analysis and protocol package can instrument itself
+// without import cycles. Three properties are load-bearing and guarded by
+// tests:
+//
+//   - Zero allocation on the fast path when no sink is registered: metric
+//     updates are single atomic operations on pre-registered handles, and
+//     Start/End of a span allocates nothing whether or not a span sink is
+//     installed (Span is a value type).
+//   - Race-clean: every metric update and registry render is safe under
+//     concurrent use (the daemon scrapes /metrics while admissions run).
+//   - Determinism-safe: instrumentation only observes; it never feeds wall
+//     time or counter state back into analysis or simulation results. The
+//     randsrc analyzer bans wall-clock reads inside the simulator packages,
+//     so any elapsed-time measurement they need is taken through Span,
+//     which reads the clock here. See DESIGN.md §8.
+package obs
+
+// Default is the process-wide registry. Packages register their metric
+// handles into it from package-level var initializers, so importing an
+// instrumented package is all it takes for its metrics to appear in a
+// /metrics scrape or a -metrics-dump.
+var Default = NewRegistry()

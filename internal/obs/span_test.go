@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestSpanNoSinkIsDropped(t *testing.T) {
+	SetSpanSink(nil)
+	_, sp := Start(context.Background(), "test.stage")
+	if sp.Seconds() < 0 {
+		t.Errorf("Seconds() = %v, want >= 0", sp.Seconds())
+	}
+	sp.End() // must not panic with no sink
+}
+
+func TestSpanRecordsIntoRing(t *testing.T) {
+	ring := NewSpanRing(4)
+	SetSpanSink(ring)
+	defer SetSpanSink(nil)
+	for i := 0; i < 6; i++ {
+		_, sp := Start(context.Background(), "test.stage")
+		sp.End()
+	}
+	got := ring.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d spans, want capacity 4", len(got))
+	}
+	for _, rec := range got {
+		if rec.Name != "test.stage" {
+			t.Errorf("span name = %q, want test.stage", rec.Name)
+		}
+		if rec.Seconds < 0 {
+			t.Errorf("span duration = %v, want >= 0", rec.Seconds)
+		}
+	}
+}
+
+func TestSpanRingOrder(t *testing.T) {
+	ring := NewSpanRing(3)
+	for i, name := range []string{"a", "b", "c", "d", "e"} {
+		ring.record(SpanRecord{Name: name, Seconds: float64(i)})
+	}
+	got := ring.Snapshot()
+	want := []string{"c", "d", "e"}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot = %v, want names %v", got, want)
+	}
+	for i := range want {
+		if got[i].Name != want[i] {
+			t.Fatalf("snapshot[%d] = %q, want %q (oldest first)", i, got[i].Name, want[i])
+		}
+	}
+}
+
+func TestSpanRingHandler(t *testing.T) {
+	ring := NewSpanRing(2)
+	ring.record(SpanRecord{Name: "x", Seconds: 0.5})
+	rec := httptest.NewRecorder()
+	ring.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/spans", nil))
+	var got []SpanRecord
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("response is not a JSON span array: %v\n%s", err, rec.Body.String())
+	}
+	if len(got) != 1 || got[0].Name != "x" || got[0].Seconds != 0.5 {
+		t.Errorf("handler returned %+v, want one span named x with 0.5s", got)
+	}
+}
+
+// TestSpanAllocationFree guards the no-sink fast path: Start+End must not
+// allocate, with or without a sink installed (Span is a value type and the
+// ring's buffer is pre-allocated).
+func TestSpanAllocationFree(t *testing.T) {
+	SetSpanSink(nil)
+	if n := testing.AllocsPerRun(100, func() {
+		_, sp := Start(context.Background(), "test.alloc")
+		sp.End()
+	}); n != 0 {
+		t.Errorf("no-sink Start/End allocates %v times per run, want 0", n)
+	}
+	SetSpanSink(NewSpanRing(8))
+	defer SetSpanSink(nil)
+	if n := testing.AllocsPerRun(100, func() {
+		_, sp := Start(context.Background(), "test.alloc")
+		sp.End()
+	}); n != 0 {
+		t.Errorf("sinked Start/End allocates %v times per run, want 0", n)
+	}
+}

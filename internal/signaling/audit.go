@@ -1,0 +1,104 @@
+package signaling
+
+import (
+	"encoding/json"
+
+	"fafnet/internal/core"
+	"fafnet/internal/obs"
+)
+
+// SetAuditLog installs the admission audit log: from now on every admit,
+// preview and release operation appends one record. Pass nil to stop
+// auditing. Safe to call concurrently with request handling; the server
+// does not close the log.
+func (s *Server) SetAuditLog(l *obs.AuditLog) {
+	s.audit.Store(l)
+}
+
+// auditDecision records one admit/preview outcome. Called with s.mu held,
+// which keeps the log's record order identical to the controller's decision
+// order — the property that makes a log replayable against a fresh
+// controller.
+func (s *Server) auditDecision(req Request, spec core.ConnSpec, dec core.Decision, opErr error) {
+	if s.audit.Load() == nil {
+		return
+	}
+	rec := obs.AuditRecord{
+		Op:              string(req.Op),
+		ConnID:          spec.ID,
+		Admitted:        dec.Admitted,
+		Reason:          dec.Reason,
+		Beta:            s.ctl.Options().Beta,
+		DeadlineSeconds: spec.Deadline,
+		Probes:          dec.Probes,
+		Cache:           auditCache(dec.Cache),
+	}
+	if opErr != nil {
+		rec.Error = opErr.Error()
+	}
+	if dec.Admitted {
+		rec.HSSeconds, rec.HRSeconds = dec.HS, dec.HR
+		rec.Stages = auditStages(dec.Stages)
+	}
+	if body, err := json.Marshal(req.Admit); err == nil {
+		rec.Request = body
+	}
+	s.appendAudit(rec)
+}
+
+// auditRelease records one release outcome. Called with s.mu held (see
+// auditDecision).
+func (s *Server) auditRelease(id string, found bool) {
+	if s.audit.Load() == nil {
+		return
+	}
+	s.appendAudit(obs.AuditRecord{
+		Op:       string(OpRelease),
+		ConnID:   id,
+		Beta:     s.ctl.Options().Beta,
+		Released: &found,
+	})
+}
+
+// appendAudit writes one record, tracking log health in metrics.
+func (s *Server) appendAudit(rec obs.AuditRecord) {
+	log := s.audit.Load()
+	if log == nil {
+		return
+	}
+	if err := log.Append(rec); err != nil {
+		mAuditErrors.Inc()
+		return
+	}
+	mAuditRecords.Inc()
+}
+
+// auditStages converts the analysis-layer decomposition into the audit-log
+// schema.
+func auditStages(bd *core.Breakdown) *obs.StageDelays {
+	if bd == nil {
+		return nil
+	}
+	out := &obs.StageDelays{
+		SrcMACSeconds:   bd.SrcMAC,
+		ShaperSeconds:   bd.Shaper,
+		DstMACSeconds:   bd.DstMAC,
+		ConstantSeconds: bd.Constant,
+		TotalSeconds:    bd.Total,
+	}
+	for _, p := range bd.Ports {
+		out.PortSeconds = append(out.PortSeconds, p.Delay)
+	}
+	return out
+}
+
+// auditCache converts the analyzer's per-decision cache diff into the
+// audit-log schema.
+func auditCache(c core.CacheStats) *obs.CacheCounts {
+	return &obs.CacheCounts{
+		Stage0Hits:   c.Stage0Hits,
+		Stage0Misses: c.Stage0Misses,
+		MACHits:      c.MACHits,
+		MACMisses:    c.MACMisses,
+	}
+}

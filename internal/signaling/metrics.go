@@ -1,0 +1,50 @@
+package signaling
+
+import "fafnet/internal/obs"
+
+// opInvalid labels metrics for requests whose op is unknown or whose JSON
+// could not be parsed.
+const opInvalid = "invalid"
+
+// Per-op metric children, registered eagerly at init so every op appears in
+// a /metrics scrape (with value 0) from process start. The maps are written
+// only during init and read concurrently afterwards.
+var (
+	mRequests  = make(map[string]*obs.Counter)
+	mErrors    = make(map[string]*obs.Counter)
+	mOpSeconds = make(map[string]*obs.Histogram)
+)
+
+func init() {
+	const (
+		reqHelp = "Requests received by operation."
+		errHelp = "Requests that failed with a protocol or controller error, by operation."
+		latHelp = "Wall time of one request execution by operation."
+	)
+	ops := []string{
+		string(OpAdmit), string(OpPreview), string(OpRelease),
+		string(OpReport), string(OpBuffers), opInvalid,
+	}
+	for _, op := range ops {
+		mRequests[op] = obs.Default.Counter("fafnet_signaling_requests_total", reqHelp, "op", op)
+		mErrors[op] = obs.Default.Counter("fafnet_signaling_errors_total", errHelp, "op", op)
+		mOpSeconds[op] = obs.Default.Histogram("fafnet_signaling_op_seconds", latHelp, obs.LatencyBuckets(), "op", op)
+	}
+}
+
+// opLabel maps a request op onto its metric label, folding unknown ops into
+// opInvalid so a misbehaving client cannot mint metric children.
+func opLabel(op Op) string {
+	if _, ok := mRequests[string(op)]; ok {
+		return string(op)
+	}
+	return opInvalid
+}
+
+// Audit-log health counters.
+var (
+	mAuditRecords = obs.Default.Counter("fafnet_signaling_audit_records_total",
+		"Audit records appended to the audit log.")
+	mAuditErrors = obs.Default.Counter("fafnet_signaling_audit_errors_total",
+		"Audit records that could not be appended (check disk space and permissions).")
+)

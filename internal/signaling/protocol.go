@@ -1,9 +1,39 @@
 // Package signaling provides the connection-establishment service on top of
 // the admission controller: hosts send admit/release requests to a CAC
 // daemon over TCP and receive the decision — allocations, worst-case delay,
-// or the rejection reason. The wire protocol is newline-delimited JSON, one
-// request/response pair at a time per connection, so it can be exercised
-// with nothing but netcat.
+// or the rejection reason.
+//
+// # Wire format
+//
+// The protocol is newline-delimited JSON over a plain TCP connection: the
+// client writes one Request object per line and reads one Response object
+// per line, strictly alternating, so it can be exercised with nothing but
+// netcat:
+//
+//	$ nc localhost 4710
+//	{"op":"admit","admit":{"id":"v1","srcRing":0,"srcHost":0,"dstRing":1,"dstHost":0,"deadlineMillis":60,"source":{"type":"dualPeriodic","c1Kbit":50,"p1Millis":10,"c2Kbit":10,"p2Millis":1}}}
+//	{"ok":true,"op":"admit","decision":{"admitted":true,...}}
+//
+// Every response carries:
+//
+//   - "ok": whether the operation executed. A CAC rejection still has
+//     ok=true — the protocol worked; the decision says no. ok=false means
+//     the request itself failed (unknown op, missing body, invalid spec,
+//     controller error) and "error" holds the failure text.
+//   - "op": the request's op echoed back verbatim, so a client batching
+//     requests over one connection can correlate responses without
+//     counting lines. Blank in exactly one case: a request whose JSON
+//     could not be parsed at all.
+//
+// A connection may issue any number of sequential request/response pairs.
+// After a malformed-JSON request the server still answers — with ok=false
+// and "error" describing the parse failure — but then closes the
+// connection: the stream position after a JSON syntax error is undefined,
+// so resynchronization is impossible and the client must redial.
+//
+// Units on the wire are human-friendly (milliseconds, kbit) and carry their
+// unit in the field name; the engine's own records (e.g. the audit log) use
+// base seconds/bits instead.
 package signaling
 
 import (
@@ -96,6 +126,9 @@ type Response struct {
 	// OK reports whether the operation executed (a CAC rejection still has
 	// OK=true: the protocol worked; the decision says no).
 	OK bool `json:"ok"`
+	// Op echoes the request's op so clients can correlate responses. It is
+	// blank only when the request's JSON could not be parsed.
+	Op Op `json:"op"`
 	// Error carries the failure text when OK is false.
 	Error string `json:"error,omitempty"`
 	// Decision is present for OpAdmit/OpPreview.

@@ -2,13 +2,17 @@ package signaling
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"fafnet/internal/core"
+	"fafnet/internal/obs"
 )
 
 // Server exposes a Controller over newline-delimited JSON. The controller
@@ -18,6 +22,10 @@ import (
 type Server struct {
 	mu  sync.Mutex
 	ctl *core.Controller
+
+	// audit, when set, receives one record per admit/preview/release. An
+	// atomic pointer so SetAuditLog needs no lock ordering against s.mu.
+	audit atomic.Pointer[obs.AuditLog]
 
 	wg       sync.WaitGroup
 	listener net.Listener
@@ -96,7 +104,17 @@ func (s *Server) handle(conn net.Conn) {
 	for {
 		var req Request
 		if err := dec.Decode(&req); err != nil {
-			return // EOF or malformed stream: drop the connection
+			if errors.Is(err, io.EOF) {
+				return // clean client close
+			}
+			// Malformed JSON: answer with a structured error so scripted
+			// clients see what went wrong, then drop the connection — the
+			// stream position after a parse failure is undefined, so
+			// resynchronization is impossible.
+			mRequests[opInvalid].Inc()
+			mErrors[opInvalid].Inc()
+			_ = enc.Encode(Response{Error: fmt.Sprintf("signaling: malformed request: %v", err)})
+			return
 		}
 		resp := s.execute(req)
 		if err := enc.Encode(resp); err != nil {
@@ -105,8 +123,24 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// execute runs one request against the controller.
+// execute wraps executeOp with the per-op observability (request/error
+// counters, latency histogram, op echo).
 func (s *Server) execute(req Request) Response {
+	label := opLabel(req.Op)
+	mRequests[label].Inc()
+	_, sp := obs.Start(context.Background(), "signaling."+label)
+	resp := s.executeOp(req)
+	mOpSeconds[label].Observe(sp.Seconds())
+	sp.End()
+	resp.Op = req.Op
+	if !resp.OK {
+		mErrors[label].Inc()
+	}
+	return resp
+}
+
+// executeOp runs one request against the controller.
+func (s *Server) executeOp(req Request) Response {
 	if err := req.Validate(); err != nil {
 		return Response{Error: err.Error()}
 	}
@@ -124,12 +158,14 @@ func (s *Server) execute(req Request) Response {
 		} else {
 			dec, err = s.ctl.PreviewAdmission(spec)
 		}
+		s.auditDecision(req, spec, dec, err)
 		if err != nil {
 			return Response{Error: err.Error()}
 		}
 		return Response{OK: true, Decision: wireDecision(spec, dec)}
 	case OpRelease:
 		ok := s.ctl.Release(req.Release)
+		s.auditRelease(req.Release, ok)
 		return Response{OK: true, Released: &ok}
 	case OpReport:
 		delays, err := s.ctl.DelayReport()

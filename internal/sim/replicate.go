@@ -1,11 +1,23 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"fafnet/internal/obs"
 	"fafnet/internal/stats"
+)
+
+// Replication metric handles. Wall time is measured through obs.Span — the
+// sanctioned clock access point for simulation packages (see the randsrc
+// analyzer) — and flows only into metrics, never into results.
+var (
+	mReplications = obs.Default.Counter("fafnet_sim_replications_total",
+		"Simulation replications completed (including failed ones).")
+	mReplicationSeconds = obs.Default.Histogram("fafnet_sim_replication_seconds",
+		"Wall time of one simulation replication.", obs.LatencyBuckets())
 )
 
 // Replicated aggregates independent replications of one configuration: the
@@ -52,7 +64,11 @@ func RunReplicated(cfg Config, n int) (Replicated, error) {
 			for i := range ch {
 				run := cfg
 				run.Seed = cfg.Seed + int64(i)*104729
+				_, sp := obs.Start(context.Background(), "sim.replication")
 				results[i], errs[i] = Run(run)
+				mReplicationSeconds.Observe(sp.Seconds())
+				sp.End()
+				mReplications.Inc()
 			}
 		}()
 	}

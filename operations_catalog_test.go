@@ -1,0 +1,76 @@
+package fafnet_test
+
+import (
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"fafnet/internal/obs"
+
+	// Blank imports pull in every instrumented package so its metrics
+	// register with obs.Default; the test then checks OPERATIONS.md's
+	// catalog against the live registry in both directions.
+	_ "fafnet/internal/atm"
+	_ "fafnet/internal/core"
+	_ "fafnet/internal/fddi"
+	_ "fafnet/internal/signaling"
+	_ "fafnet/internal/sim"
+)
+
+// metricToken matches a metric name wherever OPERATIONS.md mentions one,
+// including exposition-level forms like fafnet_cac_decide_seconds_bucket.
+var metricToken = regexp.MustCompile(`fafnet_[a-z0-9_]+`)
+
+// normalize strips the histogram exposition suffixes so documented
+// _bucket/_sum/_count mentions map back to their registered family.
+func normalize(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		name = strings.TrimSuffix(name, suffix)
+	}
+	return name
+}
+
+// TestOperationsCatalogMatchesRegistry fails when OPERATIONS.md and the
+// metric registry drift apart: every registered metric must be documented,
+// and every documented fafnet_* name must exist. Renaming or adding a
+// metric therefore forces the operator docs to follow.
+func TestOperationsCatalogMatchesRegistry(t *testing.T) {
+	doc, err := os.ReadFile("OPERATIONS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := make(map[string]bool)
+	for _, tok := range metricToken.FindAllString(string(doc), -1) {
+		documented[normalize(tok)] = true
+	}
+
+	registered := make(map[string]bool)
+	for _, name := range obs.Default.Names() {
+		registered[name] = true
+	}
+	if len(registered) == 0 {
+		t.Fatal("no metrics registered — are the instrumented packages imported?")
+	}
+
+	var missing, stale []string
+	for name := range registered {
+		if !documented[name] {
+			missing = append(missing, name)
+		}
+	}
+	for name := range documented {
+		if !registered[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	for _, name := range missing {
+		t.Errorf("metric %s is registered but missing from OPERATIONS.md", name)
+	}
+	for _, name := range stale {
+		t.Errorf("OPERATIONS.md documents %s, which no package registers", name)
+	}
+}
