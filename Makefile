@@ -10,7 +10,7 @@ BENCH      ?= .
 BENCHTIME  ?= 1s
 BENCH_JSON ?= BENCH.json
 
-.PHONY: all build fmt vet sarif race test short bench docs-check check clean
+.PHONY: all build fmt vet sarif race test short bench chaos docs-check check clean
 
 all: build
 
@@ -52,6 +52,14 @@ test:
 
 short:
 	$(GO) test -short ./...
+
+# The fault-injection suite: the full seed × fault-profile chaos matrix over
+# the signaling stack plus the faultnet package's own tests, under the race
+# detector. `make race` already runs a -short slice of this; here the matrix
+# runs in full.
+chaos:
+	$(GO) test -race -run 'TestChaos' -v ./internal/signaling/
+	$(GO) test -race ./internal/faultnet/
 
 $(FAFBENCH): FORCE
 	$(GO) build -o $(FAFBENCH) ./cmd/fafbench

@@ -6,6 +6,7 @@
 //
 //	fafcacd -addr :7447 [-beta 0.5] [-rule proportional]
 //	        [-metrics-addr :9447] [-audit-log cac-audit.jsonl]
+//	        [-recover cac-audit.jsonl] [-drain-grace 10s] [-idle-timeout 5m]
 //
 // Try it with netcat:
 //
@@ -25,9 +26,17 @@
 // With -audit-log set, every admit/preview/release appends one JSON record
 // to the named file (created if absent, opened in append mode so external
 // rotation is safe).
+//
+// On SIGINT or SIGTERM the daemon drains instead of dying mid-request: it
+// stops accepting, closes idle connections, lets in-flight requests finish
+// (bounded by -drain-grace), then flushes the audit log to disk and exits.
+// After a crash or kill, -recover replays an audit log to rebuild the
+// admitted-connection state before serving; pointing -recover and -audit-log
+// at the same file resumes a daemon exactly where it stopped.
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
@@ -35,6 +44,9 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"fafnet/internal/core"
 	"fafnet/internal/obs"
@@ -50,8 +62,13 @@ func main() {
 	flag.StringVar(&cfg.Rule, "rule", "proportional", "allocation rule: proportional, fixed-split, or sender-biased")
 	flag.StringVar(&cfg.MetricsAddr, "metrics-addr", "", "HTTP listen address for /metrics, /debug/spans, /debug/vars and /debug/pprof (disabled when empty)")
 	flag.StringVar(&cfg.AuditLog, "audit-log", "", "path of the admission audit log, one JSON record per operation (disabled when empty)")
+	flag.StringVar(&cfg.Recover, "recover", "", "audit log to replay before serving, rebuilding admitted-connection state (see OPERATIONS.md)")
+	flag.DurationVar(&cfg.DrainGrace, "drain-grace", 10*time.Second, "how long a SIGINT/SIGTERM drain waits for in-flight requests before force-closing")
+	flag.DurationVar(&cfg.IdleTimeout, "idle-timeout", 0, "close client connections idle longer than this (0 disables)")
 	flag.Parse()
-	if err := serve(cfg, nil); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, cfg, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "fafcacd:", err)
 		os.Exit(1)
 	}
@@ -59,11 +76,14 @@ func main() {
 
 // serveConfig bundles the daemon's knobs.
 type serveConfig struct {
-	Addr        string  // signaling listen address
-	Beta        float64 // Eq. 35–36 allocation knob
-	Rule        string  // allocation rule name
-	MetricsAddr string  // HTTP observability address; "" disables
-	AuditLog    string  // audit-log path; "" disables
+	Addr        string        // signaling listen address
+	Beta        float64       // Eq. 35–36 allocation knob
+	Rule        string        // allocation rule name
+	MetricsAddr string        // HTTP observability address; "" disables
+	AuditLog    string        // audit-log path; "" disables
+	Recover     string        // audit log to replay at startup; "" disables
+	DrainGrace  time.Duration // in-flight budget of a signal-triggered drain
+	IdleTimeout time.Duration // per-connection idle deadline; 0 disables
 }
 
 // serveAddrs reports the addresses a running daemon actually bound (useful
@@ -76,9 +96,12 @@ type serveAddrs struct {
 // spanRingSize bounds /debug/spans; old spans are overwritten, never block.
 const spanRingSize = 512
 
-// serve builds the controller and serves until the listener fails; ready,
-// when non-nil, receives the bound addresses once listening (used by tests).
-func serve(cfg serveConfig, ready chan<- serveAddrs) error {
+// serve builds the controller (replaying an audit log first when configured)
+// and serves until the listener fails or ctx is canceled; cancellation
+// triggers a graceful drain bounded by cfg.DrainGrace, after which the audit
+// log is flushed to stable storage. ready, when non-nil, receives the bound
+// addresses once listening (used by tests).
+func serve(ctx context.Context, cfg serveConfig, ready chan<- serveAddrs) error {
 	s := scenario.Scenario{CAC: scenario.CAC{Beta: &cfg.Beta, Rule: cfg.Rule}}
 	opts, err := s.CACOptions()
 	if err != nil {
@@ -92,18 +115,31 @@ func serve(cfg serveConfig, ready chan<- serveAddrs) error {
 	if err != nil {
 		return err
 	}
+	if cfg.Recover != "" {
+		if err := recoverState(ctl, cfg.Recover); err != nil {
+			return err
+		}
+	}
 	srv, err := signaling.NewServer(ctl)
 	if err != nil {
 		return err
 	}
+	srv.IdleTimeout = cfg.IdleTimeout
 
+	var audit *obs.AuditLog
 	if cfg.AuditLog != "" {
-		log, err := obs.OpenAuditLog(cfg.AuditLog)
+		audit, err = obs.OpenAuditLog(cfg.AuditLog)
 		if err != nil {
 			return fmt.Errorf("audit log: %w", err)
 		}
-		defer log.Close()
-		srv.SetAuditLog(log)
+		// Sync before Close so the tail survives whatever happens to the
+		// host right after we exit; on the happy path this runs after the
+		// drain below, when no more records can arrive.
+		defer func() {
+			_ = audit.Sync()
+			_ = audit.Close()
+		}()
+		srv.SetAuditLog(audit)
 	}
 
 	var addrs serveAddrs
@@ -137,7 +173,49 @@ func serve(cfg serveConfig, ready chan<- serveAddrs) error {
 	if ready != nil {
 		ready <- addrs
 	}
-	return srv.Serve(l)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Printf("fafcacd: shutdown requested, draining for up to %v\n", cfg.DrainGrace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.DrainGrace)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "fafcacd: drain budget expired; stragglers force-closed:", err)
+	}
+	if err := <-serveErr; err != nil {
+		return err
+	}
+	fmt.Println("fafcacd: drained")
+	return nil
+}
+
+// recoverState replays an audit log into a fresh controller (see
+// signaling.Replay), printing what it rebuilt.
+func recoverState(ctl *core.Controller, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("recover: %w", err)
+	}
+	records, err := obs.ReadAuditRecords(f)
+	closeErr := f.Close()
+	if err != nil {
+		return fmt.Errorf("recover %s: %w", path, err)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("recover %s: %w", path, closeErr)
+	}
+	stats, err := signaling.Replay(ctl, records)
+	if err != nil {
+		return fmt.Errorf("recover %s: %w", path, err)
+	}
+	fmt.Printf("fafcacd: recovered from %s: %d admissions replayed, %d releases re-applied, %d records skipped, %d connections active\n",
+		path, stats.Admits, stats.Releases, stats.Skipped, ctl.Active())
+	return nil
 }
 
 // metricsMux assembles the observability HTTP surface. A dedicated mux (not
@@ -150,8 +228,8 @@ func metricsMux(ring *obs.SpanRing) *http.ServeMux {
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }

@@ -2,12 +2,15 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -15,8 +18,42 @@ import (
 	"fafnet/internal/signaling"
 )
 
+// daemonMainEnv makes a re-executed test binary run the daemon's real main
+// instead of the test suite, so the signal path can be exercised end to end.
+const daemonMainEnv = "FAFCACD_DAEMON_MAIN"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(daemonMainEnv) == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// daemon is a serve() instance under test.
+type daemon struct {
+	addrs serveAddrs
+	stop  context.CancelFunc
+	done  chan error
+}
+
+// shutdown cancels the daemon's context (the test's SIGTERM) and waits for
+// the drain to finish.
+func (d *daemon) shutdown(t *testing.T) {
+	t.Helper()
+	d.stop()
+	select {
+	case err := <-d.done:
+		if err != nil {
+			t.Fatalf("serve returned %v after shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after cancellation")
+	}
+}
+
 // startDaemon runs serve with ephemeral ports and waits for readiness.
-func startDaemon(t *testing.T, cfg serveConfig) serveAddrs {
+func startDaemon(t *testing.T, cfg serveConfig) *daemon {
 	t.Helper()
 	cfg.Addr = "127.0.0.1:0"
 	if cfg.Beta == 0 {
@@ -25,18 +62,31 @@ func startDaemon(t *testing.T, cfg serveConfig) serveAddrs {
 	if cfg.Rule == "" {
 		cfg.Rule = "proportional"
 	}
+	if cfg.DrainGrace == 0 {
+		cfg.DrainGrace = 5 * time.Second
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	t.Cleanup(stop)
 	ready := make(chan serveAddrs, 1)
-	errCh := make(chan error, 1)
-	go func() { errCh <- serve(cfg, ready) }()
+	d := &daemon{stop: stop, done: make(chan error, 1)}
+	go func() { d.done <- serve(ctx, cfg, ready) }()
 	select {
-	case addrs := <-ready:
-		return addrs
-	case err := <-errCh:
+	case d.addrs = <-ready:
+		return d
+	case err := <-d.done:
 		t.Fatalf("serve failed before listening: %v", err)
 	case <-time.After(5 * time.Second):
 		t.Fatal("daemon never became ready")
 	}
 	panic("unreachable")
+}
+
+func admitRequest(id string, srcRing, dstRing int) scenario.Request {
+	return scenario.Request{
+		ID: id, SrcRing: srcRing, SrcHost: 0, DstRing: dstRing, DstHost: 0,
+		DeadlineMillis: 60,
+		Source:         scenario.Source{Type: "dualPeriodic", C1Kbit: 50, P1Millis: 10, C2Kbit: 10, P2Millis: 1},
+	}
 }
 
 func admitV1(t *testing.T, addr string) signaling.Decision {
@@ -46,38 +96,53 @@ func admitV1(t *testing.T, addr string) signaling.Decision {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	dec, err := client.Admit(scenario.Request{
-		ID: "v1", SrcRing: 0, SrcHost: 0, DstRing: 1, DstHost: 0,
-		DeadlineMillis: 60,
-		Source:         scenario.Source{Type: "dualPeriodic", C1Kbit: 50, P1Millis: 10, C2Kbit: 10, P2Millis: 1},
-	})
+	dec, err := client.Admit(admitRequest("v1", 0, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	return dec
 }
 
-func TestServeAndAdmit(t *testing.T) {
-	addrs := startDaemon(t, serveConfig{})
-	if addrs.Metrics != "" {
-		t.Errorf("metrics address %q without -metrics-addr", addrs.Metrics)
+// reportByID fetches the daemon's admitted-connection report, keyed by id.
+func reportByID(t *testing.T, addr string) map[string]signaling.ConnReport {
+	t.Helper()
+	client, err := signaling.Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if dec := admitV1(t, addrs.Signaling); !dec.Admitted {
+	defer client.Close()
+	report, err := client.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]signaling.ConnReport, len(report))
+	for _, r := range report {
+		out[r.ID] = r
+	}
+	return out
+}
+
+func TestServeAndAdmit(t *testing.T) {
+	d := startDaemon(t, serveConfig{})
+	if d.addrs.Metrics != "" {
+		t.Errorf("metrics address %q without -metrics-addr", d.addrs.Metrics)
+	}
+	if dec := admitV1(t, d.addrs.Signaling); !dec.Admitted {
 		t.Fatalf("rejected: %s", dec.Reason)
 	}
 }
 
 func TestMetricsEndpointServesAdmissionCounters(t *testing.T) {
-	addrs := startDaemon(t, serveConfig{MetricsAddr: "127.0.0.1:0"})
-	if addrs.Metrics == "" {
+	d := startDaemon(t, serveConfig{MetricsAddr: "127.0.0.1:0"})
+	if d.addrs.Metrics == "" {
 		t.Fatal("no metrics address")
 	}
-	if dec := admitV1(t, addrs.Signaling); !dec.Admitted {
+	if dec := admitV1(t, d.addrs.Signaling); !dec.Admitted {
 		t.Fatalf("rejected: %s", dec.Reason)
 	}
 
 	get := func(path string) (string, string) {
-		resp, err := http.Get("http://" + addrs.Metrics + path)
+		resp, err := http.Get("http://" + d.addrs.Metrics + path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,8 +204,8 @@ func TestMetricsEndpointServesAdmissionCounters(t *testing.T) {
 
 func TestAuditLogFlagWritesRecords(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "audit.jsonl")
-	addrs := startDaemon(t, serveConfig{AuditLog: path})
-	if dec := admitV1(t, addrs.Signaling); !dec.Admitted {
+	d := startDaemon(t, serveConfig{AuditLog: path})
+	if dec := admitV1(t, d.addrs.Signaling); !dec.Admitted {
 		t.Fatalf("rejected: %s", dec.Reason)
 	}
 	data, err := os.ReadFile(path)
@@ -164,14 +229,177 @@ func TestAuditLogFlagWritesRecords(t *testing.T) {
 	}
 }
 
+// TestGracefulShutdownKeepsAuditTail is the regression test for the lost
+// audit tail: the last record written before a SIGTERM-triggered drain must
+// be intact and parseable on disk after the daemon exits.
+func TestGracefulShutdownKeepsAuditTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	d := startDaemon(t, serveConfig{AuditLog: path})
+	if dec := admitV1(t, d.addrs.Signaling); !dec.Admitted {
+		t.Fatalf("rejected: %s", dec.Reason)
+	}
+	d.shutdown(t)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("audit log holds %d records after shutdown, want 1", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &rec); err != nil {
+		t.Fatalf("pre-shutdown audit tail is torn: %v\n%s", err, lines[len(lines)-1])
+	}
+	if rec["connId"] != "v1" {
+		t.Errorf("tail record = %v, want the v1 admit", rec)
+	}
+}
+
+// TestKillAndRecoverRoundTrip is the crash-recovery round trip: admit a
+// workload, stop the daemon, restart it with -recover pointing at the audit
+// log, and require the identical admitted set with identical delay bounds.
+func TestKillAndRecoverRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	d1 := startDaemon(t, serveConfig{AuditLog: path})
+	client, err := signaling.Dial(d1.addrs.Signaling, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admits := []struct {
+		id               string
+		srcRing, dstRing int
+	}{{"v1", 0, 1}, {"v2", 1, 2}, {"v3", 2, 0}}
+	for _, a := range admits {
+		dec, err := client.Admit(admitRequest(a.id, a.srcRing, a.dstRing))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Admitted {
+			t.Fatalf("%s rejected: %s", a.id, dec.Reason)
+		}
+	}
+	if ok, err := client.Release("v2"); err != nil || !ok {
+		t.Fatalf("release v2: %v %v", ok, err)
+	}
+	client.Close()
+	before := reportByID(t, d1.addrs.Signaling)
+	d1.shutdown(t)
+
+	// Restart, recovering from (and continuing to append to) the same log.
+	d2 := startDaemon(t, serveConfig{AuditLog: path, Recover: path})
+	after := reportByID(t, d2.addrs.Signaling)
+	if len(after) != len(before) {
+		t.Fatalf("recovered %d connections, want %d (%v vs %v)", len(after), len(before), after, before)
+	}
+	for id, w := range before {
+		g, ok := after[id]
+		if !ok {
+			t.Errorf("connection %s lost across recovery", id)
+			continue
+		}
+		if g != w {
+			t.Errorf("connection %s changed across recovery: %+v vs %+v", id, g, w)
+		}
+	}
+	// The recovered daemon keeps auditing into the same log: a new admit must
+	// append, and a second recovery must replay the whole history.
+	client2, err := signaling.Dial(d2.addrs.Signaling, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec, err := client2.Admit(admitRequest("v4", 1, 0)); err != nil || !dec.Admitted {
+		t.Fatalf("post-recovery admit: %+v %v", dec, err)
+	}
+	client2.Close()
+	d2.shutdown(t)
+
+	d3 := startDaemon(t, serveConfig{Recover: path})
+	final := reportByID(t, d3.addrs.Signaling)
+	if len(final) != 3 {
+		t.Fatalf("second recovery found %d connections, want 3 (v1, v3, v4): %v", len(final), final)
+	}
+}
+
+func TestRecoverMissingLogFailsFast(t *testing.T) {
+	cfg := serveConfig{
+		Addr: "127.0.0.1:0", Beta: 0.5, Rule: "proportional",
+		Recover: filepath.Join(t.TempDir(), "no-such-audit.jsonl"),
+	}
+	err := serve(context.Background(), cfg, nil)
+	if err == nil || !strings.Contains(err.Error(), "recover") {
+		t.Fatalf("recovery from a missing log should fail fast, got %v", err)
+	}
+}
+
+// TestSigtermDrainsSubprocess exercises the real signal path end to end: the
+// daemon runs as a child process, receives an actual SIGTERM, and must exit
+// zero with its audit log intact.
+func TestSigtermDrainsSubprocess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	cmd := exec.Command(os.Args[0],
+		"-addr", "127.0.0.1:0", "-audit-log", path, "-drain-grace", "5s")
+	cmd.Env = append(os.Environ(), daemonMainEnv+"=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon prints its bound address on the first line.
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.LastIndex(line, " on "); strings.HasPrefix(line, "fafcacd: serving") && i >= 0 {
+			addr = line[i+len(" on "):]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("daemon never announced its address")
+	}
+	if dec := admitV1(t, addr); !dec.Admitted {
+		t.Fatalf("rejected: %s", dec.Reason)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon ignored SIGTERM")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"connId":"v1"`) {
+		t.Errorf("audit log lost the pre-shutdown admit:\n%s", data)
+	}
+}
+
 func TestServeBadRule(t *testing.T) {
-	if err := serve(serveConfig{Addr: "127.0.0.1:0", Beta: 0.5, Rule: "sorcery"}, nil); err == nil {
+	if err := serve(context.Background(), serveConfig{Addr: "127.0.0.1:0", Beta: 0.5, Rule: "sorcery"}, nil); err == nil {
 		t.Fatal("bad rule should fail fast")
 	}
 }
 
 func TestServeBadAddr(t *testing.T) {
-	if err := serve(serveConfig{Addr: "256.256.256.256:1", Beta: 0.5, Rule: "proportional"}, nil); err == nil {
+	if err := serve(context.Background(), serveConfig{Addr: "256.256.256.256:1", Beta: 0.5, Rule: "proportional"}, nil); err == nil {
 		t.Fatal("unusable address should fail")
 	}
 }
@@ -181,7 +409,7 @@ func TestServeBadAuditPath(t *testing.T) {
 		Addr: "127.0.0.1:0", Beta: 0.5, Rule: "proportional",
 		AuditLog: filepath.Join(t.TempDir(), "no", "such", "dir", "audit.jsonl"),
 	}
-	err := serve(cfg, nil)
+	err := serve(context.Background(), cfg, nil)
 	if err == nil || !strings.Contains(err.Error(), "audit log") {
 		t.Fatalf("unusable audit path should fail fast, got %v", err)
 	}
@@ -192,7 +420,7 @@ func TestServeBadMetricsAddr(t *testing.T) {
 		Addr: "127.0.0.1:0", Beta: 0.5, Rule: "proportional",
 		MetricsAddr: "256.256.256.256:1",
 	}
-	err := serve(cfg, nil)
+	err := serve(context.Background(), cfg, nil)
 	if err == nil || !strings.Contains(err.Error(), "metrics listener") {
 		t.Fatalf("unusable metrics address should fail fast, got %v", err)
 	}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"math/rand"
+
+	"fafnet/internal/scenario"
+	"fafnet/internal/signaling"
+	"fafnet/internal/topo"
+)
+
+// daemonWorkload drives a live fafcacd over the signaling protocol instead
+// of an in-process controller: the same kind of admit/release churn the DES
+// applies, but through the retrying client, so it measures the deployed
+// daemon (and exercises the transport) rather than the library. Results are
+// not comparable to the DES sweeps — there is no simulated clock, so
+// lifetimes are turnover-driven — but the admission counters and the final
+// clean release make it a useful end-to-end smoke against a real deployment.
+type daemonWorkload struct {
+	Addr     string
+	Requests int
+	Seed     int64
+}
+
+// daemonResult summarizes one daemon-driven run.
+type daemonResult struct {
+	Admitted, Rejected int
+	// Ambiguous counts admits whose response was lost after the request may
+	// have reached the daemon (signaling.ErrPossiblyCommitted); they are
+	// resolved by release before the run ends.
+	Ambiguous int
+	// TransportErrors counts operations that failed outright after retries.
+	TransportErrors int
+	Stats           signaling.ClientStats
+}
+
+// run executes the workload: seeded random src/dst churn over the default
+// topology's hosts, releasing connections as hosts are needed again, and
+// releasing everything before returning so the daemon ends clean.
+// Named results so the deferred stats capture lands in the value actually
+// returned, including on error paths.
+func (w daemonWorkload) run() (res daemonResult, err error) {
+	client, err := signaling.DialConfig(signaling.ClientConfig{
+		Addr:        w.Addr,
+		DialTimeout: 5 * time.Second,
+		ReadTimeout: 30 * time.Second,
+		Retry:       signaling.DefaultRetryPolicy(),
+	})
+	if err != nil {
+		return res, err
+	}
+	defer func() { res.Stats = client.Stats(); client.Close() }()
+
+	cfg := topo.Default()
+	rng := rand.New(rand.NewSource(w.Seed))
+	type host struct{ ring, index int }
+	free := make([]host, 0, cfg.NumRings*cfg.HostsPerRing)
+	for r := 0; r < cfg.NumRings; r++ {
+		for h := 0; h < cfg.HostsPerRing; h++ {
+			free = append(free, host{r, h})
+		}
+	}
+	active := make(map[string]host)
+
+	releaseOne := func(id string) error {
+		if _, err := client.Release(id); err != nil {
+			res.TransportErrors++
+			return err
+		}
+		free = append(free, active[id])
+		delete(active, id)
+		return nil
+	}
+	oldestActive := func() string {
+		ids := make([]string, 0, len(active))
+		for id := range active {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		return ids[0]
+	}
+
+	for i := 0; i < w.Requests; i++ {
+		if len(free) == 0 {
+			if err := releaseOne(oldestActive()); err != nil {
+				continue
+			}
+		}
+		src := free[rng.Intn(len(free))]
+		dstRing := rng.Intn(cfg.NumRings - 1)
+		if dstRing >= src.ring {
+			dstRing++ // uniform over remote rings
+		}
+		id := fmt.Sprintf("fafsim-%d-%d", w.Seed, i)
+		req := scenario.Request{
+			ID:      id,
+			SrcRing: src.ring, SrcHost: src.index,
+			DstRing: dstRing, DstHost: rng.Intn(cfg.HostsPerRing),
+			DeadlineMillis: 30 + 40*rng.Float64(),
+			Source:         scenario.Source{Type: "dualPeriodic", C1Kbit: 50, P1Millis: 10, C2Kbit: 10, P2Millis: 1},
+		}
+		dec, err := client.Admit(req)
+		switch {
+		case err == nil && dec.Admitted:
+			res.Admitted++
+			// Reserve the host until release.
+			for j, h := range free {
+				if h == src {
+					free = append(free[:j], free[j+1:]...)
+					break
+				}
+			}
+			active[id] = src
+		case err == nil:
+			res.Rejected++
+		default:
+			// Both ambiguity and plain transport failure are settled the same
+			// way: release is idempotent, so one successful release round
+			// trip proves the id holds nothing. Count them separately.
+			if isPossiblyCommitted(err) {
+				res.Ambiguous++
+			} else {
+				res.TransportErrors++
+			}
+			if _, rerr := client.Release(id); rerr != nil {
+				res.TransportErrors++
+			}
+		}
+		// Turn hosts over so later requests see a loaded-but-moving system.
+		if len(active) > 0 && i%3 == 2 {
+			_ = releaseOne(oldestActive())
+		}
+	}
+	for len(active) > 0 {
+		if err := releaseOne(oldestActive()); err != nil {
+			return res, fmt.Errorf("final drain: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// isPossiblyCommitted reports whether err carries the lost-response admit
+// ambiguity.
+func isPossiblyCommitted(err error) bool {
+	return errors.Is(err, signaling.ErrPossiblyCommitted)
+}
+
+// runDaemon is the -experiment daemon entry point.
+func runDaemon(addr string, requests int, seed int64) error {
+	if addr == "" {
+		return fmt.Errorf("-experiment daemon requires -daemon-addr")
+	}
+	if requests <= 0 {
+		return fmt.Errorf("-requests %d must be positive", requests)
+	}
+	fmt.Printf("# daemon workload against %s (%d requests, seed %d)\n", addr, requests, seed)
+	res, err := daemonWorkload{Addr: addr, Requests: requests, Seed: seed}.run()
+	if err != nil {
+		return err
+	}
+	decided := res.Admitted + res.Rejected
+	ap := 0.0
+	if decided > 0 {
+		ap = float64(res.Admitted) / float64(decided)
+	}
+	fmt.Println("admitted\trejected\tambiguous\ttransport_errors\tAP\tattempts\tretries\tredials")
+	fmt.Printf("%d\t%d\t%d\t%d\t%.4f\t%d\t%d\t%d\n",
+		res.Admitted, res.Rejected, res.Ambiguous, res.TransportErrors, ap,
+		res.Stats.Attempts, res.Stats.Retries, res.Stats.Redials)
+	return nil
+}

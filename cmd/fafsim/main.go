@@ -7,6 +7,11 @@
 //	fafsim -experiment beta  [-requests 400] [-seed 1] [-plot]
 //	fafsim -experiment load  [-requests 400] [-seed 1] [-plot]
 //	fafsim -experiment ablation [-beta 0.5]
+//	fafsim -experiment daemon -daemon-addr 127.0.0.1:7447 [-requests 40] [-seed 1]
+//
+// The daemon experiment drives a live fafcacd over the signaling protocol
+// (through the retrying client) instead of an in-process controller, and
+// releases everything it admitted before exiting.
 //
 // Output is a tab-separated table (one row per swept point, one column per
 // series), optionally followed by an ASCII chart.
@@ -30,7 +35,8 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "beta", "beta (Figure 7), load (Figure 8), or ablation (E4)")
+		experiment = flag.String("experiment", "beta", "beta (Figure 7), load (Figure 8), ablation (E4), reasons, or daemon")
+		daemonAddr = flag.String("daemon-addr", "", "fafcacd address for the daemon experiment")
 		requests   = flag.Int("requests", 400, "admission requests counted per point")
 		warmup     = flag.Int("warmup", 50, "requests excluded from statistics")
 		seed       = flag.Int64("seed", 1, "base random seed")
@@ -71,8 +77,10 @@ func main() {
 		err = runAblation(base, *utilsFlag, *beta, *doPlot)
 	case "reasons":
 		err = runReasons(base, *utilsFlag, *betasFlag)
+	case "daemon":
+		err = runDaemon(*daemonAddr, *requests, *seed)
 	default:
-		err = fmt.Errorf("unknown experiment %q (want beta, load, ablation, or reasons)", *experiment)
+		err = fmt.Errorf("unknown experiment %q (want beta, load, ablation, reasons, or daemon)", *experiment)
 	}
 	// Flush profiles explicitly: os.Exit skips deferred calls, and a run that
 	// fails half-way is exactly the one worth profiling.

@@ -345,6 +345,9 @@ func (c *Controller) decideInner(spec ConnSpec, commit bool) (Decision, error) {
 
 	if commit {
 		if err := c.commit(cand, chosen); err != nil {
+			// The candidate was not admitted; clear its probe-time analyzer
+			// state so a retry of the same id starts clean.
+			c.forgetCandidate(spec.ID)
 			return Decision{}, err
 		}
 	} else {
@@ -458,9 +461,11 @@ func (c *Controller) bisectEqualDelays(probe func(allocation) (bool, map[string]
 }
 
 // commit admits the candidate at the chosen allocation, updating ring
-// bookkeeping.
+// bookkeeping. It is transactional: either both ring allocations succeed and
+// the candidate is recorded, or neither ring ends up charged and the
+// candidate is left unmodified (a failed commit must not leave a phantom
+// HS/HR on an object a caller may inspect or retry).
 func (c *Controller) commit(cand *Connection, a allocation) error {
-	cand.HS, cand.HR = a.hs, a.hr
 	if err := c.net.Ring(cand.Src.Ring).Allocate(cand.ID, a.hs); err != nil {
 		return fmt.Errorf("core: committing sender allocation: %w", err)
 	}
@@ -470,6 +475,7 @@ func (c *Controller) commit(cand *Connection, a allocation) error {
 			return fmt.Errorf("core: committing receiver allocation: %w", err)
 		}
 	}
+	cand.HS, cand.HR = a.hs, a.hr
 	c.conns[cand.ID] = cand
 	gActive.Set(float64(len(c.conns)))
 	return nil

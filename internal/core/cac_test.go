@@ -379,3 +379,52 @@ func TestDecisionDelaysMatchReport(t *testing.T) {
 		t.Error("admitted connection has no finite bound")
 	}
 }
+
+// TestCommitRollsBackOnReceiverRingFailure is the regression test for the
+// half-committed admit: when the receiver ring rejects its allocation, the
+// sender ring's reservation must be rolled back and the candidate object
+// left untouched (no phantom HS/HR on a connection that was never admitted).
+func TestCommitRollsBackOnReceiverRingFailure(t *testing.T) {
+	ctl := newController(t, Options{})
+	spec := testSpec(t, "c1", 0, 0, 1, 0)
+	route, err := ctl.Network().Route(spec.Src, spec.Dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !route.CrossesBackbone {
+		t.Fatal("test route must cross the backbone to exercise the receiver ring")
+	}
+	cand := &Connection{ConnSpec: spec, Route: route}
+
+	// Exhaust the receiver ring so its Allocate must fail, while the sender
+	// ring stays wide open.
+	dst := ctl.Network().Ring(spec.Dst.Ring)
+	if err := dst.Allocate("squatter", dst.Available()); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ctl.commit(cand, allocation{hs: 1e-3, hr: 1e-3}); err == nil {
+		t.Fatal("commit with a full receiver ring should fail")
+	}
+	if _, held := ctl.Network().Ring(spec.Src.Ring).Allocation("c1"); held {
+		t.Error("sender-ring allocation leaked after the receiver-ring failure")
+	}
+	if cand.HS != 0 || cand.HR != 0 {
+		t.Errorf("failed commit mutated the candidate: HS=%v HR=%v, want 0/0", cand.HS, cand.HR)
+	}
+	if ctl.Active() != 0 {
+		t.Errorf("controller recorded %d connections after a failed commit", ctl.Active())
+	}
+
+	// Once the squatter releases, the same id admits cleanly — no residue.
+	if !dst.Release("squatter") {
+		t.Fatal("squatter release failed")
+	}
+	dec, err := ctl.RequestAdmission(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Admitted {
+		t.Fatalf("post-rollback admit rejected: %s", dec.Reason)
+	}
+}

@@ -1,0 +1,241 @@
+// Package faultnet wraps net.Listener and net.Conn with deterministic,
+// seeded fault injection for chaos testing the signaling plane: added
+// latency, chunked writes (one logical message split across many small
+// syscalls), mid-message connection resets, and transient accept failures.
+//
+// Every fault decision is drawn from a rand.Rand derived from Options.Seed,
+// so a failing chaos run reproduces exactly from its seed. A listener
+// derives an independent sub-seed per accepted connection; the i-th
+// connection of a given listener therefore sees the same fault schedule on
+// every run regardless of goroutine interleaving.
+//
+// The wrappers are transport-level only: they never rewrite payload bytes,
+// so anything the peer does receive is byte-accurate. An injected reset
+// closes the underlying connection (the peer observes EOF or ECONNRESET)
+// and surfaces ErrInjectedReset locally.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"math/rand"
+)
+
+// ErrInjectedReset is returned (wrapped) from Read/Write when the injector
+// cut the connection mid-operation. The underlying connection is closed, so
+// the peer sees the failure too.
+var ErrInjectedReset = errors.New("faultnet: injected connection reset")
+
+// Options selects which faults to inject and how often. The zero value
+// injects nothing (the wrappers become transparent), so callers can enable
+// faults one axis at a time.
+type Options struct {
+	// Seed drives every random fault decision. Two runs with equal seeds
+	// and equal connection arrival order inject identical faults.
+	Seed int64
+	// AcceptFailEveryN makes every Nth Accept call fail with a transient
+	// (Temporary() == true) error before touching the underlying listener;
+	// the pending connection, if any, stays queued for the next Accept.
+	// 0 disables.
+	AcceptFailEveryN int
+	// MaxLatency adds a uniform [0, MaxLatency) delay before each Read and
+	// Write. 0 disables.
+	MaxLatency time.Duration
+	// ChunkWriteProb is the per-Write probability that the buffer is split
+	// into several small underlying writes instead of one — every byte is
+	// still delivered, but message boundaries vanish, exercising the
+	// peer's reassembly. 0 disables.
+	ChunkWriteProb float64
+	// ResetReadProb and ResetWriteProb are the per-operation probabilities
+	// of cutting the connection. A write reset first delivers a strict
+	// prefix of the buffer (a torn message), then closes — the shape a
+	// crashing host or dropped route produces. 0 disables.
+	ResetReadProb  float64
+	ResetWriteProb float64
+}
+
+// transparent reports whether the options inject no connection faults.
+func (o Options) transparent() bool {
+	return o.MaxLatency == 0 && o.ChunkWriteProb == 0 &&
+		o.ResetReadProb == 0 && o.ResetWriteProb == 0
+}
+
+// acceptError is the transient error injected into Accept.
+type acceptError struct{ n uint64 }
+
+func (e *acceptError) Error() string {
+	return fmt.Sprintf("faultnet: injected accept failure #%d", e.n)
+}
+
+// Temporary marks the failure retryable, matching the net.Error convention
+// accept loops use to decide between backoff and giving up.
+func (e *acceptError) Temporary() bool { return true }
+
+// Timeout implements net.Error.
+func (e *acceptError) Timeout() bool { return false }
+
+// Listener wraps l so every accepted connection carries the configured
+// faults. Accept failures are injected here; per-connection faults are
+// seeded from Options.Seed and the connection's accept ordinal.
+type Listener struct {
+	inner net.Listener
+	opts  Options
+	n     atomic.Uint64 // accept calls, for AcceptFailEveryN and sub-seeds
+}
+
+// WrapListener builds a fault-injecting listener.
+func WrapListener(l net.Listener, opts Options) *Listener {
+	return &Listener{inner: l, opts: opts}
+}
+
+// Accept waits for the next connection, injecting a transient failure every
+// AcceptFailEveryN calls.
+func (l *Listener) Accept() (net.Conn, error) {
+	n := l.n.Add(1)
+	if k := uint64(l.opts.AcceptFailEveryN); k > 0 && n%k == 0 {
+		return nil, &acceptError{n: n}
+	}
+	conn, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(conn, subSeed(l.opts.Seed, n), l.opts), nil
+}
+
+// Close closes the underlying listener.
+func (l *Listener) Close() error { return l.inner.Close() }
+
+// Addr returns the underlying listener's address.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// subSeed derives a per-connection seed from the listener seed and the
+// connection ordinal. SplitMix64-style mixing keeps neighboring ordinals'
+// streams uncorrelated.
+func subSeed(seed int64, ordinal uint64) int64 {
+	z := uint64(seed) + ordinal*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Conn is a fault-injecting connection wrapper.
+type Conn struct {
+	inner net.Conn
+	opts  Options
+
+	// mu guards rng: Read and Write may run on different goroutines, and
+	// rand.Rand is not concurrency-safe.
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// WrapConn wraps an established connection with its own fault stream. With
+// transparent options the connection is returned unwrapped, so fault-free
+// chaos-matrix cells cost nothing.
+func WrapConn(conn net.Conn, seed int64, opts Options) net.Conn {
+	if opts.transparent() {
+		return conn
+	}
+	return &Conn{inner: conn, opts: opts, rng: rand.New(rand.NewSource(seed))}
+}
+
+// draw runs f under the RNG lock and returns its result.
+func (c *Conn) draw(f func(r *rand.Rand) float64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return f(c.rng)
+}
+
+// maybeSleep injects the configured latency.
+func (c *Conn) maybeSleep() {
+	if c.opts.MaxLatency <= 0 {
+		return
+	}
+	d := time.Duration(c.draw(func(r *rand.Rand) float64 {
+		return r.Float64() * float64(c.opts.MaxLatency)
+	}))
+	time.Sleep(d)
+}
+
+// Read reads from the connection, possibly after injected latency, and
+// possibly cutting the connection instead of reading.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.maybeSleep()
+	if c.opts.ResetReadProb > 0 && c.draw((*rand.Rand).Float64) < c.opts.ResetReadProb {
+		c.inner.Close()
+		return 0, fmt.Errorf("faultnet: read: %w", ErrInjectedReset)
+	}
+	return c.inner.Read(p)
+}
+
+// Write writes to the connection. Three behaviors, drawn per call: a torn
+// write (a strict prefix is delivered, then the connection is cut), a
+// chunked write (all bytes delivered across several small syscalls), or a
+// plain pass-through.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.maybeSleep()
+	if c.opts.ResetWriteProb > 0 && len(p) > 1 &&
+		c.draw((*rand.Rand).Float64) < c.opts.ResetWriteProb {
+		cut := 1 + int(c.draw(func(r *rand.Rand) float64 {
+			return float64(r.Intn(len(p) - 1))
+		}))
+		n, err := c.inner.Write(p[:cut])
+		c.inner.Close()
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("faultnet: write: %w", ErrInjectedReset)
+	}
+	if c.opts.ChunkWriteProb > 0 && len(p) > 1 &&
+		c.draw((*rand.Rand).Float64) < c.opts.ChunkWriteProb {
+		return c.writeChunked(p)
+	}
+	return c.inner.Write(p)
+}
+
+// writeChunked delivers p in several small writes with latency between
+// them, so a peer reading concurrently observes arbitrary message
+// fragmentation.
+func (c *Conn) writeChunked(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		n := 1 + int(c.draw(func(r *rand.Rand) float64 {
+			// Chunks of 1..8 bytes: small enough to split any JSON token.
+			return float64(r.Intn(8))
+		}))
+		if n > len(p) {
+			n = len(p)
+		}
+		w, err := c.inner.Write(p[:n])
+		total += w
+		if err != nil {
+			return total, err
+		}
+		p = p[n:]
+		c.maybeSleep()
+	}
+	return total, nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.inner.Close() }
+
+// LocalAddr returns the underlying connection's local address.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr returns the underlying connection's remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline forwards to the underlying connection.
+func (c *Conn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+
+// SetReadDeadline forwards to the underlying connection.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// SetWriteDeadline forwards to the underlying connection.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }

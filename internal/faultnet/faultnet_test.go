@@ -1,0 +1,197 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipePair builds a connected TCP pair on loopback; real sockets (not
+// net.Pipe) so closes propagate as the wrappers advertise.
+func pipePair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := l.Accept()
+		ch <- res{c, err}
+	}()
+	client, err = net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.c.Close() })
+	return client, r.c
+}
+
+func TestTransparentOptionsReturnUnwrapped(t *testing.T) {
+	c, _ := pipePair(t)
+	if got := WrapConn(c, 1, Options{Seed: 7, AcceptFailEveryN: 3}); got != c {
+		t.Error("connection-fault-free options should return the conn unwrapped")
+	}
+	if got := WrapConn(c, 1, Options{ChunkWriteProb: 0.5}); got == c {
+		t.Error("chunking options should wrap")
+	}
+}
+
+func TestChunkedWriteDeliversEveryByte(t *testing.T) {
+	client, server := pipePair(t)
+	fc := WrapConn(client, 42, Options{ChunkWriteProb: 1})
+	msg := bytes.Repeat([]byte("0123456789abcdef"), 64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got []byte
+	var readErr error
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, len(msg))
+		_, readErr = io.ReadFull(server, buf)
+		got = buf
+	}()
+	n, err := fc.Write(msg)
+	if err != nil || n != len(msg) {
+		t.Fatalf("chunked write: n=%d err=%v", n, err)
+	}
+	wg.Wait()
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Error("chunked write corrupted the payload")
+	}
+}
+
+func TestWriteResetTearsMessageAndClosesConn(t *testing.T) {
+	client, server := pipePair(t)
+	fc := WrapConn(client, 42, Options{ResetWriteProb: 1})
+	msg := bytes.Repeat([]byte("x"), 1024)
+	n, err := fc.Write(msg)
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("err = %v, want ErrInjectedReset", err)
+	}
+	if n <= 0 || n >= len(msg) {
+		t.Errorf("torn write delivered %d of %d bytes, want a strict prefix", n, len(msg))
+	}
+	// The peer sees the prefix then EOF/reset — never a complete message.
+	buf, _ := io.ReadAll(server)
+	if len(buf) != n {
+		t.Errorf("peer read %d bytes, injector reported %d", len(buf), n)
+	}
+	// The local side is unusable from now on.
+	if _, err := fc.Write([]byte("more")); err == nil {
+		t.Error("write after injected reset should fail")
+	}
+}
+
+func TestReadResetClosesConn(t *testing.T) {
+	client, server := pipePair(t)
+	fc := WrapConn(client, 42, Options{ResetReadProb: 1})
+	if _, err := server.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Read(make([]byte, 8)); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("err = %v, want ErrInjectedReset", err)
+	}
+}
+
+func TestSameSeedSameFaultSchedule(t *testing.T) {
+	// Drive two identically seeded wrappers over loopback pairs and check
+	// the observable fault schedule (bytes delivered per write) matches.
+	run := func() []int {
+		client, server := pipePair(t)
+		go io.Copy(io.Discard, server)
+		fc := WrapConn(client, 7, Options{ChunkWriteProb: 0.5, ResetWriteProb: 0.05})
+		var ns []int
+		for i := 0; i < 50; i++ {
+			n, err := fc.Write(bytes.Repeat([]byte("y"), 256))
+			ns = append(ns, n)
+			if err != nil {
+				break
+			}
+		}
+		return ns
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("schedules diverge in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("write %d delivered %d vs %d bytes under the same seed", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAcceptFailEveryN(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	l := WrapListener(inner, Options{AcceptFailEveryN: 2})
+	// Every second accept fails with a temporary error, without consuming
+	// a queued connection.
+	for i := 0; i < 3; i++ {
+		done := make(chan error, 1)
+		go func() {
+			c, err := net.Dial("tcp", l.Addr().String())
+			if c != nil {
+				defer c.Close()
+			}
+			done <- err
+		}()
+		// The first iteration consumes accept call #1 (success). Every
+		// later iteration lands on an even call number, which fails
+		// transiently, then retries onto an odd one.
+		conn, err := l.Accept()
+		if i >= 1 {
+			var ne net.Error
+			if !errors.As(err, &ne) || !ne.Temporary() {
+				t.Fatalf("accept %d: err = %v, want a temporary net.Error", i, err)
+			}
+			// The queued dial is still there for the next Accept.
+			conn, err = l.Accept()
+		}
+		if err != nil {
+			t.Fatalf("accept %d: %v", i, err)
+		}
+		conn.Close()
+		if err := <-done; err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	client, server := pipePair(t)
+	go io.Copy(io.Discard, server)
+	fc := WrapConn(client, 3, Options{MaxLatency: 2 * time.Millisecond})
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		if _, err := fc.Write([]byte("ping")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 20 draws from [0, 2ms) sum to ~20ms in expectation; require a lower
+	// bound loose enough to never flake (P[sum < 2ms] is astronomically
+	// small) while still proving sleeps happen.
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("20 writes with injected latency took %v, want ≥ 2ms", elapsed)
+	}
+}

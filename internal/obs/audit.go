@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"sync"
 	"time"
 )
@@ -135,6 +137,21 @@ func (l *AuditLog) Append(rec AuditRecord) error {
 	return nil
 }
 
+// Sync flushes appended records to stable storage when the underlying
+// writer supports it (an *os.File does); otherwise it is a no-op. A daemon
+// calls this on shutdown so the audit tail survives a following crash or
+// power loss — Append alone only guarantees the bytes reached the kernel.
+func (l *AuditLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if s, ok := l.w.(interface{ Sync() error }); ok {
+		if err := s.Sync(); err != nil {
+			return fmt.Errorf("obs: sync audit log: %w", err)
+		}
+	}
+	return nil
+}
+
 // Close closes the underlying file, if Append opened one.
 func (l *AuditLog) Close() error {
 	l.mu.Lock()
@@ -145,4 +162,36 @@ func (l *AuditLog) Close() error {
 	err := l.c.Close()
 	l.c = nil
 	return err
+}
+
+// ReadAuditRecords parses a JSON-lines audit log back into records, in file
+// order. A final line that is torn mid-record (the log's process crashed
+// between the write starting and finishing, or the disk filled) is dropped
+// silently: recovery prefers losing the one un-acknowledged record to
+// refusing the whole log. A malformed record anywhere else is corruption
+// and returns an error naming the line.
+func ReadAuditRecords(r io.Reader) ([]AuditRecord, error) {
+	br := bufio.NewReader(r)
+	var records []AuditRecord
+	for lineNo := 1; ; lineNo++ {
+		line, err := br.ReadString('\n')
+		atEOF := err == io.EOF
+		if err != nil && !atEOF {
+			return nil, fmt.Errorf("obs: read audit log line %d: %w", lineNo, err)
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed != "" {
+			var rec AuditRecord
+			if jsonErr := json.Unmarshal([]byte(trimmed), &rec); jsonErr != nil {
+				if atEOF {
+					return records, nil // torn tail from a crash mid-append
+				}
+				return nil, fmt.Errorf("obs: audit log line %d: %w", lineNo, jsonErr)
+			}
+			records = append(records, rec)
+		}
+		if atEOF {
+			return records, nil
+		}
+	}
 }

@@ -48,3 +48,23 @@ var (
 	mAuditErrors = obs.Default.Counter("fafnet_signaling_audit_errors_total",
 		"Audit records that could not be appended (check disk space and permissions).")
 )
+
+// Connection-lifecycle and shutdown metrics.
+var (
+	gOpenConns = obs.Default.Gauge("fafnet_signaling_open_connections",
+		"Client connections currently registered with the server.")
+	mIdleClosed = obs.Default.Counter("fafnet_signaling_idle_closed_total",
+		"Connections closed for exceeding the idle timeout.")
+	mForceClosed = obs.Default.Counter("fafnet_signaling_drain_force_closed_total",
+		"Connections force-closed because the drain deadline expired with their request still in flight.")
+	mAcceptRetries = obs.Default.Counter("fafnet_signaling_accept_retries_total",
+		"Temporary accept failures survived by the accept loop's backoff.")
+)
+
+// Crash-recovery (audit replay) counters.
+var (
+	mReplayRecords = obs.Default.Counter("fafnet_signaling_replay_records_total",
+		"Audit records applied during a -recover replay (admits re-run plus releases re-applied).")
+	mReplaySkipped = obs.Default.Counter("fafnet_signaling_replay_skipped_total",
+		"Audit records skipped during a -recover replay (previews, rejections, and errored operations change no state).")
+)

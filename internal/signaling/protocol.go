@@ -34,6 +34,28 @@
 // Units on the wire are human-friendly (milliseconds, kbit) and carry their
 // unit in the field name; the engine's own records (e.g. the audit log) use
 // base seconds/bits instead.
+//
+// # Retry safety
+//
+// The protocol has no request ids or transactions, so retry safety is a
+// property of each operation, and [Client] enforces it:
+//
+//   - OpPreview, OpReport and OpBuffers are pure reads: safe to repeat any
+//     number of times.
+//   - OpRelease is idempotent by design — releasing an id that holds
+//     nothing succeeds with released=false. This makes release the
+//     universal resolver for ambiguity: one successful release round trip
+//     proves the id is not admitted, whatever happened before.
+//   - OpAdmit commits bandwidth on success, so a lost response is
+//     ambiguous: the decision may or may not have been made. A client may
+//     resend an admit only while every previous attempt is confirmed
+//     unsent (zero bytes reached the transport); beyond that point the
+//     failure must surface as [ErrPossiblyCommitted] and be resolved with
+//     a release, never a blind resend.
+//
+// An ok=false response is a delivered answer, not a transport failure:
+// repeating the request would repeat the same error, so no operation is
+// retried after one.
 package signaling
 
 import (
@@ -46,17 +68,22 @@ import (
 // Op names a request operation.
 type Op string
 
-// Supported operations.
+// Supported operations. Retry safety per op is documented in the package
+// comment ("Retry safety").
 const (
-	// OpAdmit runs the CAC and commits on success.
+	// OpAdmit runs the CAC and commits on success. NOT idempotent: resend
+	// only while confirmed unsent, resolve ambiguity with OpRelease.
 	OpAdmit Op = "admit"
-	// OpPreview runs the CAC without committing.
+	// OpPreview runs the CAC without committing. Idempotent.
 	OpPreview Op = "preview"
-	// OpRelease tears a connection down.
+	// OpRelease tears a connection down. Idempotent: releasing an unknown
+	// id succeeds with released=false.
 	OpRelease Op = "release"
 	// OpReport returns every admitted connection's worst-case delay.
+	// Idempotent (pure read).
 	OpReport Op = "report"
-	// OpBuffers returns Theorem 1 buffer requirements.
+	// OpBuffers returns Theorem 1 buffer requirements. Idempotent (pure
+	// read).
 	OpBuffers Op = "buffers"
 )
 

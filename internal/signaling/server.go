@@ -10,18 +10,38 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fafnet/internal/core"
 	"fafnet/internal/obs"
 )
 
+// acceptRetryMax bounds the backoff Serve applies after a temporary accept
+// failure (a transient fault or file-descriptor exhaustion), mirroring
+// net/http.Server's accept loop.
+const acceptRetryMax = time.Second
+
 // Server exposes a Controller over newline-delimited JSON. The controller
 // is not concurrency-safe, so the server serializes all operations behind a
 // mutex; each accepted TCP connection may issue any number of sequential
 // requests.
+//
+// The server keeps a registry of open connections, which is what makes
+// shutdown sound: Close force-closes everything immediately, Shutdown
+// drains gracefully — stops accepting, closes idle connections, waits for
+// in-flight requests to finish, and force-closes stragglers only when its
+// context expires.
 type Server struct {
 	mu  sync.Mutex
 	ctl *core.Controller
+
+	// IdleTimeout, when positive, bounds how long a connection may sit
+	// between requests (and how long one request may take to arrive in
+	// full) before the server closes it. WriteTimeout, when positive,
+	// bounds one response write. Both must be set before Serve; zero means
+	// no deadline, the pre-hardening behavior.
+	IdleTimeout  time.Duration
+	WriteTimeout time.Duration
 
 	// audit, when set, receives one record per admit/preview/release. An
 	// atomic pointer so SetAuditLog needs no lock ordering against s.mu.
@@ -30,6 +50,27 @@ type Server struct {
 	wg       sync.WaitGroup
 	listener net.Listener
 	closed   chan struct{}
+
+	// connMu guards the connection registry and the draining flag.
+	// Lock-order note: connMu is a leaf — nothing is acquired and no
+	// blocking operation runs while it is held.
+	connMu        sync.Mutex
+	conns         map[net.Conn]*connState
+	draining      bool
+	drainSignaled bool
+	drained       chan struct{} // closed once draining && registry empty
+
+	// testHookBeforeExecute, when non-nil, runs after a request is decoded
+	// (the connection is marked active) and before it executes. Tests use it
+	// to hold a request deterministically in flight; nil in production.
+	testHookBeforeExecute func()
+}
+
+// connState tracks one connection's position in the request cycle so a
+// draining server can tell idle connections (safe to close now) from ones
+// with a request in flight (worth waiting for).
+type connState struct {
+	active atomic.Bool // a request has been decoded and not yet answered
 }
 
 // NewServer wraps a controller.
@@ -37,10 +78,18 @@ func NewServer(ctl *core.Controller) (*Server, error) {
 	if ctl == nil {
 		return nil, errors.New("signaling: server requires a controller")
 	}
-	return &Server{ctl: ctl, closed: make(chan struct{})}, nil
+	return &Server{
+		ctl:     ctl,
+		closed:  make(chan struct{}),
+		conns:   make(map[net.Conn]*connState),
+		drained: make(chan struct{}),
+	}, nil
 }
 
-// Serve accepts connections on l until Close is called. It blocks.
+// Serve accepts connections on l until Close or Shutdown is called. It
+// blocks, returning nil after a clean shutdown once every handler has
+// exited. Temporary accept errors (in the net.Error sense) are retried with
+// exponential backoff instead of killing the server.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	if s.listener != nil {
@@ -49,6 +98,14 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 	s.listener = l
 	s.mu.Unlock()
+	if s.isDraining() {
+		// Shutdown ran before this listener was registered and so could not
+		// close it; finish the job here instead of accepting forever.
+		_ = l.Close()
+		s.wg.Wait()
+		return nil
+	}
+	var retryDelay time.Duration
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -57,9 +114,21 @@ func (s *Server) Serve(l net.Listener) error {
 				s.wg.Wait()
 				return nil
 			default:
-				return fmt.Errorf("signaling: accept: %w", err)
 			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() {
+				if retryDelay == 0 {
+					retryDelay = 5 * time.Millisecond
+				} else if retryDelay *= 2; retryDelay > acceptRetryMax {
+					retryDelay = acceptRetryMax
+				}
+				mAcceptRetries.Inc()
+				time.Sleep(retryDelay)
+				continue
+			}
+			return fmt.Errorf("signaling: accept: %w", err)
 		}
+		retryDelay = 0
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -80,32 +149,157 @@ func (s *Server) Addr() net.Addr {
 	return s.listener.Addr()
 }
 
-// Close stops accepting and closes the listener. In-flight requests finish.
+// Close stops the server immediately: it stops accepting, force-closes
+// every open connection (in-flight requests lose their response), and
+// returns once every handler has exited. For a graceful stop use Shutdown.
+// Close is idempotent and safe to call concurrently.
 func (s *Server) Close() error {
+	s.beginShutdown()
+	s.closeConns(func(*connState) bool { return true })
+	<-s.drained
+	return nil
+}
+
+// Shutdown drains the server: it stops accepting, closes idle connections,
+// lets in-flight requests finish (their handlers close the connection after
+// answering), and waits for the registry to empty. If ctx expires first the
+// remaining connections are force-closed — committed work is never rolled
+// back, but those clients lose their responses — and ctx's error is
+// returned. A nil error means every client got its answer.
+//
+// A connection that has received a request but not yet decoded it when
+// Shutdown starts counts as idle and is closed without an answer; the
+// retrying client treats that as a confirmed-unsent failure only if no
+// bytes of its request reached the wire (see ClientConfig).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.beginShutdown()
+	s.closeConns(func(st *connState) bool { return !st.active.Load() })
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+	}
+	n := s.closeConns(func(*connState) bool { return true })
+	mForceClosed.Add(uint64(n))
+	<-s.drained
+	return ctx.Err()
+}
+
+// beginShutdown marks the server draining, stops the accept loop, and
+// arranges the drained signal if no connections are open. Idempotent.
+func (s *Server) beginShutdown() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	select {
 	case <-s.closed:
-		return nil
 	default:
+		close(s.closed)
 	}
-	close(s.closed)
-	if s.listener != nil {
-		return s.listener.Close()
+	l := s.listener
+	s.mu.Unlock()
+	if l != nil {
+		// Idempotent on net listeners; unblocks Accept.
+		_ = l.Close()
 	}
-	return nil
+	s.connMu.Lock()
+	s.draining = true
+	signal := s.maybeDrainedLocked()
+	s.connMu.Unlock()
+	if signal {
+		close(s.drained)
+	}
+}
+
+// maybeDrainedLocked reports (once) that the drain completed. Caller holds
+// connMu and must close s.drained when true is returned — outside the lock.
+func (s *Server) maybeDrainedLocked() bool {
+	if s.draining && !s.drainSignaled && len(s.conns) == 0 {
+		s.drainSignaled = true
+		return true
+	}
+	return false
+}
+
+// closeConns closes every registered connection selected by pred and
+// returns how many it closed.
+func (s *Server) closeConns(pred func(*connState) bool) int {
+	s.connMu.Lock()
+	victims := make([]net.Conn, 0, len(s.conns))
+	for conn, st := range s.conns {
+		if pred(st) {
+			victims = append(victims, conn)
+		}
+	}
+	s.connMu.Unlock()
+	for _, conn := range victims {
+		// Unblocks the handler's pending Decode/Encode; the handler then
+		// deregisters itself, which is what moves the drain forward.
+		_ = conn.Close()
+	}
+	return len(victims)
+}
+
+// trackConn registers a new connection, refusing it when the server is
+// draining (the accept loop may race beginShutdown by one connection).
+func (s *Server) trackConn(conn net.Conn, st *connState) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.conns[conn] = st
+	gOpenConns.Set(float64(len(s.conns)))
+	return true
+}
+
+// forgetConn closes and deregisters a connection, signaling the drain when
+// it was the last one.
+func (s *Server) forgetConn(conn net.Conn) {
+	_ = conn.Close()
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	gOpenConns.Set(float64(len(s.conns)))
+	signal := s.maybeDrainedLocked()
+	s.connMu.Unlock()
+	if signal {
+		close(s.drained)
+	}
+}
+
+// isDraining reports whether shutdown has begun.
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.closed:
+		return true
+	default:
+		return false
+	}
 }
 
 // handle serves one client connection.
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
+	st := &connState{}
+	if !s.trackConn(conn, st) {
+		_ = conn.Close()
+		return
+	}
+	defer s.forgetConn(conn)
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
 	for {
+		if s.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			if errors.Is(err, io.EOF) {
 				return // clean client close
+			}
+			if isTimeout(err) {
+				mIdleClosed.Inc()
+				return // idle past the deadline; nothing to answer
+			}
+			if s.isDraining() {
+				return // our own shutdown close, not a client error
 			}
 			// Malformed JSON: answer with a structured error so scripted
 			// clients see what went wrong, then drop the connection — the
@@ -116,11 +310,30 @@ func (s *Server) handle(conn net.Conn) {
 			_ = enc.Encode(Response{Error: fmt.Sprintf("signaling: malformed request: %v", err)})
 			return
 		}
+		st.active.Store(true)
+		if s.testHookBeforeExecute != nil {
+			s.testHookBeforeExecute()
+		}
 		resp := s.execute(req)
-		if err := enc.Encode(resp); err != nil {
+		if s.WriteTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
+		err := enc.Encode(resp)
+		st.active.Store(false)
+		if err != nil {
+			return
+		}
+		if s.isDraining() {
+			// The drain let this request finish; don't take another.
 			return
 		}
 	}
+}
+
+// isTimeout reports whether err is an I/O deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // execute wraps executeOp with the per-op observability (request/error

@@ -149,11 +149,11 @@ func TestProtocolErrors(t *testing.T) {
 		t.Error("invalid source should error")
 	}
 	// Release without id.
-	if _, err := client.roundTrip(Request{Op: OpRelease}); err == nil {
+	if _, _, err := client.roundTrip(Request{Op: OpRelease}); err == nil {
 		t.Error("empty release should error")
 	}
 	// Unknown op.
-	if _, err := client.roundTrip(Request{Op: "dance"}); err == nil {
+	if _, _, err := client.roundTrip(Request{Op: "dance"}); err == nil {
 		t.Error("unknown op should error")
 	}
 	// The connection stays usable after an error.
