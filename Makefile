@@ -10,7 +10,7 @@ BENCH      ?= .
 BENCHTIME  ?= 1s
 BENCH_JSON ?= BENCH.json
 
-.PHONY: all build fmt vet sarif race test short bench chaos docs-check check clean
+.PHONY: all build fmt vet sarif lockgraph race test short bench chaos docs-check check clean
 
 all: build
 
@@ -29,10 +29,10 @@ $(FAFVET): FORCE
 FORCE:
 
 # Standard vet plus this repository's analyzer suite (unitcheck, floatcmp,
-# epslit, randsrc, flowdims, desorder, lockorder — see README "Static
-# analysis & unit conventions"). fafvet's driver mode re-invokes go vet
-# against itself, aggregates diagnostics across packages, and applies the
-# committed baseline of intended findings.
+# epslit, randsrc, flowdims, desorder, lockorder, guardedby, golife,
+# errdrop — see README "Static analysis & unit conventions"). fafvet's
+# driver mode re-invokes go vet against itself, aggregates diagnostics
+# across packages, and applies the committed baseline of intended findings.
 vet: $(FAFVET)
 	$(GO) vet ./...
 	./$(FAFVET) -baseline=.fafvet-baseline.json ./...
@@ -43,6 +43,13 @@ sarif: $(FAFVET)
 	@./$(FAFVET) -format=sarif -baseline=.fafvet-baseline.json -o fafvet.sarif ./...; \
 	ec=$$?; if [ $$ec -ne 0 ] && [ $$ec -ne 2 ]; then exit $$ec; fi
 	@echo "wrote fafvet.sarif"
+
+# Whole-program lock graph: lockorder's cross-package acquisition edges as
+# Graphviz, with cycle edges drawn red. The committed LOCKGRAPH.dot is the
+# figure DESIGN.md §4 references — regenerate after changing any locking.
+lockgraph: $(FAFVET)
+	./$(FAFVET) -format=dot -baseline=.fafvet-baseline.json -o LOCKGRAPH.dot ./...
+	@echo "wrote LOCKGRAPH.dot"
 
 race:
 	$(GO) test -race -short ./...

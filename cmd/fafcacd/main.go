@@ -134,10 +134,17 @@ func serve(ctx context.Context, cfg serveConfig, ready chan<- serveAddrs) error 
 		}
 		// Sync before Close so the tail survives whatever happens to the
 		// host right after we exit; on the happy path this runs after the
-		// drain below, when no more records can arrive.
+		// drain below, when no more records can arrive. A failure here
+		// cannot be returned (we are already unwinding), but it must not
+		// be silent either: the operator needs to know the tail may be
+		// short before trusting a replay.
 		defer func() {
-			_ = audit.Sync()
-			_ = audit.Close()
+			if err := audit.Sync(); err != nil {
+				fmt.Fprintln(os.Stderr, "fafcacd: audit log sync:", err)
+			}
+			if err := audit.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "fafcacd: audit log close:", err)
+			}
 		}()
 		srv.SetAuditLog(audit)
 	}
@@ -150,9 +157,17 @@ func serve(ctx context.Context, cfg serveConfig, ready chan<- serveAddrs) error 
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
-		defer ml.Close()
+		metricsDone := make(chan struct{})
+		defer func() {
+			// Closing the listener makes http.Serve return; waiting on the
+			// join channel means serve never leaves the metrics goroutine
+			// behind writing to a dead ring.
+			_ = ml.Close()
+			<-metricsDone
+		}()
 		addrs.Metrics = ml.Addr().String()
 		go func() {
+			defer close(metricsDone)
 			if err := http.Serve(ml, metricsMux(ring)); err != nil {
 				// The listener dying (e.g. at shutdown) must not kill the
 				// daemon; admission service continues without metrics.

@@ -113,14 +113,20 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 			return stop, err
 		}
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
-			cpuFile.Close()
+			if cerr := cpuFile.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "fafsim: cpuprofile:", cerr)
+			}
 			return stop, err
 		}
 	}
 	stop = func() {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
-			cpuFile.Close()
+			if err := cpuFile.Close(); err != nil {
+				// The profile on disk may be truncated; better a warning
+				// than a silently unusable pprof file.
+				fmt.Fprintln(os.Stderr, "fafsim: cpuprofile:", err)
+			}
 		}
 		if memPath == "" {
 			return
@@ -130,9 +136,11 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 			fmt.Fprintln(os.Stderr, "fafsim: memprofile:", err)
 			return
 		}
-		defer f.Close()
 		runtime.GC() // settle the heap so the snapshot shows live data
 		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fafsim: memprofile:", err)
+		}
+		if err := f.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "fafsim: memprofile:", err)
 		}
 	}
@@ -285,12 +293,18 @@ func printTable(xName string, xs []float64, series []sim.Series) {
 }
 
 // writeCSV stores the series in RFC-4180 form for external plotting.
-func writeCSV(path, xName string, xs []float64, series []sim.Series) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+func writeCSV(path, xName string, xs []float64, series []sim.Series) (err error) {
+	f, cerr := os.Create(path)
+	if cerr != nil {
+		return cerr
 	}
-	defer f.Close()
+	defer func() {
+		// Close is the last write on this path; its error is the caller's
+		// only signal that the CSV on disk is short.
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	w := csv.NewWriter(f)
 	header := []string{xName}
 	for _, s := range series {

@@ -75,7 +75,9 @@ func run(path string, duration float64, seed int64, random bool) error {
 
 	for _, a := range s.Actions {
 		if a.Release != "" {
-			ctl.Release(a.Release)
+			if !ctl.Release(a.Release) {
+				fmt.Printf("note: release of %s ignored; no such admitted connection\n", a.Release)
+			}
 			continue
 		}
 		spec, err := a.Admit.Spec()

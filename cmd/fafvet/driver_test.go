@@ -129,7 +129,7 @@ func TestDriverSARIFOutput(t *testing.T) {
 	for _, r := range run.Tool.Driver.Rules {
 		rules[r.ID] = true
 	}
-	for _, want := range []string{"unitcheck", "floatcmp", "epslit", "randsrc", "flowdims", "desorder", "lockorder"} {
+	for _, want := range []string{"unitcheck", "floatcmp", "epslit", "randsrc", "flowdims", "desorder", "lockorder", "guardedby", "golife", "errdrop"} {
 		if !rules[want] {
 			t.Errorf("rules are missing analyzer %q", want)
 		}
@@ -168,6 +168,42 @@ func TestDriverBaselineSuppressesKnownFindings(t *testing.T) {
 	}
 	if strings.TrimSpace(stdout) != "" {
 		t.Errorf("baselined run still printed findings:\n%s", stdout)
+	}
+}
+
+// TestDriverNewFindingFailsDespiteBaseline checks the ratchet's other jaw:
+// a baseline only waives the findings it lists — anything new still trips
+// the gate.
+func TestDriverNewFindingFailsDespiteBaseline(t *testing.T) {
+	bin := buildTool(t)
+	dir := writeModule(t, map[string]string{"internal/core/bad.go": `package core
+
+func SumA(delay, rateBps float64) float64 { return delay + rateBps }
+
+func SumB(delay, sizeBits float64) float64 { return delay + sizeBits }
+`})
+	baseline := `{
+  "findings": [
+    {
+      "analyzer": "unitcheck",
+      "file": "internal/core/bad.go",
+      "message": "cross-dimension addition: seconds + bits/second"
+    }
+  ]
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "baseline.json"), []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, code := runDriver(t, bin, dir, "-baseline=baseline.json")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (one finding is not baselined)\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "seconds + bits") {
+		t.Errorf("output does not contain the unbaselined finding:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "bits/second") {
+		t.Errorf("output still contains the baselined finding:\n%s", stdout)
 	}
 }
 
@@ -214,6 +250,63 @@ func Halve(delay float64) float64 { return delay / 2 }
 	}
 	if !strings.Contains(stdout, "unused //lint:allow floatcmp") {
 		t.Errorf("output does not report the unused suppression:\n%s", stdout)
+	}
+}
+
+// TestDriverDotOutput checks -format=dot: the lock graph lands on stdout as
+// a Graphviz digraph, edges completing a cycle are highlighted, ordinary
+// edges are not, and the cycle finding itself still gates the exit code (on
+// stderr, so stdout stays valid dot).
+func TestDriverDotOutput(t *testing.T) {
+	bin := buildTool(t)
+	dir := writeModule(t, map[string]string{"internal/signaling/locks.go": `package signaling
+
+import "sync"
+
+var a, b, c, d sync.Mutex
+
+func AB() {
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+}
+
+func BA() {
+	b.Lock()
+	a.Lock()
+	a.Unlock()
+	b.Unlock()
+}
+
+func CD() {
+	c.Lock()
+	d.Lock()
+	d.Unlock()
+	c.Unlock()
+}
+`})
+	stdout, stderr, code := runDriver(t, bin, dir, "-format=dot")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (the a/b cycle is still a finding)\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "inconsistent lock order") {
+		t.Errorf("stderr does not carry the cycle finding:\n%s", stderr)
+	}
+	if !strings.HasPrefix(stdout, "digraph lockgraph {") || !strings.HasSuffix(strings.TrimSpace(stdout), "}") {
+		t.Fatalf("stdout is not a dot digraph:\n%s", stdout)
+	}
+	for _, want := range []string{
+		`"signaling.a" -> "signaling.b" [color=red, penwidth=2.0];`,
+		`"signaling.b" -> "signaling.a" [color=red, penwidth=2.0];`,
+		`"signaling.c" -> "signaling.d";`,
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("dot output is missing %q:\n%s", want, stdout)
+		}
+	}
+	if strings.Contains(stdout, `"signaling.c" -> "signaling.d" [color=red`) {
+		t.Errorf("acyclic edge drawn as a cycle:\n%s", stdout)
 	}
 }
 

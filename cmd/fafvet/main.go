@@ -11,7 +11,7 @@
 //	bin/fafvet -baseline=.fafvet-baseline.json ./...
 //	bin/fafvet -format=sarif -o fafvet.sarif ./...
 //
-// It bundles seven analyzers that enforce the correctness conventions the Go
+// It bundles ten analyzers that enforce the correctness conventions the Go
 // type system cannot see (README "Static analysis & unit conventions"):
 //
 //	unitcheck  dimensional consistency of float64 seconds/bits/bps
@@ -20,7 +20,15 @@
 //	randsrc    no unseeded randomness or wall-clock reads in simulators
 //	flowdims   interprocedural unit dataflow via exported per-package facts
 //	desorder   no goroutines/channels/sleeps/global writes in DES handlers
-//	lockorder  consistent mutex ordering, no blocking calls under a lock
+//	lockorder  repo-wide lock-order cycles, no blocking calls under a lock
+//	guardedby  "guarded by <mu>" field annotations hold at every access
+//	golife     every goroutine has a provable stop path
+//	errdrop    no dropped errors on audit, deadline, flush or release calls
+//
+// The driver's -format=dot mode additionally dumps the whole-program lock
+// graph (lockorder's cross-package acquisition edges) as Graphviz:
+//
+//	bin/fafvet -format=dot -o LOCKGRAPH.dot ./...
 //
 // Individual analyzers can be disabled with -<name>=false. Findings are
 // suppressed in source with a justified comment (unused suppressions are
@@ -33,8 +41,11 @@ import (
 	"fafnet/internal/lint"
 	"fafnet/internal/lint/desorder"
 	"fafnet/internal/lint/epslit"
+	"fafnet/internal/lint/errdrop"
 	"fafnet/internal/lint/floatcmp"
 	"fafnet/internal/lint/flowdims"
+	"fafnet/internal/lint/golife"
+	"fafnet/internal/lint/guardedby"
 	"fafnet/internal/lint/lockorder"
 	"fafnet/internal/lint/randsrc"
 	"fafnet/internal/lint/unitcheck"
@@ -49,5 +60,8 @@ func main() {
 		flowdims.Analyzer,
 		desorder.Analyzer,
 		lockorder.Analyzer,
+		guardedby.Analyzer,
+		golife.Analyzer,
+		errdrop.Analyzer,
 	)
 }

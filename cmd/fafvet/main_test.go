@@ -152,6 +152,84 @@ func (s *Srv) Close() {
 `},
 			want: "WaitGroup.Wait while s.mu is held",
 		},
+		{
+			// guardedby needs two packages: the annotation on Table.Rows
+			// travels to the consumer as an exported fact.
+			name: "guardedby cross-package unlocked access",
+			files: map[string]string{
+				"internal/state/state.go": `package state
+
+import "sync"
+
+// Table is shared state with an exported guard.
+type Table struct {
+	Mu sync.Mutex
+	// Rows is the live row set. guarded by Mu.
+	Rows map[string]int
+}
+`,
+				"internal/user/user.go": `package user
+
+import "fafnet/internal/state"
+
+func Bad(t *state.Table) int { return t.Rows["x"] }
+`,
+			},
+			want: "accessed without holding",
+		},
+		{
+			name: "golife unjoined goroutine",
+			files: map[string]string{"internal/daemon/bad.go": `package daemon
+
+func Watch() {
+	go func() {
+		for {
+		}
+	}()
+}
+`},
+			want: "no provable stop path",
+		},
+		{
+			// errdrop matches obs.AuditLog by its module path, so the scratch
+			// module (named fafnet) can pose its own.
+			name: "errdrop dropped audit sync",
+			files: map[string]string{
+				"internal/obs/obs.go": `package obs
+
+// AuditLog poses as the real audit log.
+type AuditLog struct{}
+
+// Sync flushes.
+func (l *AuditLog) Sync() error { return nil }
+`,
+				"internal/daemon/bad.go": `package daemon
+
+import "fafnet/internal/obs"
+
+func Stop(l *obs.AuditLog) {
+	_ = l.Sync()
+}
+`,
+			},
+			want: "the error from (obs.AuditLog).Sync is dropped",
+		},
+		{
+			name: "errdrop dropped ring release",
+			files: map[string]string{"internal/fddi/bad.go": `package fddi
+
+// Ring poses as the bandwidth bookkeeper.
+type Ring struct{}
+
+// Release frees id's allocation.
+func (r *Ring) Release(id string) bool { return id != "" }
+
+func Drop(r *Ring) {
+	r.Release("c1")
+}
+`},
+			want: "the bool from fddi.Ring.Release is dropped",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

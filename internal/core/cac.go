@@ -127,7 +127,10 @@ type Decision struct {
 
 // Controller is the connection admission controller of Section 5. It owns
 // the admitted-connection set M and the per-ring synchronous-bandwidth
-// bookkeeping. Controller is not safe for concurrent use.
+// bookkeeping. Controller is not safe for concurrent use: callers provide
+// the serialization externally — signaling.Server holds its Controller in
+// a field annotated "guarded by mu" and fafvet's guardedby analyzer checks
+// every touch happens with that mutex held.
 type Controller struct {
 	net      *topo.Network
 	analyzer *Analyzer
@@ -189,9 +192,15 @@ func (c *Controller) Release(id string) bool {
 		return false
 	}
 	delete(c.conns, id)
-	c.net.Ring(conn.Src.Ring).Release(id)
+	if !c.net.Ring(conn.Src.Ring).Release(id) {
+		// The connection was admitted, so its ring allocation must exist;
+		// a miss means controller and ring bookkeeping have diverged.
+		mBookkeepingErrors.Inc()
+	}
 	if conn.Route.CrossesBackbone {
-		c.net.Ring(conn.Dst.Ring).Release(id)
+		if !c.net.Ring(conn.Dst.Ring).Release(id) {
+			mBookkeepingErrors.Inc()
+		}
 	}
 	c.analyzer.Forget(id)
 	mReleases.Inc()
@@ -471,7 +480,11 @@ func (c *Controller) commit(cand *Connection, a allocation) error {
 	}
 	if cand.Route.CrossesBackbone {
 		if err := c.net.Ring(cand.Dst.Ring).Allocate(cand.ID, a.hr); err != nil {
-			c.net.Ring(cand.Src.Ring).Release(cand.ID)
+			if !c.net.Ring(cand.Src.Ring).Release(cand.ID) {
+				// The sender allocation succeeded two lines up; failing to
+				// roll it back means the ring is charged for a phantom.
+				mBookkeepingErrors.Inc()
+			}
 			return fmt.Errorf("core: committing receiver allocation: %w", err)
 		}
 	}

@@ -47,6 +47,8 @@ var (
 		"Binary-search iterations across the feasibility and equal-delay searches.")
 	mReleases = obs.Default.Counter("fafnet_cac_releases_total",
 		"Connections released (admitted connections torn down).")
+	mBookkeepingErrors = obs.Default.Counter("fafnet_cac_bookkeeping_errors_total",
+		"Ring bandwidth releases that found no allocation to free — controller and ring state have diverged.")
 	gActive = obs.Default.Gauge("fafnet_cac_active_connections",
 		"Currently admitted connections.")
 

@@ -128,9 +128,9 @@ type Conn struct {
 	inner net.Conn
 	opts  Options
 
-	// mu guards rng: Read and Write may run on different goroutines, and
-	// rand.Rand is not concurrency-safe.
-	mu  sync.Mutex
+	mu sync.Mutex
+	// rng drives the fault stream; Read and Write may run on different
+	// goroutines, and rand.Rand is not concurrency-safe. guarded by mu.
 	rng *rand.Rand
 }
 

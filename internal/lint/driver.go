@@ -54,9 +54,9 @@ type BaselineEntry struct {
 // code. disabled lists analyzers to pass through as -name=false.
 func Driver(analyzers []*Analyzer, disabled []string, opts DriverOptions, patterns []string) int {
 	switch opts.Format {
-	case "", "text", "json", "sarif":
+	case "", "text", "json", "sarif", "dot":
 	default:
-		fmt.Fprintf(os.Stderr, "fafvet: unknown -format %q (want text, json or sarif)\n", opts.Format)
+		fmt.Fprintf(os.Stderr, "fafvet: unknown -format %q (want text, json, sarif or dot)\n", opts.Format)
 		return 1
 	}
 	if len(patterns) == 0 {
@@ -70,6 +70,11 @@ func Driver(analyzers []*Analyzer, disabled []string, opts DriverOptions, patter
 	args := []string{"vet", "-vettool=" + exe, "-emit=machine"}
 	for _, name := range disabled {
 		args = append(args, "-"+name+"=false")
+	}
+	if opts.Format == "dot" {
+		// A registered analyzer flag, not an environment variable, so the go
+		// command's action cache distinguishes edge-emitting runs.
+		args = append(args, "-lockgraph")
 	}
 	args = append(args, patterns...)
 	out, vetErr := exec.Command("go", args...).CombinedOutput()
@@ -90,6 +95,13 @@ func Driver(analyzers []*Analyzer, disabled []string, opts DriverOptions, patter
 	diags = dedupe(diags)
 	sortMachine(diags)
 
+	var edges [][2]string
+	if opts.Format == "dot" {
+		// Edge lines are data, not findings: pull them out before the
+		// baseline sees them.
+		diags, edges = splitEdges(diags)
+	}
+
 	if opts.Baseline != "" {
 		var err error
 		diags, err = applyBaseline(diags, opts.Baseline)
@@ -106,6 +118,13 @@ func Driver(analyzers []*Analyzer, disabled []string, opts DriverOptions, patter
 		rendered = append(rendered, '\n')
 	case "sarif":
 		rendered, err = renderSARIF(analyzers, diags)
+	case "dot":
+		rendered = renderDot(edges)
+		// Findings still gate the exit code; in dot mode they go to stderr
+		// so the graph on stdout stays valid Graphviz.
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", d.File, d.Line, d.Column, d.Message, d.Analyzer)
+		}
 	default:
 		var b strings.Builder
 		for _, d := range diags {
@@ -129,6 +148,80 @@ func Driver(analyzers []*Analyzer, disabled []string, opts DriverOptions, patter
 		return 2
 	}
 	return 0
+}
+
+// splitEdges separates lockorder's -lockgraph edge diagnostics from real
+// findings, deduplicating edges by (from, to) — a package and its test
+// variant re-report the same edge at the same position.
+func splitEdges(diags []MachineDiag) ([]MachineDiag, [][2]string) {
+	var rest []MachineDiag
+	seen := make(map[[2]string]bool)
+	var edges [][2]string
+	for _, d := range diags {
+		msg, ok := strings.CutPrefix(d.Message, LockGraphEdgePrefix)
+		if !ok || d.Analyzer != "lockorder" {
+			rest = append(rest, d)
+			continue
+		}
+		from, to, ok := strings.Cut(msg, " -> ")
+		if !ok {
+			rest = append(rest, d)
+			continue
+		}
+		e := [2]string{from, to}
+		if !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	return rest, edges
+}
+
+// renderDot renders the lock graph as a Graphviz digraph. Edges on a cycle
+// (the reverse direction is also reachable) are drawn red and bold, so the
+// deadlock candidates stand out in the figure.
+func renderDot(edges [][2]string) []byte {
+	succ := make(map[string][]string)
+	for _, e := range edges {
+		succ[e[0]] = append(succ[e[0]], e[1])
+	}
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{from: true}
+		queue := []string{from}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			if n == to {
+				return true
+			}
+			for _, next := range succ[n] {
+				if !seen[next] {
+					seen[next] = true
+					queue = append(queue, next)
+				}
+			}
+		}
+		return false
+	}
+	var b strings.Builder
+	b.WriteString("digraph lockgraph {\n")
+	b.WriteString("\trankdir=LR;\n")
+	b.WriteString("\tnode [shape=box, fontname=\"monospace\"];\n")
+	for _, e := range edges {
+		if reaches(e[1], e[0]) {
+			fmt.Fprintf(&b, "\t%q -> %q [color=red, penwidth=2.0];\n", e[0], e[1])
+		} else {
+			fmt.Fprintf(&b, "\t%q -> %q;\n", e[0], e[1])
+		}
+	}
+	b.WriteString("}\n")
+	return []byte(b.String())
 }
 
 // parseMachineOutput splits go vet output into machine diagnostics and the

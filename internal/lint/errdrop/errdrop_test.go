@@ -1,0 +1,23 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"fafnet/internal/lint/errdrop"
+	"fafnet/internal/lint/linttest"
+)
+
+func TestErrdrop(t *testing.T) {
+	linttest.Run(t, errdrop.Analyzer, "testdata/e", "fafnet/internal/errdroptestdata")
+}
+
+// TestWaiver checks a justified //lint:allow errdrop comment suppresses the
+// finding (no want comments in the fixture: the run must be silent).
+func TestWaiver(t *testing.T) {
+	linttest.Run(t, errdrop.Analyzer, "testdata/waive", "fafnet/internal/errdropwaive")
+}
+
+// TestOutOfModule checks the analyzer is inert outside the module.
+func TestOutOfModule(t *testing.T) {
+	linttest.RunExpectNone(t, errdrop.Analyzer, "testdata/e", "example.com/external/e")
+}

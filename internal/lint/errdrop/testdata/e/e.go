@@ -1,0 +1,85 @@
+// Package e exercises the errdrop analyzer: deadline setters, write-path
+// file handles, module Release bools, the three drop shapes, and the
+// checked-call counterexamples.
+package e
+
+import (
+	"net"
+	"os"
+	"time"
+)
+
+// Ring mimics the module's bandwidth-release shape.
+type Ring struct{}
+
+// Release frees connID's allocation, reporting whether it was held.
+func (r *Ring) Release(connID string) bool { return connID != "" }
+
+// Deadlines shows the three drop shapes on deadline setters.
+func Deadlines(c net.Conn) error {
+	_ = c.SetReadDeadline(time.Now()) // want `the error from SetReadDeadline is dropped`
+	c.SetWriteDeadline(time.Now())    // want `the error from SetWriteDeadline is dropped`
+	defer c.SetDeadline(time.Time{})  // want `the error from SetDeadline is dropped`
+	if err := c.SetDeadline(time.Now()); err != nil {
+		return err // checked: fine
+	}
+	return nil
+}
+
+// Releases drops and checks the bookkeeping bool.
+func Releases(r *Ring) bool {
+	r.Release("c1")     // want `the bool from errdroptestdata\.Ring\.Release is dropped`
+	_ = r.Release("c2") // want `the bool from errdroptestdata\.Ring\.Release is dropped`
+	return r.Release("c3")
+}
+
+// Files opens for writing, then drops the flush.
+func Files(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `the error from \(\*os\.File\)\.Close on a file this function opened for writing is dropped`
+	if _, err := f.WriteString("x"); err != nil {
+		return err
+	}
+	_ = f.Sync() // want `the error from \(\*os\.File\)\.Sync on a file this function opened for writing is dropped`
+	return nil
+}
+
+// Appended uses the two-value os.OpenFile form and a closure.
+func Appended(path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	cleanup := func() {
+		f.Close() // want `the error from \(\*os\.File\)\.Close on a file this function opened for writing is dropped`
+	}
+	cleanup()
+	return nil
+}
+
+// ReadPath files are out of scope: Close-on-read loses nothing.
+func ReadPath(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return err
+}
+
+// Checked closes a write-path file properly.
+func Checked(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("x"); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,12 @@
+package e
+
+import (
+	"net"
+	"time"
+)
+
+// Test files are out of errdrop's scope: this drop draws no diagnostic
+// (the harness would flag an unexpected one — there is no want comment).
+func dropInTest(c net.Conn) {
+	_ = c.SetDeadline(time.Now())
+}

@@ -1,0 +1,19 @@
+// Package w holds the waiver fixture on its own: the out-of-module run of
+// the main testdata must stay silent, and an allow comment there would be
+// reported as stale once the analyzer goes inert.
+package w
+
+import "os"
+
+// Waived drops a write-path Close deliberately, with the reason in-place.
+func Waived(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, werr := f.WriteString("x"); werr != nil {
+		f.Close() //lint:allow errdrop the write error already reports the failure
+		return werr
+	}
+	return f.Close()
+}

@@ -1,0 +1,23 @@
+package golife_test
+
+import (
+	"testing"
+
+	"fafnet/internal/lint/golife"
+	"fafnet/internal/lint/linttest"
+)
+
+func TestGolife(t *testing.T) {
+	linttest.Run(t, golife.Analyzer, "testdata/gl", "fafnet/internal/golifetestdata")
+}
+
+// TestWaiver checks a justified //lint:allow golife comment suppresses the
+// finding (no want comments in the fixture: the run must be silent).
+func TestWaiver(t *testing.T) {
+	linttest.Run(t, golife.Analyzer, "testdata/waive", "fafnet/internal/golifewaive")
+}
+
+// TestOutOfModule checks the analyzer is inert outside the module.
+func TestOutOfModule(t *testing.T) {
+	linttest.RunExpectNone(t, golife.Analyzer, "testdata/gl", "example.com/external/gl")
+}

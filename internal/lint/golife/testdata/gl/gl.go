@@ -1,0 +1,116 @@
+// Package gl exercises the golife analyzer: joined goroutines, channel and
+// cancellation stop paths, transitive evidence through same-package helpers,
+// leaks, dynamic spawns and waivers.
+package gl
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Joined is the canonical pattern: the spawner waits on the group.
+func Joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Pool ranges over a channel: the loop ends when the producer closes it.
+func Pool(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// Cancelable selects on a done channel.
+func Cancelable(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// Signals closes a channel on exit: a peer observes completion.
+func Signals() chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		defer close(ch)
+	}()
+	return ch
+}
+
+// Sender reports completion with a send.
+func Sender() chan error {
+	ch := make(chan error, 1)
+	go func() {
+		ch <- nil
+	}()
+	return ch
+}
+
+// worker has a stop path (receive) of its own.
+func worker(stop chan struct{}) {
+	<-stop
+}
+
+// relay only has one transitively, through worker.
+func relay(stop chan struct{}) {
+	worker(stop)
+}
+
+// Spawns proves evidence flows through same-package calls.
+func Spawns(stop chan struct{}) {
+	go worker(stop)
+	go relay(stop)
+}
+
+// spin never stops.
+func spin() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// mutualA and mutualB only call each other; the cycle is not a stop path.
+func mutualA() { mutualB() }
+func mutualB() { mutualA() }
+
+// Leaks collects the failure shapes.
+func Leaks(f func()) {
+	go func() { // want `goroutine has no provable stop path`
+		for {
+		}
+	}()
+	go func() { // want `goroutine has no provable stop path`
+		time.Sleep(time.Second)
+	}()
+	go spin()        // want `goroutine runs spin, which has no provable stop path`
+	go mutualA()     // want `goroutine runs mutualA, which has no provable stop path`
+	go fmt.Println() // want `goroutine runs Println, which is outside this package`
+	go f()           // want `goroutine spawns a dynamic function value`
+}
+
+// Nested: the child goroutine's channel traffic is not evidence for the
+// parent, which has none of its own.
+func Nested(ch chan int) {
+	go func() { // want `goroutine has no provable stop path`
+		go func() {
+			ch <- 1
+		}()
+		for {
+		}
+	}()
+}

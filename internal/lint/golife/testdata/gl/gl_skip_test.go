@@ -1,0 +1,10 @@
+package gl
+
+// Test files are out of golife's scope: this leak draws no diagnostic (the
+// harness would flag an unexpected one — there is no want comment here).
+func leakInTest() {
+	go func() {
+		for {
+		}
+	}()
+}

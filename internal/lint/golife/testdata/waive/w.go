@@ -1,0 +1,15 @@
+// Package w holds the waiver fixture on its own: the out-of-module run of
+// the main testdata must stay silent, and an allow comment there would be
+// reported as stale once the analyzer goes inert.
+package w
+
+// spin never stops.
+func spin() {
+	for {
+	}
+}
+
+// Waived is intentionally process-lifetime and says so.
+func Waived() {
+	go spin() //lint:allow golife heartbeat runs for the process lifetime by design
+}

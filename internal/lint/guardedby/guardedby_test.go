@@ -1,0 +1,17 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"fafnet/internal/lint/guardedby"
+	"fafnet/internal/lint/linttest"
+)
+
+func TestGuardedby(t *testing.T) {
+	linttest.Run(t, guardedby.Analyzer, "testdata/g", "fafnet/internal/guardtestdata")
+}
+
+// TestOutOfModule checks the annotations are inert outside the module.
+func TestOutOfModule(t *testing.T) {
+	linttest.RunExpectNone(t, guardedby.Analyzer, "testdata/g", "example.com/external/g")
+}

@@ -1,0 +1,542 @@
+// Package heldset is the shared dataflow engine of the concurrency analyzers
+// (lockorder, guardedby). It provides two things:
+//
+//   - resolution helpers that identify sync.Mutex/RWMutex operations and the
+//     variable or field object behind a lock expression, so every instance
+//     path (s.mu in one method, srv.mu in another) names the same lock;
+//   - a statement-order walker that tracks the set of held mutexes through a
+//     function body — branches merge conservatively (intersection), deferred
+//     unlocks keep the lock held for the rest of the body, goroutine bodies
+//     start with an empty held set — and reports each interesting event
+//     (acquire, re-entry, blocking operation, call, variable use) to analyzer
+//     hooks together with the held set at that point.
+//
+// The analyzers differ only in what they do at those events: lockorder
+// records acquisition edges and blocking-under-lock, guardedby checks
+// annotated field accesses against the held set.
+package heldset
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Held maps each held mutex object to the display name it was locked under
+// (s.mu, reg.mu). Hooks must treat it as read-only.
+type Held map[*types.Var]string
+
+// Clone returns an independent copy of h.
+func (h Held) Clone() Held {
+	c := make(Held, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// Sorted returns the held display names in deterministic order.
+func (h Held) Sorted() []string {
+	var names []string
+	for _, n := range h {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+// Config parameterizes one walk. All hooks are optional.
+type Config struct {
+	Info *types.Info
+
+	// OnAcquire fires for m.Lock/m.RLock of a mutex not currently held, with
+	// the held set before mv is added.
+	OnAcquire func(call *ast.CallExpr, mv *types.Var, display string, held Held)
+	// OnReenter fires when an already-held mutex is locked again; the held set
+	// stays unchanged.
+	OnReenter func(call *ast.CallExpr, mv *types.Var, display, heldAs string)
+	// OnBlocking fires on a potentially-parking operation (channel send or
+	// receive, select without default, WaitGroup.Wait, net Accept, time.Sleep).
+	OnBlocking func(pos token.Pos, what string, held Held)
+	// OnCall fires for calls that are neither mutex operations nor recognized
+	// blocking calls — the place to apply callee summaries.
+	OnCall func(call *ast.CallExpr, held Held)
+	// OnUse fires for every identifier or field selection that resolves to a
+	// variable, with the held set at the access. Both reads and writes fire.
+	OnUse func(x ast.Expr, v *types.Var, held Held)
+	// OnGo fires for each go statement; the spawned literal's body is then
+	// walked with a fresh empty held set.
+	OnGo func(g *ast.GoStmt)
+
+	// WalkDeferredClosures walks `defer func(){...}()` bodies with the held
+	// set at the defer statement (the common cleanup-under-lock shape).
+	// lockorder leaves this off: a deferred unlock-then-use sequence would
+	// otherwise read as lock-order evidence from a state that never executes.
+	WalkDeferredClosures bool
+	// WalkStoredClosures walks function literals that are stored rather than
+	// invoked (assigned, passed as arguments) with an empty held set, since
+	// nothing is known about the caller's locks when they eventually run.
+	WalkStoredClosures bool
+}
+
+// Walk runs the held-set dataflow over one function body starting from the
+// given held set (nil means empty). initial is not mutated.
+func Walk(cfg *Config, body *ast.BlockStmt, initial Held) {
+	if initial == nil {
+		initial = Held{}
+	}
+	w := &walker{cfg: cfg, held: initial.Clone()}
+	w.block(body)
+}
+
+// MutexOp recognizes m.Lock / m.RLock / m.Unlock / m.RUnlock calls on a
+// sync.Mutex or sync.RWMutex and resolves the mutex's identity (field or
+// variable object).
+func MutexOp(info *types.Info, call *ast.CallExpr) (*types.Var, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	if recv := ReceiverNamed(fn); recv != "Mutex" && recv != "RWMutex" {
+		return nil, ""
+	}
+	return ResolveVar(info, sel.X), fn.Name()
+}
+
+// ReceiverNamed returns the name of a method's receiver type, or "".
+func ReceiverNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// ResolveVar identifies the variable or field object behind an expression
+// (mu, s.mu, a.b.mu).
+func ResolveVar(info *types.Info, x ast.Expr) *types.Var {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[x].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			v, _ := sel.Obj().(*types.Var)
+			return v
+		}
+		// Qualified package-level variable (pkg.Var).
+		v, _ := info.Uses[x.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// BlockingCall names the blocking operation a call performs, or "".
+func BlockingCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Sleep" {
+			return "time.Sleep"
+		}
+	case "sync":
+		if fn.Name() == "Wait" {
+			return ReceiverNamed(fn) + ".Wait"
+		}
+	case "net":
+		if fn.Name() == "Accept" {
+			return "net Accept"
+		}
+	}
+	return ""
+}
+
+// HasDefaultClause reports whether a select body contains a default clause
+// (making the select non-blocking).
+func HasDefaultClause(body *ast.BlockStmt) bool {
+	for _, cc := range body.List {
+		if c, ok := cc.(*ast.CommClause); ok && c.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// InspectSkippingGo visits body without descending into goroutine bodies
+// (they run on their own stack, with their own held set).
+func InspectSkippingGo(body ast.Node, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			// Visit the call's arguments (evaluated on this stack) but not
+			// the spawned function literal's body.
+			for _, arg := range g.Call.Args {
+				InspectSkippingGo(arg, visit)
+			}
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// ExprDisplay renders a (selector) expression for diagnostics: s.mu.Lock →
+// "s.mu", srv.Close → "srv.Close".
+func ExprDisplay(x ast.Expr) string {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if base := ExprDisplay(x.X); base != "" {
+			return base + "." + x.Sel.Name
+		}
+		return x.Sel.Name
+	}
+	return "<expr>"
+}
+
+// walker tracks the held-mutex set through one function body in statement
+// order.
+type walker struct {
+	cfg  *Config
+	held Held
+	// terminated marks a branch that returned/branched out; merges skip it.
+	terminated bool
+}
+
+func (w *walker) clone() *walker {
+	return &walker{cfg: w.cfg, held: w.held.Clone()}
+}
+
+// mergeBranches replaces held with the intersection of the surviving
+// branches (plus the fallthrough state, if any — the path that took no
+// branch).
+func (w *walker) mergeBranches(branches []*walker, fallthroughState Held) {
+	var live []Held
+	for _, b := range branches {
+		if !b.terminated {
+			live = append(live, b.held)
+		}
+	}
+	if fallthroughState != nil {
+		live = append(live, fallthroughState)
+	}
+	if len(live) == 0 {
+		w.terminated = true
+		return
+	}
+	merged := make(Held)
+	for k, v := range live[0] {
+		inAll := true
+		for _, other := range live[1:] {
+			if _, ok := other[k]; !ok {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			merged[k] = v
+		}
+	}
+	w.held = merged
+}
+
+func (w *walker) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		if w.terminated {
+			return
+		}
+		w.stmt(s)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.expr(r)
+		}
+		for _, l := range s.Lhs {
+			w.expr(l)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+		w.blockingOp(s.Arrow, "channel send")
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	case *ast.DeferStmt:
+		// A deferred Unlock releases at return; for order tracking the lock
+		// stays held through the remainder of the body, which is exactly
+		// what leaving the held set untouched models. Other deferred calls
+		// do not run here.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok && w.cfg.WalkDeferredClosures {
+			for _, arg := range s.Call.Args {
+				w.expr(arg)
+			}
+			d := w.clone()
+			d.block(lit.Body)
+		}
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			w.expr(arg)
+		}
+		if w.cfg.OnGo != nil {
+			w.cfg.OnGo(s)
+		}
+		// The spawned body runs on its own stack with nothing held.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			g := &walker{cfg: w.cfg, held: Held{}}
+			g.block(lit.Body)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r)
+		}
+		w.terminated = true
+	case *ast.BranchStmt:
+		w.terminated = true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.expr(s.Cond)
+		body := w.clone()
+		body.block(s.Body)
+		branches := []*walker{body}
+		var fallthroughState Held
+		if s.Else != nil {
+			els := w.clone()
+			els.stmt(s.Else)
+			branches = append(branches, els)
+		} else {
+			fallthroughState = w.held
+		}
+		w.mergeBranches(branches, fallthroughState)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond)
+		}
+		body := w.clone()
+		body.block(s.Body)
+		if s.Post != nil && !body.terminated {
+			body.stmt(s.Post)
+		}
+		// Held set after a loop: conservative, what we held going in.
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		if t := w.cfg.Info.Types[s.X].Type; t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				w.blockingOp(s.For, "channel receive (range)")
+			}
+		}
+		body := w.clone()
+		body.block(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		w.caseClauses(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.caseClauses(s.Body)
+	case *ast.SelectStmt:
+		// A select with a default clause never parks the goroutine.
+		if !HasDefaultClause(s.Body) {
+			w.blockingOp(s.Pos(), "select")
+		}
+		w.caseClauses(s.Body)
+	case *ast.BlockStmt:
+		w.block(s)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	}
+}
+
+// caseClauses walks each clause body on a clone and merges the survivors;
+// the pre state rides along as the implicit no-case-taken path.
+func (w *walker) caseClauses(body *ast.BlockStmt) {
+	var branches []*walker
+	for _, cc := range body.List {
+		b := w.clone()
+		switch cc := cc.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				b.expr(e)
+			}
+			for _, s := range cc.Body {
+				if b.terminated {
+					break
+				}
+				b.stmt(s)
+			}
+		case *ast.CommClause:
+			// The comm statement's channel op is part of the select itself
+			// (already reported, or non-blocking under a default clause), so
+			// only the clause body is walked.
+			for _, s := range cc.Body {
+				if b.terminated {
+					break
+				}
+				b.stmt(s)
+			}
+		}
+		branches = append(branches, b)
+	}
+	w.mergeBranches(branches, w.held)
+}
+
+// expr walks an expression in evaluation order, handling calls, channel
+// receives and variable uses.
+func (w *walker) expr(x ast.Expr) {
+	switch x := x.(type) {
+	case *ast.ParenExpr:
+		w.expr(x.X)
+	case *ast.UnaryExpr:
+		w.expr(x.X)
+		if x.Op == token.ARROW {
+			w.blockingOp(x.OpPos, "channel receive")
+		}
+	case *ast.BinaryExpr:
+		w.expr(x.X)
+		w.expr(x.Y)
+	case *ast.StarExpr:
+		w.expr(x.X)
+	case *ast.SelectorExpr:
+		w.expr(x.X)
+		w.use(x)
+	case *ast.Ident:
+		w.use(x)
+	case *ast.IndexExpr:
+		w.expr(x.X)
+		w.expr(x.Index)
+	case *ast.SliceExpr:
+		w.expr(x.X)
+	case *ast.TypeAssertExpr:
+		w.expr(x.X)
+	case *ast.KeyValueExpr:
+		w.expr(x.Value)
+	case *ast.CompositeLit:
+		for _, e := range x.Elts {
+			w.expr(e)
+		}
+	case *ast.CallExpr:
+		for _, a := range x.Args {
+			w.expr(a)
+		}
+		switch fun := ast.Unparen(x.Fun).(type) {
+		case *ast.SelectorExpr:
+			w.expr(fun.X)
+		case *ast.FuncLit:
+			// Immediately-invoked literal: its body runs right here, with
+			// whatever is currently held.
+			w.block(fun.Body)
+		}
+		w.call(x)
+	case *ast.FuncLit:
+		// A literal that is not (statically) invoked here: its body runs
+		// later, under unknown locks. Calls through stored closures are
+		// beyond the order/summary machinery; analyzers that check accesses
+		// can opt into a conservative empty-held walk.
+		if w.cfg.WalkStoredClosures {
+			g := &walker{cfg: w.cfg, held: Held{}}
+			g.block(x.Body)
+		}
+	}
+}
+
+// use reports a variable or field access to the OnUse hook.
+func (w *walker) use(x ast.Expr) {
+	if w.cfg.OnUse == nil {
+		return
+	}
+	if v := ResolveVar(w.cfg.Info, x); v != nil {
+		w.cfg.OnUse(x, v, w.held)
+	}
+}
+
+// call applies the lock semantics of one call with the current held set.
+func (w *walker) call(call *ast.CallExpr) {
+	if mv, op := MutexOp(w.cfg.Info, call); mv != nil {
+		// MutexOp guarantees Fun is a selector; display the receiver chain
+		// (s.mu), not the method.
+		display := ExprDisplay(ast.Unparen(call.Fun).(*ast.SelectorExpr).X)
+		switch op {
+		case "Lock", "RLock":
+			if heldAs, ok := w.held[mv]; ok {
+				if w.cfg.OnReenter != nil {
+					w.cfg.OnReenter(call, mv, display, heldAs)
+				}
+				return
+			}
+			if w.cfg.OnAcquire != nil {
+				w.cfg.OnAcquire(call, mv, display, w.held)
+			}
+			w.held[mv] = display
+		case "Unlock", "RUnlock":
+			delete(w.held, mv)
+		}
+		return
+	}
+	if b := BlockingCall(w.cfg.Info, call); b != "" {
+		w.blockingOp(call.Pos(), b)
+		return
+	}
+	if w.cfg.OnCall != nil {
+		w.cfg.OnCall(call, w.held)
+	}
+}
+
+func (w *walker) blockingOp(pos token.Pos, what string) {
+	if w.cfg.OnBlocking != nil {
+		w.cfg.OnBlocking(pos, what, w.held)
+	}
+}

@@ -1,17 +1,27 @@
-// Package lockorder defines a call-graph-based lock-acquisition checker for
-// the concurrent packages (the signaling server and its daemon). It walks
-// each function in statement order tracking the set of held mutexes, follows
-// same-package calls through transitive acquisition summaries, and reports
-// three classes of deadlock risk the race detector can only find if a test
-// happens to interleave badly:
+// Package lockorder defines the repo-wide lock-acquisition checker. It walks
+// each function in statement order tracking the set of held mutexes (via the
+// shared heldset engine), follows same-package calls through transitive
+// acquisition summaries and cross-package calls through exported facts, and
+// reports three classes of deadlock risk the race detector can only find if a
+// test happens to interleave badly:
 //
 //   - inconsistent order: mutex B acquired while A is held in one place and
-//     A while B is held in another;
+//     A while B is held in another — including longer cycles assembled from
+//     edges in several packages;
 //   - re-entry: a mutex (re)acquired — directly or through a callee — while
 //     already held (sync.Mutex is not reentrant);
 //   - held-across-blocking: a blocking operation (channel send/receive,
 //     select, sync.WaitGroup.Wait, net Accept, time.Sleep) reached with a
 //     mutex held, stalling every contender for as long as the peer takes.
+//
+// Every lock is given a canonical name ("signaling.Server.mu",
+// "obs.AuditLog.mu") so acquisition edges compose across packages: each
+// package exports its accumulated edge set as a fact, downstream packages
+// union it with their own edges, and cycle detection runs over the combined
+// graph. The -lockgraph flag additionally emits every locally-recorded edge
+// as a machine-parseable diagnostic, which the standalone driver's
+// -format=dot mode assembles into a Graphviz dump of the whole-program lock
+// graph.
 package lockorder
 
 import (
@@ -22,7 +32,16 @@ import (
 	"strings"
 
 	"fafnet/internal/lint"
+	"fafnet/internal/lint/heldset"
 )
+
+// emitGraph is set by the -lockgraph flag: emit one "lockgraph-edge: A -> B"
+// diagnostic per locally-recorded acquisition edge.
+var emitGraph bool
+
+// EdgePrefix introduces the machine-parseable edge diagnostics emitted under
+// -lockgraph; the driver's -format=dot mode filters and parses them.
+const EdgePrefix = lint.LockGraphEdgePrefix
 
 // Analyzer reports inconsistent mutex orderings and mutex-held blocking
 // calls.
@@ -30,41 +49,53 @@ var Analyzer = &lint.Analyzer{
 	Name: "lockorder",
 	Doc: `flag inconsistent mutex acquisition orders and blocking calls under a lock
 
-Within internal/signaling and cmd/fafcacd the analyzer tracks, per function
-and in statement order, which sync.Mutex/RWMutex objects are held (keyed by
-field or variable identity, so s.mu in one method and srv.mu in another are
-the same lock). Same-package calls contribute their transitive acquisitions.
-It reports opposite-order acquisition pairs, re-entrant locking, and
-channel operations, selects, WaitGroup.Wait, net Accept and time.Sleep
-executed while a mutex is held. Branches merge conservatively
-(intersection), and goroutine bodies start with an empty held set.`,
-	Run: run,
+Across the whole module the analyzer tracks, per function and in statement
+order, which sync.Mutex/RWMutex objects are held (keyed by field or variable
+identity, so s.mu in one method and srv.mu in another are the same lock).
+Same-package calls contribute their transitive acquisitions; calls into other
+module packages contribute the acquisition and blocking facts those packages
+exported. It reports opposite-order acquisition pairs (including multi-edge
+cycles through the combined cross-package edge graph), re-entrant locking,
+and channel operations, selects, WaitGroup.Wait, net Accept and time.Sleep
+executed while a mutex is held. Branches merge conservatively (intersection),
+and goroutine bodies start with an empty held set.`,
+	Run:          run,
+	ExportsFacts: true,
+	Flags: []lint.BoolFlag{{
+		Name:  "lockgraph",
+		Usage: "emit lock-acquisition edges as diagnostics (used by -format=dot)",
+		Value: &emitGraph,
+	}},
 }
 
-// scopes are the package-path prefixes the lock discipline covers.
-var scopes = []string{
-	"fafnet/internal/signaling",
-	"fafnet/cmd/fafcacd",
+// funcFact is the exported per-function summary: the canonical names of every
+// mutex the function may (transitively) acquire, and whether it may block.
+type funcFact struct {
+	Acquires []string `json:"acquires,omitempty"`
+	Blocks   bool     `json:"blocks,omitempty"`
+}
+
+// edgeFact is one acquisition-order edge in canonical names: To was acquired
+// while From was held.
+type edgeFact struct {
+	From string `json:"from"`
+	To   string `json:"to"`
 }
 
 func run(pass *lint.Pass) error {
 	p := pass.Pkg.Path()
-	inScope := false
-	for _, s := range scopes {
-		if p == s || strings.HasPrefix(p, s+"/") {
-			inScope = true
-			break
-		}
-	}
-	if !inScope {
+	if p != lint.ModulePath && !strings.HasPrefix(p, lint.ModulePath+"/") {
 		return nil
 	}
 	c := &checker{
-		pass:     pass,
-		decls:    make(map[*types.Func]*ast.FuncDecl),
-		acquires: make(map[*types.Func]map[*types.Var]bool),
-		blocks:   make(map[*types.Func]bool),
-		edges:    make(map[[2]*types.Var]*edge),
+		pass:      pass,
+		decls:     make(map[*types.Func]*ast.FuncDecl),
+		acquires:  make(map[*types.Func]map[*types.Var]bool),
+		acquiresX: make(map[*types.Func]map[string]bool),
+		blocks:    make(map[*types.Func]bool),
+		edges:     make(map[[2]string]*edge),
+		imported:  make(map[[2]string]bool),
+		canon:     make(map[*types.Var]string),
 	}
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
@@ -75,6 +106,7 @@ func run(pass *lint.Pass) error {
 			}
 		}
 	}
+	c.importEdges()
 	c.summarize()
 	// Walk bodies in source order so the "first" edge per mutex pair is the
 	// lexically earliest one, independent of map iteration order.
@@ -84,15 +116,19 @@ func run(pass *lint.Pass) error {
 	}
 	sort.Slice(fds, func(i, j int) bool { return fds[i].Pos() < fds[j].Pos() })
 	for _, fd := range fds {
-		w := &walker{c: c, held: make(map[*types.Var]string)}
-		w.block(fd.Body)
+		c.fnName = fd.Name.Name
+		heldset.Walk(c.walkConfig(), fd.Body, nil)
 	}
 	c.reportCycles()
+	c.exportFacts()
+	if emitGraph {
+		c.emitEdges()
+	}
 	return nil
 }
 
-// edge records one observed acquisition order: to was acquired while from
-// was held.
+// edge records one locally observed acquisition order: to was acquired while
+// from was held.
 type edge struct {
 	pos        token.Pos
 	fromD, toD string // display names at the recording site
@@ -103,37 +139,162 @@ type checker struct {
 	decls map[*types.Func]*ast.FuncDecl
 
 	// acquires is the transitive set of mutexes each same-package function
-	// may lock; blocks marks functions that may execute a blocking
-	// operation. Both exclude goroutine bodies (they run on their own
-	// stack, with their own held set).
-	acquires map[*types.Func]map[*types.Var]bool
-	blocks   map[*types.Func]bool
+	// may lock; acquiresX the canonical names acquired through calls into
+	// other module packages (known only by their exported facts); blocks
+	// marks functions that may execute a blocking operation. All exclude
+	// goroutine bodies (they run on their own stack, with their own held
+	// set).
+	acquires  map[*types.Func]map[*types.Var]bool
+	acquiresX map[*types.Func]map[string]bool
+	blocks    map[*types.Func]bool
 
-	edges map[[2]*types.Var]*edge
+	// edges holds locally recorded acquisition edges keyed by canonical name
+	// pair; imported holds edges learned from dependency facts (no local
+	// position).
+	edges    map[[2]string]*edge
+	imported map[[2]string]bool
+
+	canon  map[*types.Var]string
+	fnName string // function currently being walked, for local-lock names
+}
+
+// importEdges unions the edge sets every module dependency exported.
+func (c *checker) importEdges() {
+	for _, imp := range c.pass.Pkg.Imports() {
+		path := imp.Path()
+		if path != lint.ModulePath && !strings.HasPrefix(path, lint.ModulePath+"/") {
+			continue
+		}
+		var edges []edgeFact
+		if c.pass.ImportFact(path, "edges", &edges) {
+			for _, e := range edges {
+				c.imported[[2]string{e.From, e.To}] = true
+			}
+		}
+	}
+}
+
+// shortPkg abbreviates a module package path for canonical lock names:
+// fafnet/internal/signaling → signaling, fafnet/cmd/fafcacd → fafcacd.
+func shortPkg(path string) string {
+	for _, prefix := range []string{lint.ModulePath + "/internal/", lint.ModulePath + "/cmd/", lint.ModulePath + "/"} {
+		if rest, ok := strings.CutPrefix(path, prefix); ok {
+			return strings.ReplaceAll(rest, "/", ".")
+		}
+	}
+	return path
+}
+
+// canonical names a mutex object stably across packages: pkg.Type.field for
+// struct fields, pkg.var for package-level variables, pkg.func.var for
+// locals (which cannot be referenced cross-package, but still appear in the
+// lock graph).
+func (c *checker) canonical(v *types.Var) string {
+	if s, ok := c.canon[v]; ok {
+		return s
+	}
+	s := c.computeCanonical(v)
+	c.canon[v] = s
+	return s
+}
+
+func (c *checker) computeCanonical(v *types.Var) string {
+	pkg := v.Pkg()
+	if pkg == nil {
+		return v.Name()
+	}
+	short := shortPkg(pkg.Path())
+	if v.IsField() {
+		if owner := fieldOwner(pkg, v); owner != "" {
+			return short + "." + owner + "." + v.Name()
+		}
+		return short + "." + v.Name()
+	}
+	if v.Parent() == pkg.Scope() {
+		return short + "." + v.Name()
+	}
+	// A local: qualify with the enclosing function when known. Locals are
+	// only ever named while walking their own package.
+	if pkg == c.pass.Pkg && c.fnName != "" {
+		return short + "." + c.fnName + "." + v.Name()
+	}
+	return short + "." + v.Name()
+}
+
+// fieldOwner finds the package-scope named struct type declaring field v.
+func fieldOwner(pkg *types.Package, v *types.Var) string {
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return tn.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// factFor looks up the exported summary of a function in another module
+// package.
+func (c *checker) factFor(fn *types.Func) (funcFact, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil || pkg == c.pass.Pkg {
+		return funcFact{}, false
+	}
+	path := pkg.Path()
+	if path != lint.ModulePath && !strings.HasPrefix(path, lint.ModulePath+"/") {
+		return funcFact{}, false
+	}
+	key := fn.Name()
+	if recv := heldset.ReceiverNamed(fn); recv != "" {
+		key = recv + "." + fn.Name()
+	}
+	var ff funcFact
+	ok := c.pass.ImportFact(path, key, &ff)
+	return ff, ok
 }
 
 // summarize computes direct acquisition/blocking facts per function, then
-// closes them over the same-package call graph.
+// closes them over the same-package call graph. Calls into other module
+// packages contribute the canonical acquisitions and blocking flag from
+// their exported facts.
 func (c *checker) summarize() {
+	info := c.pass.TypesInfo
 	callees := make(map[*types.Func]map[*types.Func]bool)
 	for fn, fd := range c.decls {
 		acq := make(map[*types.Var]bool)
+		acqX := make(map[string]bool)
 		calls := make(map[*types.Func]bool)
 		blocks := false
-		inspectSkippingGo(fd.Body, func(n ast.Node) {
+		heldset.InspectSkippingGo(fd.Body, func(n ast.Node) {
 			switch n := n.(type) {
 			case *ast.CallExpr:
-				if mv, op := c.mutexOp(n); mv != nil && (op == "Lock" || op == "RLock") {
+				if mv, op := heldset.MutexOp(info, n); mv != nil && (op == "Lock" || op == "RLock") {
 					acq[mv] = true
 				} else if g := c.calleeIn(n); g != nil {
 					calls[g] = true
-				} else if c.blockingCall(n) != "" {
+				} else if ff, ok := c.importedCallee(n); ok {
+					for _, a := range ff.Acquires {
+						acqX[a] = true
+					}
+					if ff.Blocks {
+						blocks = true
+					}
+				} else if heldset.BlockingCall(info, n) != "" {
 					blocks = true
 				}
 			case *ast.SendStmt:
 				blocks = true
 			case *ast.SelectStmt:
-				if !hasDefaultClause(n.Body) {
+				if !heldset.HasDefaultClause(n.Body) {
 					blocks = true
 				}
 			case *ast.UnaryExpr:
@@ -143,6 +304,7 @@ func (c *checker) summarize() {
 			}
 		})
 		c.acquires[fn] = acq
+		c.acquiresX[fn] = acqX
 		c.blocks[fn] = blocks
 		callees[fn] = calls
 	}
@@ -156,6 +318,12 @@ func (c *checker) summarize() {
 						changed = true
 					}
 				}
+				for a := range c.acquiresX[g] {
+					if !c.acquiresX[fn][a] {
+						c.acquiresX[fn][a] = true
+						changed = true
+					}
+				}
 				if c.blocks[g] && !c.blocks[fn] {
 					c.blocks[fn] = true
 					changed = true
@@ -165,100 +333,10 @@ func (c *checker) summarize() {
 	}
 }
 
-// hasDefaultClause reports whether a select body contains a default clause
-// (making the select non-blocking).
-func hasDefaultClause(body *ast.BlockStmt) bool {
-	for _, cc := range body.List {
-		if c, ok := cc.(*ast.CommClause); ok && c.Comm == nil {
-			return true
-		}
-	}
-	return false
-}
-
-// inspectSkippingGo visits body without descending into goroutine bodies.
-func inspectSkippingGo(body ast.Node, visit func(ast.Node)) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		if g, ok := n.(*ast.GoStmt); ok {
-			// Visit the call's arguments (evaluated on this stack) but not
-			// the spawned function literal's body.
-			for _, arg := range g.Call.Args {
-				inspectSkippingGo(arg, visit)
-			}
-			return false
-		}
-		if n != nil {
-			visit(n)
-		}
-		return true
-	})
-}
-
-// mutexOp recognizes m.Lock / m.RLock / m.Unlock / m.RUnlock calls on a
-// sync.Mutex or sync.RWMutex and resolves the mutex's identity (field or
-// variable object, so every instance path names the same lock).
-func (c *checker) mutexOp(call *ast.CallExpr) (*types.Var, string) {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return nil, ""
-	}
-	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return nil, ""
-	}
-	switch fn.Name() {
-	case "Lock", "RLock", "Unlock", "RUnlock":
-	default:
-		return nil, ""
-	}
-	if recv := receiverNamed(fn); recv != "Mutex" && recv != "RWMutex" {
-		return nil, ""
-	}
-	return c.resolveVar(sel.X), fn.Name()
-}
-
-func receiverNamed(fn *types.Func) string {
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return ""
-	}
-	t := sig.Recv().Type()
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	if n, ok := t.(*types.Named); ok {
-		return n.Obj().Name()
-	}
-	return ""
-}
-
-// resolveVar identifies the variable or field object behind a mutex
-// expression (mu, s.mu, a.b.mu).
-func (c *checker) resolveVar(x ast.Expr) *types.Var {
-	switch x := ast.Unparen(x).(type) {
-	case *ast.Ident:
-		v, _ := c.pass.TypesInfo.Uses[x].(*types.Var)
-		return v
-	case *ast.SelectorExpr:
-		if sel, ok := c.pass.TypesInfo.Selections[x]; ok {
-			v, _ := sel.Obj().(*types.Var)
-			return v
-		}
-	}
-	return nil
-}
-
 // calleeIn resolves a call to a function declared in this package.
 func (c *checker) calleeIn(call *ast.CallExpr) *types.Func {
-	var obj types.Object
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		obj = c.pass.TypesInfo.Uses[fun]
-	case *ast.SelectorExpr:
-		obj = c.pass.TypesInfo.Uses[fun.Sel]
-	}
-	fn, ok := obj.(*types.Func)
-	if !ok {
+	fn := calleeFunc(c.pass.TypesInfo, call)
+	if fn == nil {
 		return nil
 	}
 	if _, ok := c.decls[fn]; !ok {
@@ -267,387 +345,295 @@ func (c *checker) calleeIn(call *ast.CallExpr) *types.Func {
 	return fn
 }
 
-// blockingCall names the blocking operation a call performs, or "".
-func (c *checker) blockingCall(call *ast.CallExpr) string {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return ""
+// importedCallee resolves a call to a function in another module package and
+// returns its exported summary, if any.
+func (c *checker) importedCallee(call *ast.CallExpr) (funcFact, bool) {
+	fn := calleeFunc(c.pass.TypesInfo, call)
+	if fn == nil {
+		return funcFact{}, false
 	}
-	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	if !ok || fn.Pkg() == nil {
-		return ""
-	}
-	switch fn.Pkg().Path() {
-	case "time":
-		if fn.Name() == "Sleep" {
-			return "time.Sleep"
-		}
-	case "sync":
-		if fn.Name() == "Wait" {
-			return receiverNamed(fn) + ".Wait"
-		}
-	case "net":
-		if fn.Name() == "Accept" {
-			return "net Accept"
-		}
-	}
-	return ""
+	return c.factFor(fn)
 }
 
-// walker tracks the held-mutex set through one function body in statement
-// order.
-type walker struct {
-	c *checker
-	// held maps each held mutex to the display name it was locked under.
-	held map[*types.Var]string
-	// terminated marks a branch that returned/branched out; merges skip it.
-	terminated bool
-}
-
-func (w *walker) clone() *walker {
-	h := make(map[*types.Var]string, len(w.held))
-	for k, v := range w.held {
-		h[k] = v
-	}
-	return &walker{c: w.c, held: h}
-}
-
-// mergeBranches replaces held with the intersection of the surviving
-// branches (plus none if every branch terminated — then the pre state
-// passed as fallthrough applies).
-func (w *walker) mergeBranches(branches []*walker, fallthroughState map[*types.Var]string) {
-	var live []map[*types.Var]string
-	for _, b := range branches {
-		if !b.terminated {
-			live = append(live, b.held)
-		}
-	}
-	if fallthroughState != nil {
-		live = append(live, fallthroughState)
-	}
-	if len(live) == 0 {
-		w.terminated = true
-		return
-	}
-	merged := make(map[*types.Var]string)
-	for k, v := range live[0] {
-		inAll := true
-		for _, other := range live[1:] {
-			if _, ok := other[k]; !ok {
-				inAll = false
-				break
-			}
-		}
-		if inAll {
-			merged[k] = v
-		}
-	}
-	w.held = merged
-}
-
-func (w *walker) block(b *ast.BlockStmt) {
-	for _, s := range b.List {
-		if w.terminated {
-			return
-		}
-		w.stmt(s)
-	}
-}
-
-func (w *walker) stmt(s ast.Stmt) {
-	switch s := s.(type) {
-	case *ast.ExprStmt:
-		w.expr(s.X)
-	case *ast.AssignStmt:
-		for _, r := range s.Rhs {
-			w.expr(r)
-		}
-		for _, l := range s.Lhs {
-			w.expr(l)
-		}
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, sp := range gd.Specs {
-				if vs, ok := sp.(*ast.ValueSpec); ok {
-					for _, v := range vs.Values {
-						w.expr(v)
-					}
-				}
-			}
-		}
-	case *ast.SendStmt:
-		w.expr(s.Chan)
-		w.expr(s.Value)
-		w.blockingOp(s.Arrow, "channel send")
-	case *ast.IncDecStmt:
-		w.expr(s.X)
-	case *ast.DeferStmt:
-		// A deferred Unlock releases at return; for order tracking the lock
-		// stays held through the remainder of the body, which is exactly
-		// what leaving the held set untouched models. Other deferred calls
-		// do not run here.
-	case *ast.GoStmt:
-		for _, arg := range s.Call.Args {
-			w.expr(arg)
-		}
-		// The spawned body runs on its own stack with nothing held.
-		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
-			g := &walker{c: w.c, held: make(map[*types.Var]string)}
-			g.block(lit.Body)
-		}
-	case *ast.ReturnStmt:
-		for _, r := range s.Results {
-			w.expr(r)
-		}
-		w.terminated = true
-	case *ast.BranchStmt:
-		w.terminated = true
-	case *ast.IfStmt:
-		if s.Init != nil {
-			w.stmt(s.Init)
-		}
-		w.expr(s.Cond)
-		body := w.clone()
-		body.block(s.Body)
-		branches := []*walker{body}
-		var fallthroughState map[*types.Var]string
-		if s.Else != nil {
-			els := w.clone()
-			els.stmt(s.Else)
-			branches = append(branches, els)
-		} else {
-			fallthroughState = w.held
-		}
-		w.mergeBranches(branches, fallthroughState)
-	case *ast.ForStmt:
-		if s.Init != nil {
-			w.stmt(s.Init)
-		}
-		if s.Cond != nil {
-			w.expr(s.Cond)
-		}
-		body := w.clone()
-		body.block(s.Body)
-		if s.Post != nil && !body.terminated {
-			body.stmt(s.Post)
-		}
-		// Held set after a loop: conservative, what we held going in.
-	case *ast.RangeStmt:
-		w.expr(s.X)
-		if t := w.c.pass.TypesInfo.Types[s.X].Type; t != nil {
-			if _, ok := t.Underlying().(*types.Chan); ok {
-				w.blockingOp(s.For, "channel receive (range)")
-			}
-		}
-		body := w.clone()
-		body.block(s.Body)
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			w.stmt(s.Init)
-		}
-		if s.Tag != nil {
-			w.expr(s.Tag)
-		}
-		w.caseClauses(s.Body)
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			w.stmt(s.Init)
-		}
-		w.caseClauses(s.Body)
-	case *ast.SelectStmt:
-		// A select with a default clause never parks the goroutine.
-		if !hasDefaultClause(s.Body) {
-			w.blockingOp(s.Pos(), "select")
-		}
-		w.caseClauses(s.Body)
-	case *ast.BlockStmt:
-		w.block(s)
-	case *ast.LabeledStmt:
-		w.stmt(s.Stmt)
-	}
-}
-
-// caseClauses walks each clause body on a clone and merges the survivors;
-// the pre state rides along as the implicit no-case-taken path.
-func (w *walker) caseClauses(body *ast.BlockStmt) {
-	var branches []*walker
-	for _, cc := range body.List {
-		b := w.clone()
-		switch cc := cc.(type) {
-		case *ast.CaseClause:
-			for _, e := range cc.List {
-				b.expr(e)
-			}
-			for _, s := range cc.Body {
-				if b.terminated {
-					break
-				}
-				b.stmt(s)
-			}
-		case *ast.CommClause:
-			// The comm statement's channel op is part of the select itself
-			// (already reported, or non-blocking under a default clause), so
-			// only the clause body is walked.
-			for _, s := range cc.Body {
-				if b.terminated {
-					break
-				}
-				b.stmt(s)
-			}
-		}
-		branches = append(branches, b)
-	}
-	w.mergeBranches(branches, w.held)
-}
-
-// expr walks an expression in evaluation order, handling calls and channel
-// receives.
-func (w *walker) expr(x ast.Expr) {
-	switch x := x.(type) {
-	case *ast.ParenExpr:
-		w.expr(x.X)
-	case *ast.UnaryExpr:
-		w.expr(x.X)
-		if x.Op == token.ARROW {
-			w.blockingOp(x.OpPos, "channel receive")
-		}
-	case *ast.BinaryExpr:
-		w.expr(x.X)
-		w.expr(x.Y)
-	case *ast.StarExpr:
-		w.expr(x.X)
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
 	case *ast.SelectorExpr:
-		w.expr(x.X)
-	case *ast.IndexExpr:
-		w.expr(x.X)
-		w.expr(x.Index)
-	case *ast.SliceExpr:
-		w.expr(x.X)
-	case *ast.TypeAssertExpr:
-		w.expr(x.X)
-	case *ast.KeyValueExpr:
-		w.expr(x.Value)
-	case *ast.CompositeLit:
-		for _, e := range x.Elts {
-			w.expr(e)
-		}
-	case *ast.CallExpr:
-		for _, a := range x.Args {
-			w.expr(a)
-		}
-		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
-			w.expr(sel.X)
-		}
-		w.call(x)
-	case *ast.FuncLit:
-		// A literal that is not (statically) invoked here: its body runs
-		// later; analyzed separately only via go statements. Calls through
-		// stored closures are beyond this checker.
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// walkConfig wires the shared held-set walker to this checker's reporting.
+func (c *checker) walkConfig() *heldset.Config {
+	return &heldset.Config{
+		Info: c.pass.TypesInfo,
+		OnReenter: func(call *ast.CallExpr, mv *types.Var, display, heldAs string) {
+			c.pass.Reportf(call.Pos(), "%s acquired while %s is already held; sync mutexes are not reentrant — this deadlocks at runtime", display, heldAs)
+		},
+		OnAcquire: func(call *ast.CallExpr, mv *types.Var, display string, held heldset.Held) {
+			for hv, heldAs := range held {
+				c.recordEdge(c.canonical(hv), c.canonical(mv), heldAs, display, call.Pos())
+			}
+		},
+		OnBlocking: func(pos token.Pos, what string, held heldset.Held) {
+			for _, heldAs := range held.Sorted() {
+				c.pass.Reportf(pos, "%s while %s is held; a blocked peer keeps the lock and stalls every contender", what, heldAs)
+			}
+		},
+		OnCall: func(call *ast.CallExpr, held heldset.Held) {
+			c.applyCallee(call, held)
+		},
 	}
 }
 
-// call applies the lock semantics of one call with the current held set.
-func (w *walker) call(call *ast.CallExpr) {
-	c := w.c
-	if mv, op := c.mutexOp(call); mv != nil {
-		// mutexOp guarantees Fun is a selector; display the receiver chain
-		// (s.mu), not the method.
-		display := exprDisplay(ast.Unparen(call.Fun).(*ast.SelectorExpr).X)
-		switch op {
-		case "Lock", "RLock":
-			if heldAs, ok := w.held[mv]; ok {
-				c.pass.Reportf(call.Pos(), "%s acquired while %s is already held; sync mutexes are not reentrant — this deadlocks at runtime", display, heldAs)
-				return
-			}
-			for hv, heldAs := range w.held {
-				c.recordEdge(hv, mv, heldAs, display, call.Pos())
-			}
-			w.held[mv] = display
-		case "Unlock", "RUnlock":
-			delete(w.held, mv)
-		}
-		return
-	}
-	if b := c.blockingCall(call); b != "" {
-		w.blockingOp(call.Pos(), b)
-		return
-	}
+// applyCallee applies a callee's (transitive) acquisition and blocking
+// summary — from same-package declarations or cross-package facts — to the
+// current held set.
+func (c *checker) applyCallee(call *ast.CallExpr, held heldset.Held) {
+	var (
+		acqVars map[*types.Var]bool
+		acqStrs map[string]bool
+		blocks  bool
+	)
 	if g := c.calleeIn(call); g != nil {
-		display := exprDisplay(call.Fun)
-		for hv, heldAs := range w.held {
-			for acq := range c.acquires[g] {
-				if acq == hv {
-					c.pass.Reportf(call.Pos(), "call to %s (re)acquires %s, which is already held here; sync mutexes are not reentrant — this deadlocks at runtime", display, heldAs)
-					continue
-				}
-				c.recordEdge(hv, acq, heldAs, display+"'s "+acq.Name(), call.Pos())
+		acqVars, acqStrs, blocks = c.acquires[g], c.acquiresX[g], c.blocks[g]
+	} else if ff, ok := c.importedCallee(call); ok {
+		acqStrs = make(map[string]bool, len(ff.Acquires))
+		for _, a := range ff.Acquires {
+			acqStrs[a] = true
+		}
+		blocks = ff.Blocks
+	} else {
+		return
+	}
+	display := heldset.ExprDisplay(call.Fun)
+	for hv, heldAs := range held {
+		hc := c.canonical(hv)
+		for acq := range acqVars {
+			if acq == hv {
+				c.pass.Reportf(call.Pos(), "call to %s (re)acquires %s, which is already held here; sync mutexes are not reentrant — this deadlocks at runtime", display, heldAs)
+				continue
 			}
-			if c.blocks[g] {
-				c.pass.Reportf(call.Pos(), "call to %s may block while %s is held; every contender for the lock stalls until it returns", display, heldAs)
+			c.recordEdge(hc, c.canonical(acq), heldAs, display+"'s "+acq.Name(), call.Pos())
+		}
+		for acq := range acqStrs {
+			if acq == hc {
+				c.pass.Reportf(call.Pos(), "call to %s (re)acquires %s, which is already held here; sync mutexes are not reentrant — this deadlocks at runtime", display, heldAs)
+				continue
 			}
+			c.recordEdge(hc, acq, heldAs, acq, call.Pos())
+		}
+		if blocks {
+			c.pass.Reportf(call.Pos(), "call to %s may block while %s is held; every contender for the lock stalls until it returns", display, heldAs)
 		}
 	}
-}
-
-func (w *walker) blockingOp(pos token.Pos, what string) {
-	for _, heldAs := range sortedHeld(w.held) {
-		w.c.pass.Reportf(pos, "%s while %s is held; a blocked peer keeps the lock and stalls every contender", what, heldAs)
-	}
-}
-
-// sortedHeld returns held display names in deterministic order.
-func sortedHeld(held map[*types.Var]string) []string {
-	var names []string
-	for _, n := range held {
-		names = append(names, n)
-	}
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && names[j] < names[j-1]; j-- {
-			names[j], names[j-1] = names[j-1], names[j]
-		}
-	}
-	return names
 }
 
 // recordEdge notes that `to` was acquired while `from` was held, keeping
 // the first observation per ordered pair.
-func (c *checker) recordEdge(from, to *types.Var, fromD, toD string, pos token.Pos) {
-	key := [2]*types.Var{from, to}
+func (c *checker) recordEdge(from, to string, fromD, toD string, pos token.Pos) {
+	key := [2]string{from, to}
 	if prev, ok := c.edges[key]; ok && prev.pos <= pos {
 		return
 	}
 	c.edges[key] = &edge{pos: pos, fromD: fromD, toD: toD}
 }
 
-// reportCycles reports each pair of mutexes acquired in both orders, once,
-// anchored at the lexically earlier edge.
+// reportCycles reports every acquisition cycle in the combined local +
+// imported edge graph, once per cycle, anchored at the lexically earliest
+// local edge. The two-edge case keeps the classic "opposite order" message;
+// longer cycles — possible once edges compose across packages — spell out
+// the path.
 func (c *checker) reportCycles() {
-	for key, e := range c.edges {
-		rev, ok := c.edges[[2]*types.Var{key[1], key[0]}]
-		if !ok {
+	// Deterministic adjacency: sorted nodes, sorted successors.
+	succ := make(map[string][]string)
+	addEdge := func(from, to string) {
+		succ[from] = append(succ[from], to)
+	}
+	for key := range c.edges {
+		addEdge(key[0], key[1])
+	}
+	for key := range c.imported {
+		if _, dup := c.edges[key]; !dup {
+			addEdge(key[0], key[1])
+		}
+	}
+	for _, tos := range succ {
+		sort.Strings(tos)
+	}
+
+	var keys [][2]string
+	for key := range c.edges {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, key := range keys {
+		e := c.edges[key]
+		path := shortestPath(succ, key[1], key[0])
+		if path == nil {
 			continue
 		}
-		if e.pos > rev.pos {
-			continue // report from the earlier site only
+		// The full cycle is e plus the return path. Report it only from the
+		// lexically earliest local edge so each cycle appears once.
+		cycle := append([][2]string{key}, pairs(path)...)
+		earliest := e.pos
+		for _, ck := range cycle {
+			if le, ok := c.edges[ck]; ok && le.pos < earliest {
+				earliest = le.pos
+			}
 		}
-		other := c.pass.Fset.Position(rev.pos)
-		c.pass.Reportf(e.pos, "inconsistent lock order: %s acquired while %s is held here, but the opposite order appears at %s; concurrent callers can deadlock", e.toD, e.fromD, other)
+		if earliest != e.pos {
+			continue
+		}
+		if len(path) == 2 { // direct two-edge cycle: path is [to, from]
+			rev := [2]string{key[1], key[0]}
+			if le, ok := c.edges[rev]; ok {
+				other := c.pass.Fset.Position(le.pos)
+				c.pass.Reportf(e.pos, "inconsistent lock order: %s acquired while %s is held here, but the opposite order appears at %s; concurrent callers can deadlock", e.toD, e.fromD, other)
+			} else {
+				c.pass.Reportf(e.pos, "inconsistent lock order: %s acquired while %s is held here, but the opposite order is established in a dependency package (%s -> %s); concurrent callers can deadlock", e.toD, e.fromD, key[1], key[0])
+			}
+			continue
+		}
+		c.pass.Reportf(e.pos, "lock-order cycle: %s -> %s; concurrent callers can deadlock", key[0], strings.Join(path, " -> "))
 	}
 }
 
-// exprDisplay renders a (selector) expression for diagnostics: s.mu.Lock →
-// "s.mu", srv.Close → "srv.Close".
-func exprDisplay(x ast.Expr) string {
-	switch x := ast.Unparen(x).(type) {
-	case *ast.Ident:
-		return x.Name
-	case *ast.SelectorExpr:
-		if base := exprDisplay(x.X); base != "" {
-			// For mutex ops the interesting path is the receiver chain
-			// without the method name; callers pass fun.X or fun as fits.
-			return base + "." + x.Sel.Name
-		}
-		return x.Sel.Name
+// shortestPath returns the node sequence from `from` to `to` (inclusive of
+// both) over succ, or nil. BFS over sorted successors keeps it deterministic.
+func shortestPath(succ map[string][]string, from, to string) []string {
+	if from == to {
+		return []string{from}
 	}
-	return "<expr>"
+	prev := map[string]string{from: ""}
+	queue := []string{from}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, m := range succ[n] {
+			if _, seen := prev[m]; seen {
+				continue
+			}
+			prev[m] = n
+			if m == to {
+				var path []string
+				for at := to; at != ""; at = prev[at] {
+					path = append(path, at)
+					if at == from {
+						break
+					}
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, m)
+		}
+	}
+	return nil
+}
+
+// pairs converts a node path to its edge list.
+func pairs(path []string) [][2]string {
+	var out [][2]string
+	for i := 0; i+1 < len(path); i++ {
+		out = append(out, [2]string{path[i], path[i+1]})
+	}
+	return out
+}
+
+// exportFacts publishes the per-function acquisition summaries (exported
+// functions and methods on exported types only — nothing else is callable
+// from downstream packages) and the package's accumulated edge set.
+func (c *checker) exportFacts() {
+	var fns []*types.Func
+	for fn := range c.decls {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Name() < fns[j].Name() })
+	for _, fn := range fns {
+		if !fn.Exported() {
+			continue
+		}
+		key := fn.Name()
+		if recv := heldset.ReceiverNamed(fn); recv != "" {
+			if !token.IsExported(recv) {
+				continue
+			}
+			key = recv + "." + fn.Name()
+		}
+		var acq []string
+		for mv := range c.acquires[fn] {
+			acq = append(acq, c.canonical(mv))
+		}
+		for a := range c.acquiresX[fn] {
+			acq = append(acq, a)
+		}
+		acq = dedupeSorted(acq)
+		if len(acq) == 0 && !c.blocks[fn] {
+			continue
+		}
+		_ = c.pass.ExportFact(key, funcFact{Acquires: acq, Blocks: c.blocks[fn]})
+	}
+
+	all := make(map[[2]string]bool, len(c.edges)+len(c.imported))
+	for key := range c.edges {
+		all[key] = true
+	}
+	for key := range c.imported {
+		all[key] = true
+	}
+	if len(all) == 0 {
+		return
+	}
+	var out []edgeFact
+	for key := range all {
+		out = append(out, edgeFact{From: key[0], To: key[1]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	_ = c.pass.ExportFact("edges", out)
+}
+
+func dedupeSorted(ss []string) []string {
+	sort.Strings(ss)
+	var out []string
+	for _, s := range ss {
+		if len(out) == 0 || out[len(out)-1] != s {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// emitEdges reports every locally-recorded edge as a machine-parseable
+// diagnostic for the driver's -format=dot mode.
+func (c *checker) emitEdges() {
+	var keys [][2]string
+	for key := range c.edges {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, key := range keys {
+		c.pass.Reportf(c.edges[key].pos, "%s%s -> %s", EdgePrefix, key[0], key[1])
+	}
 }

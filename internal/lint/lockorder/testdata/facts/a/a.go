@@ -1,0 +1,21 @@
+// Package a is the upstream half of the cross-package facts test: it owns an
+// exported mutex and exports functions whose acquisition/blocking behavior
+// downstream packages can only learn through lockorder's facts.
+package a
+
+import "sync"
+
+// M is the package lock.
+var M sync.Mutex
+
+// Grab takes and releases the package lock.
+func Grab() {
+	M.Lock()
+	M.Unlock()
+}
+
+// Park blocks on a WaitGroup.
+func Park() {
+	var wg sync.WaitGroup
+	wg.Wait()
+}

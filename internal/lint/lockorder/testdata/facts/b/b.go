@@ -1,0 +1,28 @@
+// Package b is the downstream half of the cross-package facts test: it calls
+// into package a under its own lock, which lockorder must flag using only
+// a's exported facts.
+package b
+
+import (
+	"sync"
+
+	a "fafnet/internal/afake"
+)
+
+var mu sync.Mutex
+
+// UnderLock calls into package a with the local lock held: Grab records the
+// cross-package acquisition edge, Park blocks under the lock.
+func UnderLock() {
+	mu.Lock()
+	a.Grab()
+	a.Park()
+	mu.Unlock()
+}
+
+// Reenter re-acquires a.M through Grab while already holding it directly.
+func Reenter() {
+	a.M.Lock()
+	a.Grab()
+	a.M.Unlock()
+}

@@ -149,6 +149,29 @@ func spawn(p *pair) {
 	p.a.Unlock()
 }
 
+// badCloser is the shutdown hazard that lived in signaling's race_test.go
+// behind a committed baseline waiver through PR 5: Close holds mu across
+// wg.Wait, so a worker that needs mu to finish can never let Wait return.
+// It is a want-test now — the analyzer must catch it without a waiver.
+type badCloser struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	n  int
+}
+
+func (b *badCloser) finishWorker() {
+	defer b.wg.Done()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func (b *badCloser) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.wg.Wait() // want `WaitGroup\.Wait while b\.mu is held`
+}
+
 type cache struct {
 	rw sync.RWMutex
 	m  map[string]int

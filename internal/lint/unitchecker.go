@@ -81,12 +81,15 @@ func Main(analyzers ...*Analyzer) {
 	printVersion := flag.String("V", "", "print version and exit (-V=full)")
 	printFlags := flag.Bool("flags", false, "print analyzer flags in JSON")
 	emit := flag.String("emit", "text", `diagnostic format on stderr: "text" or "machine"`)
-	format := flag.String("format", "text", `driver-mode output format: "text", "json" or "sarif"`)
+	format := flag.String("format", "text", `driver-mode output format: "text", "json", "sarif" or "dot" (lock graph)`)
 	output := flag.String("o", "", "driver-mode output file (default stdout)")
 	baseline := flag.String("baseline", "", "driver-mode baseline JSON of accepted findings")
 	enabled := make(map[string]*bool)
 	for _, a := range analyzers {
 		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+firstLine(a.Doc))
+		for _, f := range a.Flags {
+			flag.BoolVar(f.Value, f.Name, false, f.Usage)
+		}
 	}
 	flag.Parse()
 
@@ -191,6 +194,9 @@ func flagsJSON(analyzers []*Analyzer) {
 	}
 	for _, a := range analyzers {
 		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: firstLine(a.Doc)})
+		for _, f := range a.Flags {
+			flags = append(flags, jsonFlag{Name: f.Name, Bool: true, Usage: f.Usage})
+		}
 	}
 	data, err := json.MarshalIndent(flags, "", "\t")
 	if err != nil {

@@ -96,8 +96,10 @@ type CacheCounts struct {
 // interleave even when the writer is shared.
 type AuditLog struct {
 	mu sync.Mutex
-	w  io.Writer
-	c  io.Closer
+	// w receives one Write per record. guarded by mu.
+	w io.Writer
+	// c closes the file Append opened, nil otherwise. guarded by mu.
+	c io.Closer
 }
 
 // NewAuditLog wraps an arbitrary writer (a test buffer, stderr).

@@ -130,7 +130,8 @@ type family struct {
 // exposition format. Registration normally happens once, from package-level
 // var initializers; rendering may run concurrently with metric updates.
 type Registry struct {
-	mu   sync.Mutex
+	mu sync.Mutex
+	// fams is the family table, keyed by metric name. guarded by mu.
 	fams map[string]*family
 }
 

@@ -73,9 +73,12 @@ type SpanRecord struct {
 // It trades completeness for bounded memory: the daemon keeps the last few
 // hundred stage timings inspectable at /debug/spans without ever growing.
 type SpanRing struct {
-	mu   sync.Mutex
-	buf  []SpanRecord
+	mu sync.Mutex
+	// buf is the fixed-size span store. guarded by mu.
+	buf []SpanRecord
+	// next is the slot the next span lands in. guarded by mu.
 	next int
+	// full is set once the ring has wrapped. guarded by mu.
 	full bool
 }
 

@@ -255,13 +255,18 @@ func (c *Client) roundTrip(req Request) (resp Response, sent bool, err error) {
 	}
 	before := c.written.n
 	if c.cfg.WriteTimeout > 0 {
-		_ = c.conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout)); err != nil {
+			// No bytes have been written, so this failure is retry-safe.
+			return Response{}, false, fmt.Errorf("signaling: arming write deadline: %w", err)
+		}
 	}
 	if err := c.enc.Encode(req); err != nil {
 		return Response{}, c.written.n > before, fmt.Errorf("signaling: sending request: %w", err)
 	}
 	if c.cfg.ReadTimeout > 0 {
-		_ = c.conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout))
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout)); err != nil {
+			return Response{}, true, fmt.Errorf("signaling: arming read deadline: %w", err)
+		}
 	}
 	if err := c.dec.Decode(&resp); err != nil {
 		return Response{}, true, fmt.Errorf("signaling: reading response: %w", err)

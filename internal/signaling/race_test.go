@@ -113,56 +113,7 @@ func TestServeTwiceRejected(t *testing.T) {
 	}
 }
 
-// badCloser is the shutdown shape Server.Close deliberately avoids: holding
-// mu across wg.Wait. A worker that needs mu to finish can then never let
-// Wait return. The lockorder analyzer flags the Wait call below statically
-// (the finding is recorded in .fafvet-baseline.json as intended); this test
-// demonstrates the same hazard dynamically.
-type badCloser struct {
-	mu sync.Mutex
-	wg sync.WaitGroup
-	n  int
-}
-
-func (b *badCloser) finishWorker() {
-	defer b.wg.Done()
-	b.mu.Lock()
-	b.n++
-	b.mu.Unlock()
-}
-
-func (b *badCloser) Close() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.wg.Wait()
-}
-
-func TestLockOrderHazardStallsShutdown(t *testing.T) {
-	b := &badCloser{}
-	b.wg.Add(1)
-	workerReady := make(chan struct{})
-	closeDone := make(chan struct{})
-	go func() {
-		<-workerReady
-		b.finishWorker() // blocks on mu, held by Close below
-	}()
-	go func() {
-		b.Close() // holds mu, waits for the worker — mutual wait
-		close(closeDone)
-	}()
-	// Release the worker only once Close demonstrably holds mu (TryLock
-	// failing proves it, since nothing else contends yet); Close is then
-	// parked in Wait and the worker walks into the trap.
-	for b.mu.TryLock() {
-		b.mu.Unlock()
-		time.Sleep(time.Millisecond)
-	}
-	close(workerReady)
-	select {
-	case <-closeDone:
-		t.Fatal("Close returned; the hazard this test documents has silently disappeared")
-	case <-time.After(100 * time.Millisecond):
-		// Stalled, as the lock order predicts. The two goroutines stay
-		// parked for the life of the test binary; that leak is the point.
-	}
-}
+// The badCloser fixture that used to live here — holding mu across wg.Wait,
+// waived in .fafvet-baseline.json — is now a lockorder want-test
+// (internal/lint/lockorder/testdata/l), where the analyzer proves the
+// hazard statically without leaking two goroutines into every -race run.

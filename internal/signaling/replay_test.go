@@ -109,8 +109,13 @@ func TestReplayReproducesControllerState(t *testing.T) {
 	}
 }
 
-// srvController reaches the server's controller (same package).
-func srvController(s *Server) *core.Controller { return s.ctl }
+// srvController reaches the server's controller (same package). The field
+// is guarded by s.mu, so take it even though the test is quiescent here.
+func srvController(s *Server) *core.Controller {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctl
+}
 
 // TestReplayDetectsOptionMismatch: replaying against a controller with a
 // different β must fail loudly rather than rebuild divergent state.

@@ -32,7 +32,9 @@ const acceptRetryMax = time.Second
 // in-flight requests to finish, and force-closes stragglers only when its
 // context expires.
 type Server struct {
-	mu  sync.Mutex
+	mu sync.Mutex
+	// ctl is the wrapped controller; it is not concurrency-safe, so every
+	// operation on it is serialized here. guarded by mu.
 	ctl *core.Controller
 
 	// IdleTimeout, when positive, bounds how long a connection may sit
@@ -47,16 +49,20 @@ type Server struct {
 	// atomic pointer so SetAuditLog needs no lock ordering against s.mu.
 	audit atomic.Pointer[obs.AuditLog]
 
-	wg       sync.WaitGroup
+	wg sync.WaitGroup
+	// listener is the accept-loop listener Serve registers. guarded by mu.
 	listener net.Listener
 	closed   chan struct{}
 
 	// connMu guards the connection registry and the draining flag.
 	// Lock-order note: connMu is a leaf — nothing is acquired and no
 	// blocking operation runs while it is held.
-	connMu        sync.Mutex
-	conns         map[net.Conn]*connState
-	draining      bool
+	connMu sync.Mutex
+	// conns is the open-connection registry. guarded by connMu.
+	conns map[net.Conn]*connState
+	// draining is set once shutdown begins. guarded by connMu.
+	draining bool
+	// drainSignaled records that drained was handed to a closer. guarded by connMu.
 	drainSignaled bool
 	drained       chan struct{} // closed once draining && registry empty
 
@@ -287,7 +293,11 @@ func (s *Server) handle(conn net.Conn) {
 	enc := json.NewEncoder(conn)
 	for {
 		if s.IdleTimeout > 0 {
-			_ = conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+			if err := conn.SetReadDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
+				// A connection that cannot arm its idle deadline would sit
+				// unbounded — exactly what the timeout hardening forbids.
+				return
+			}
 		}
 		var req Request
 		if err := dec.Decode(&req); err != nil {
@@ -316,7 +326,13 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		resp := s.execute(req)
 		if s.WriteTimeout > 0 {
-			_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+			if err := conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout)); err != nil {
+				// The request executed; without a bounded write the handler
+				// could stall a drain forever, so drop the connection (the
+				// client's retry policy treats this as sent-but-unanswered).
+				st.active.Store(false)
+				return
+			}
 		}
 		err := enc.Encode(resp)
 		st.active.Store(false)

@@ -294,7 +294,11 @@ func Run(cfg Config) (Result, error) {
 			id := spec.ID
 			if _, err := simulator.After(rng.Exp(cfg.Workload.MeanLifetime), func() {
 				noteActiveChange(simulator.Now(), -1)
-				ctl.Release(id)
+				if !ctl.Release(id) {
+					// Exactly one departure is scheduled per admission, so a
+					// miss here is a corrupted simulation, not a data point.
+					panic("sim: departure event for unknown connection " + id)
+				}
 			}); err != nil {
 				return fmt.Errorf("sim: scheduling departure: %w", err)
 			}

@@ -41,8 +41,9 @@ func runJobs(jobs []job, out []Series) error {
 		workers = len(jobs)
 	}
 	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
+		wg sync.WaitGroup
+		mu sync.Mutex
+		// first records the first worker error. guarded by mu.
 		first error
 	)
 	ch := make(chan job)
@@ -66,6 +67,10 @@ func runJobs(jobs []job, out []Series) error {
 	}
 	close(ch)
 	wg.Wait()
+	// Every worker has exited, but the happens-before edge the annotation
+	// can see is the lock itself.
+	mu.Lock()
+	defer mu.Unlock()
 	return first
 }
 
