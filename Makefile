@@ -10,7 +10,11 @@ BENCH      ?= .
 BENCHTIME  ?= 1s
 BENCH_JSON ?= BENCH.json
 
-.PHONY: all build fmt vet sarif lockgraph race test short bench chaos docs-check check clean
+# bench-compare baseline: the JSON report committed with the most recent
+# performance PR.
+BENCH_BASELINE ?= BENCH_PR7.json
+
+.PHONY: all build fmt vet sarif lockgraph lockgraph-check race test short bench bench-compare chaos docs-check check clean
 
 all: build
 
@@ -30,7 +34,8 @@ FORCE:
 
 # Standard vet plus this repository's analyzer suite (unitcheck, floatcmp,
 # epslit, randsrc, flowdims, desorder, lockorder, guardedby, golife,
-# errdrop — see README "Static analysis & unit conventions"). fafvet's
+# errdrop, hotpath, atomicvisit — see README "Static analysis & unit
+# conventions"). fafvet's
 # driver mode re-invokes go vet against itself, aggregates diagnostics
 # across packages, and applies the committed baseline of intended findings.
 vet: $(FAFVET)
@@ -50,6 +55,12 @@ sarif: $(FAFVET)
 lockgraph: $(FAFVET)
 	./$(FAFVET) -format=dot -baseline=.fafvet-baseline.json -o LOCKGRAPH.dot ./...
 	@echo "wrote LOCKGRAPH.dot"
+
+# Freshness gate for the committed lock graph: regenerate it and fail if the
+# working tree changes, i.e. someone altered locking without re-running
+# `make lockgraph`. CI runs this so DESIGN.md §4's figure can never go stale.
+lockgraph-check: lockgraph
+	git diff --exit-code LOCKGRAPH.dot
 
 race:
 	$(GO) test -race -short ./...
@@ -80,13 +91,23 @@ bench: $(FAFBENCH)
 	./$(FAFBENCH) -o $(BENCH_JSON) bench.out
 	@echo "wrote $(BENCH_JSON)"
 
+# Diff a fresh bench run against the committed baseline report. Defaults
+# apply both gates (ns/op 1.25x, allocs/op 1.10x) — appropriate for
+# interleaved runs on one quiet machine. CI overrides the flags because its
+# runners are too noisy for the wall-clock gate:
+#   make bench-compare FAFBENCH_COMPARE_FLAGS='-ns-ratio=0 -allocs-ratio=1.5'
+bench-compare: $(FAFBENCH)
+	./$(FAFBENCH) -compare $(FAFBENCH_COMPARE_FLAGS) $(BENCH_BASELINE) $(BENCH_JSON)
+
 # Documentation gates: every exported identifier in internal/obs must carry
-# a doc comment, and OPERATIONS.md's metric catalog must match the names the
-# packages actually register (both directions). Both are ordinary Go tests,
-# named here so CI and reviewers can run just the docs gate.
+# a doc comment, OPERATIONS.md's metric catalog must match the names the
+# packages actually register, and README's analyzer table must match the
+# fafvet registry (all both directions). All are ordinary Go tests, named
+# here so CI and reviewers can run just the docs gate.
 docs-check:
 	$(GO) test -run TestExportedIdentifiersDocumented ./internal/obs/
 	$(GO) test -run TestOperationsCatalogMatchesRegistry .
+	$(GO) test -run TestReadmeAnalyzerTableMatchesRegistry ./cmd/fafvet/
 
 check: build fmt vet race test docs-check
 

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// CompareThresholds configures the regression gates of Compare. A zero ratio
+// disables that gate.
+type CompareThresholds struct {
+	// NsRatio fails a benchmark whose ns/op exceeds the old value by this
+	// factor (e.g. 1.25 allows up to +25%). Wall-clock measurements are
+	// noisy, so this gate is usually disabled (-ns-ratio=0) on shared CI
+	// runners and applied only to interleaved same-machine runs.
+	NsRatio float64
+	// AllocsRatio fails a benchmark whose allocs/op exceeds the old value by
+	// this factor. Allocation counts are deterministic for a given code
+	// path, so this gate is meaningful even on noisy runners; a benchmark
+	// with zero old allocs/op must stay at zero.
+	AllocsRatio float64
+}
+
+// Regression is one threshold violation found by Compare.
+type Regression struct {
+	Name   string
+	Detail string
+}
+
+// Compare diffs two fafbench reports benchmark-by-benchmark. Every benchmark
+// of the old report must be present in the new one — a disappeared benchmark
+// is itself a regression (a renamed bench must update its committed
+// baseline). Benchmarks only in the new report are listed but never fail.
+// The human-readable diff is written to w.
+func Compare(w io.Writer, old, new Report, th CompareThresholds) []Regression {
+	newByName := make(map[string]Benchmark, len(new.Benchmarks))
+	for _, b := range new.Benchmarks {
+		newByName[b.Name] = b
+	}
+	oldNames := make(map[string]bool, len(old.Benchmarks))
+
+	var regs []Regression
+	for _, ob := range old.Benchmarks {
+		oldNames[ob.Name] = true
+		nb, ok := newByName[ob.Name]
+		if !ok {
+			regs = append(regs, Regression{ob.Name, "benchmark missing from new report"})
+			fmt.Fprintf(w, "%-40s MISSING from new report\n", ob.Name)
+			continue
+		}
+		var verdicts []string
+		if th.NsRatio > 0 && nb.NsPerOp > ob.NsPerOp*th.NsRatio {
+			d := fmt.Sprintf("ns/op %.4g -> %.4g exceeds %.2fx threshold", ob.NsPerOp, nb.NsPerOp, th.NsRatio)
+			regs = append(regs, Regression{ob.Name, d})
+			verdicts = append(verdicts, "REGRESSION(ns/op)")
+		}
+		if th.AllocsRatio > 0 && ob.AllocsPerOp != nil && nb.AllocsPerOp != nil {
+			oa, na := *ob.AllocsPerOp, *nb.AllocsPerOp
+			if na > oa*th.AllocsRatio && na > oa {
+				d := fmt.Sprintf("allocs/op %g -> %g exceeds %.2fx threshold", oa, na, th.AllocsRatio)
+				regs = append(regs, Regression{ob.Name, d})
+				verdicts = append(verdicts, "REGRESSION(allocs/op)")
+			}
+		}
+		fmt.Fprintf(w, "%-40s ns/op %12.4g -> %-12.4g (%s)", ob.Name, ob.NsPerOp, nb.NsPerOp, ratio(ob.NsPerOp, nb.NsPerOp))
+		if ob.AllocsPerOp != nil && nb.AllocsPerOp != nil {
+			fmt.Fprintf(w, "  allocs/op %6g -> %-6g", *ob.AllocsPerOp, *nb.AllocsPerOp)
+		}
+		for _, v := range verdicts {
+			fmt.Fprintf(w, "  %s", v)
+		}
+		fmt.Fprintln(w)
+	}
+
+	var added []string
+	for name := range newByName {
+		if !oldNames[name] {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Fprintf(w, "%-40s only in new report (not gated)\n", name)
+	}
+	return regs
+}
+
+// ratio renders new/old as a factor, guarding the old == 0 edge.
+func ratio(old, new float64) string {
+	if old <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3fx", new/old)
+}
+
+// runCompare implements the -compare CLI mode: load both reports, diff them,
+// and exit 2 when any threshold is violated (mirroring fafvet's
+// findings-exist exit code; operational errors exit 1).
+func runCompare(oldPath, newPath string, th CompareThresholds) {
+	old, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fafbench:", err)
+		os.Exit(1)
+	}
+	new, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fafbench:", err)
+		os.Exit(1)
+	}
+	regs := Compare(os.Stdout, old, new, th)
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "fafbench: %d regression(s) vs %s:\n", len(regs), oldPath)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  %s: %s\n", r.Name, r.Detail)
+		}
+		os.Exit(2)
+	}
+	fmt.Printf("fafbench: no regressions vs %s (%d benchmarks)\n", oldPath, len(old.Benchmarks))
+}
+
+// loadReport reads a fafbench JSON report from disk.
+func loadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return Report{}, fmt.Errorf("%s contains no benchmarks", path)
+	}
+	return rep, nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func fptr(v float64) *float64 { return &v }
+
+func report(benches ...Benchmark) Report { return Report{Benchmarks: benches} }
+
+func regressionNames(regs []Regression) []string {
+	names := make([]string, 0, len(regs))
+	for _, r := range regs {
+		names = append(names, r.Name)
+	}
+	return names
+}
+
+func TestCompareClean(t *testing.T) {
+	old := report(
+		Benchmark{Name: "CACAdmit/active9", NsPerOp: 1000, AllocsPerOp: fptr(50)},
+		Benchmark{Name: "EnvelopeEval", NsPerOp: 40, AllocsPerOp: fptr(0)},
+	)
+	new := report(
+		Benchmark{Name: "CACAdmit/active9", NsPerOp: 1100, AllocsPerOp: fptr(50)},
+		Benchmark{Name: "EnvelopeEval", NsPerOp: 38, AllocsPerOp: fptr(0)},
+		Benchmark{Name: "BrandNew", NsPerOp: 5},
+	)
+	var sb strings.Builder
+	regs := Compare(&sb, old, new, CompareThresholds{NsRatio: 1.25, AllocsRatio: 1.10})
+	if len(regs) != 0 {
+		t.Fatalf("expected no regressions, got %v", regs)
+	}
+	if !strings.Contains(sb.String(), "BrandNew") || !strings.Contains(sb.String(), "not gated") {
+		t.Fatalf("new-only benchmark not listed:\n%s", sb.String())
+	}
+}
+
+func TestCompareNsRegression(t *testing.T) {
+	old := report(Benchmark{Name: "MACAnalysis", NsPerOp: 1000})
+	new := report(Benchmark{Name: "MACAnalysis", NsPerOp: 1500})
+	regs := Compare(&strings.Builder{}, old, new, CompareThresholds{NsRatio: 1.25, AllocsRatio: 1.10})
+	if len(regs) != 1 || regs[0].Name != "MACAnalysis" || !strings.Contains(regs[0].Detail, "ns/op") {
+		t.Fatalf("expected one ns/op regression, got %v", regs)
+	}
+	// The wall-clock gate must be fully disabled by a zero ratio.
+	if regs := Compare(&strings.Builder{}, old, new, CompareThresholds{NsRatio: 0, AllocsRatio: 1.10}); len(regs) != 0 {
+		t.Fatalf("ns gate not disabled by zero ratio: %v", regs)
+	}
+}
+
+func TestCompareAllocsRegression(t *testing.T) {
+	old := report(Benchmark{Name: "CACAdmit/active0", NsPerOp: 100, AllocsPerOp: fptr(40)})
+	new := report(Benchmark{Name: "CACAdmit/active0", NsPerOp: 100, AllocsPerOp: fptr(60)})
+	regs := Compare(&strings.Builder{}, old, new, CompareThresholds{NsRatio: 0, AllocsRatio: 1.10})
+	if len(regs) != 1 || !strings.Contains(regs[0].Detail, "allocs/op") {
+		t.Fatalf("expected one allocs/op regression, got %v", regs)
+	}
+}
+
+func TestCompareZeroAllocsMustStayZero(t *testing.T) {
+	// A benchmark that used to run allocation-free must keep doing so: with
+	// an old value of 0, any ratio threshold is also 0, so a single new
+	// allocation per op trips the gate.
+	old := report(Benchmark{Name: "EnvelopeEval", NsPerOp: 40, AllocsPerOp: fptr(0)})
+	new := report(Benchmark{Name: "EnvelopeEval", NsPerOp: 40, AllocsPerOp: fptr(1)})
+	regs := Compare(&strings.Builder{}, old, new, CompareThresholds{NsRatio: 0, AllocsRatio: 1.10})
+	if len(regs) != 1 || !strings.Contains(regs[0].Detail, "allocs/op") {
+		t.Fatalf("expected zero-alloc regression, got %v", regs)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	old := report(
+		Benchmark{Name: "MACAnalysis", NsPerOp: 1000},
+		Benchmark{Name: "MuxAnalysis", NsPerOp: 800},
+	)
+	new := report(Benchmark{Name: "MACAnalysis", NsPerOp: 1000})
+	regs := Compare(&strings.Builder{}, old, new, CompareThresholds{})
+	if got := regressionNames(regs); len(got) != 1 || got[0] != "MuxAnalysis" {
+		t.Fatalf("expected MuxAnalysis missing-regression, got %v", regs)
+	}
+}
+
+func TestCompareSkipsAllocsWhenAbsent(t *testing.T) {
+	// Reports captured without -benchmem carry no allocs/op; the allocation
+	// gate must not fire on the missing measurement.
+	old := report(Benchmark{Name: "Figure7/U0.3/beta0.0", NsPerOp: 100, AllocsPerOp: fptr(10)})
+	new := report(Benchmark{Name: "Figure7/U0.3/beta0.0", NsPerOp: 100})
+	if regs := Compare(&strings.Builder{}, old, new, CompareThresholds{AllocsRatio: 1.10}); len(regs) != 0 {
+		t.Fatalf("allocs gate fired without measurements: %v", regs)
+	}
+}

@@ -6,11 +6,20 @@
 //
 //	go test -run '^$' -bench . -benchmem . | fafbench -o BENCH.json
 //	fafbench -o BENCH.json bench.out
+//	fafbench -compare [-ns-ratio 1.25] [-allocs-ratio 1.10] old.json new.json
 //
 // Each benchmark line becomes one record with the iteration count, the
 // standard ns/op, B/op and allocs/op measurements, and any custom metrics
 // reported via (*testing.B).ReportMetric (for this repository: the admission
 // probability AP of the experiment benches).
+//
+// The -compare mode diffs two reports and exits 2 when new regresses past
+// the thresholds: ns/op beyond -ns-ratio times the old value, allocs/op
+// beyond -allocs-ratio times the old value, or a benchmark missing from the
+// new report. A ratio of 0 disables that gate — CI disables the wall-clock
+// gate (-ns-ratio=0) because shared runners are too noisy for it, keeping
+// only the deterministic allocation gate; interleaved same-machine runs use
+// both.
 package main
 
 import (
@@ -23,7 +32,19 @@ import (
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.Bool("compare", false, "compare two fafbench JSON reports (old new) and exit 2 on regression")
+	nsRatio := flag.Float64("ns-ratio", 1.25, "with -compare: fail when ns/op exceeds old by this factor (0 disables)")
+	allocsRatio := flag.Float64("allocs-ratio", 1.10, "with -compare: fail when allocs/op exceeds old by this factor (0 disables)")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "fafbench: -compare requires exactly two arguments: old.json new.json")
+			os.Exit(1)
+		}
+		runCompare(flag.Arg(0), flag.Arg(1), CompareThresholds{NsRatio: *nsRatio, AllocsRatio: *allocsRatio})
+		return
+	}
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"fafnet/internal/lint"
+	"fafnet/internal/lint/atomicvisit"
+	"fafnet/internal/lint/desorder"
+	"fafnet/internal/lint/epslit"
+	"fafnet/internal/lint/errdrop"
+	"fafnet/internal/lint/floatcmp"
+	"fafnet/internal/lint/flowdims"
+	"fafnet/internal/lint/golife"
+	"fafnet/internal/lint/guardedby"
+	"fafnet/internal/lint/hotpath"
+	"fafnet/internal/lint/lockorder"
+	"fafnet/internal/lint/randsrc"
+	"fafnet/internal/lint/unitcheck"
+)
+
+// suite returns the registered analyzers in their canonical order — the
+// order the README table, the -analyzers listing and the SARIF rule list
+// all present them in. The docs test diffs this registry against the
+// README table in both directions.
+func suite() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		unitcheck.Analyzer,
+		floatcmp.Analyzer,
+		epslit.Analyzer,
+		randsrc.Analyzer,
+		flowdims.Analyzer,
+		desorder.Analyzer,
+		lockorder.Analyzer,
+		guardedby.Analyzer,
+		golife.Analyzer,
+		errdrop.Analyzer,
+		hotpath.Analyzer,
+		atomicvisit.Analyzer,
+	}
+}

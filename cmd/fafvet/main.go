@@ -11,57 +11,39 @@
 //	bin/fafvet -baseline=.fafvet-baseline.json ./...
 //	bin/fafvet -format=sarif -o fafvet.sarif ./...
 //
-// It bundles ten analyzers that enforce the correctness conventions the Go
-// type system cannot see (README "Static analysis & unit conventions"):
+// It bundles twelve analyzers that enforce the correctness conventions the
+// Go type system cannot see (README "Static analysis & unit conventions"):
 //
-//	unitcheck  dimensional consistency of float64 seconds/bits/bps
-//	floatcmp   no exact ==/<=/>= between computed physical quantities
-//	epslit     no raw tolerance/physical-constant literals
-//	randsrc    no unseeded randomness or wall-clock reads in simulators
-//	flowdims   interprocedural unit dataflow via exported per-package facts
-//	desorder   no goroutines/channels/sleeps/global writes in DES handlers
-//	lockorder  repo-wide lock-order cycles, no blocking calls under a lock
-//	guardedby  "guarded by <mu>" field annotations hold at every access
-//	golife     every goroutine has a provable stop path
-//	errdrop    no dropped errors on audit, deadline, flush or release calls
+//	unitcheck    dimensional consistency of float64 seconds/bits/bps
+//	floatcmp     no exact ==/<=/>= between computed physical quantities
+//	epslit       no raw tolerance/physical-constant literals
+//	randsrc      no unseeded randomness or wall-clock reads in simulators
+//	flowdims     interprocedural unit dataflow via exported per-package facts
+//	desorder     no goroutines/channels/sleeps/global writes in DES handlers
+//	lockorder    repo-wide lock-order cycles, no blocking calls under a lock
+//	guardedby    "guarded by <mu>" field annotations hold at every access
+//	golife       every goroutine has a provable stop path
+//	errdrop      no dropped errors on audit, deadline, flush or release calls
+//	hotpath      //fafvet:hotpath functions are transitively allocation-,
+//	             blocking- and wall-clock-free
+//	atomicvisit  a variable accessed through sync/atomic anywhere is accessed
+//	             atomically everywhere
 //
 // The driver's -format=dot mode additionally dumps the whole-program lock
 // graph (lockorder's cross-package acquisition edges) as Graphviz:
 //
 //	bin/fafvet -format=dot -o LOCKGRAPH.dot ./...
 //
-// Individual analyzers can be disabled with -<name>=false. Findings are
-// suppressed in source with a justified comment (unused suppressions are
-// themselves findings):
+// -analyzers prints the machine-readable inventory (name, doc line, exported
+// fact types) as JSON. Individual analyzers can be disabled with
+// -<name>=false. Findings are suppressed in source with a justified comment
+// (unused suppressions are themselves findings):
 //
 //	//lint:allow <analyzer> <reason>
 package main
 
-import (
-	"fafnet/internal/lint"
-	"fafnet/internal/lint/desorder"
-	"fafnet/internal/lint/epslit"
-	"fafnet/internal/lint/errdrop"
-	"fafnet/internal/lint/floatcmp"
-	"fafnet/internal/lint/flowdims"
-	"fafnet/internal/lint/golife"
-	"fafnet/internal/lint/guardedby"
-	"fafnet/internal/lint/lockorder"
-	"fafnet/internal/lint/randsrc"
-	"fafnet/internal/lint/unitcheck"
-)
+import "fafnet/internal/lint"
 
 func main() {
-	lint.Main(
-		unitcheck.Analyzer,
-		floatcmp.Analyzer,
-		epslit.Analyzer,
-		randsrc.Analyzer,
-		flowdims.Analyzer,
-		desorder.Analyzer,
-		lockorder.Analyzer,
-		guardedby.Analyzer,
-		golife.Analyzer,
-		errdrop.Analyzer,
-	)
+	lint.Main(suite()...)
 }

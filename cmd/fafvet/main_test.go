@@ -1,9 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -215,6 +217,75 @@ func Stop(l *obs.AuditLog) {
 			want: "the error from (obs.AuditLog).Sync is dropped",
 		},
 		{
+			name: "hotpath allocation on an annotated path",
+			files: map[string]string{"internal/hot/bad.go": `package hot
+
+//fafvet:hotpath
+func Eval(xs []float64) []float64 {
+	return append(xs, 1)
+}
+`},
+			want: "append may grow its backing array",
+		},
+		{
+			// hotpath needs two packages here: the callee is unproven because
+			// package k exports no clean fact for it.
+			name: "hotpath cross-package unproven callee",
+			files: map[string]string{
+				"internal/k/k.go": `package k
+
+// Build allocates.
+func Build(n int) []float64 { return make([]float64, n) }
+`,
+				"internal/hot/bad.go": `package hot
+
+import "fafnet/internal/k"
+
+//fafvet:hotpath
+func Eval() float64 { return k.Build(1)[0] }
+`,
+			},
+			want: "is not proven hot-path-safe",
+		},
+		{
+			name: "atomicvisit mixed plain and atomic access",
+			files: map[string]string{"internal/stats/bad.go": `package stats
+
+import "sync/atomic"
+
+type Ctr struct{ n uint64 }
+
+func (c *Ctr) Inc() { atomic.AddUint64(&c.n, 1) }
+
+func (c *Ctr) Read() uint64 { return c.n }
+`},
+			want: "mixed access tears",
+		},
+		{
+			// atomicvisit needs two packages: the counter's atomic contract
+			// reaches the consumer as an exported fact.
+			name: "atomicvisit cross-package plain access",
+			files: map[string]string{
+				"internal/stats/stats.go": `package stats
+
+import "sync/atomic"
+
+// Hits counts admissions.
+var Hits uint64
+
+// Bump records one.
+func Bump() { atomic.AddUint64(&Hits, 1) }
+`,
+				"internal/view/view.go": `package view
+
+import "fafnet/internal/stats"
+
+func Snapshot() uint64 { return stats.Hits }
+`,
+			},
+			want: "accessed with sync/atomic in its declaring package fafnet/internal/stats but plainly here",
+		},
+		{
 			name: "errdrop dropped ring release",
 			files: map[string]string{"internal/fddi/bad.go": `package fddi
 
@@ -260,6 +331,43 @@ func Later(delayA, delayB float64) bool { return delayA < delayB }
 	})
 	if out, ok := vetModule(t, bin, dir); !ok {
 		t.Fatalf("vet failed on a clean module:\n%s", out)
+	}
+}
+
+// TestAnalyzersListing checks the -analyzers machine-readable inventory
+// against the registry: same names in the same order, a doc line for every
+// entry, and the declared fact types for the fact-exporting analyzers.
+func TestAnalyzersListing(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-analyzers").Output()
+	if err != nil {
+		t.Fatalf("fafvet -analyzers: %v", err)
+	}
+	var list []struct {
+		Name  string   `json:"name"`
+		Doc   string   `json:"doc"`
+		Facts []string `json:"facts"`
+	}
+	if err := json.Unmarshal(out, &list); err != nil {
+		t.Fatalf("parsing -analyzers output: %v\n%s", err, out)
+	}
+	reg := suite()
+	if len(list) != len(reg) {
+		t.Fatalf("-analyzers lists %d analyzers, registry has %d", len(list), len(reg))
+	}
+	for i, a := range reg {
+		if list[i].Name != a.Name {
+			t.Errorf("entry %d = %q, want %q", i, list[i].Name, a.Name)
+		}
+		if list[i].Doc == "" {
+			t.Errorf("entry %q has an empty doc line", list[i].Name)
+		}
+		if !reflect.DeepEqual(list[i].Facts, a.FactTypes) {
+			t.Errorf("entry %q facts = %v, want %v", list[i].Name, list[i].Facts, a.FactTypes)
+		}
+		if a.ExportsFacts && len(a.FactTypes) == 0 {
+			t.Errorf("analyzer %q exports facts but declares no FactTypes", a.Name)
+		}
 	}
 }
 

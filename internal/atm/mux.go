@@ -123,16 +123,8 @@ func AnalyzeMux(inputs []traffic.Descriptor, p MuxParams, opts MuxOptions) (MuxR
 	// The t→0+ limit matters for envelopes with an instantaneous burst.
 	grid = traffic.MergeGrids(busy, grid, []float64{traffic.GridNudge})
 
-	var delay, backlog float64
-	for _, t := range grid {
-		if t > busy+units.Eps {
-			break
-		}
-		if b := agg.Bits(t) - p.CapacityBps*t; b > backlog {
-			backlog = b
-		}
-	}
-	delay = backlog / p.CapacityBps
+	backlog := maxMuxBacklog(agg, grid, busy, p.CapacityBps)
+	delay := backlog / p.CapacityBps
 	if p.BufferBits > 0 && backlog > p.BufferBits*(1+units.RelTol) {
 		mMuxInfeasible.Inc()
 		return MuxResult{}, fmt.Errorf("%w: backlog=%v bits, buffer=%v bits", ErrMuxBufferOverflow, backlog, p.BufferBits)
@@ -149,40 +141,73 @@ func AnalyzeMux(inputs []traffic.Descriptor, p MuxParams, opts MuxOptions) (MuxR
 	return MuxResult{BusyPeriod: busy, Delay: delay, BacklogBits: backlog, Outputs: outs}, nil
 }
 
+// maxMuxBacklog returns the worst-case queue content: the maximum of
+// ΣA(t) − C·t over the grid points within the busy period. It is the
+// per-probe extremum pass of every FIFO port evaluation, so it is
+// annotated: grid and the memoized aggregate are allocated by the caller,
+// and the scan itself is pure arithmetic over them.
+//
+//fafvet:hotpath
+func maxMuxBacklog(agg traffic.Descriptor, grid []float64, busy, capacity float64) float64 {
+	var backlog float64
+	for _, t := range grid {
+		if t > busy+units.Eps {
+			break
+		}
+		if b := agg.Bits(t) - capacity*t; b > backlog {
+			backlog = b
+		}
+	}
+	return backlog
+}
+
 // busyPeriod finds the first candidate point where the aggregate demand has
 // been fully served (ΣA(t) <= C·t), doubling the search horizon as needed.
 // Taking the first *grid* point after the true crossing only enlarges the
 // extremum search range, which keeps the delay bound conservative. It
 // returns the busy period together with the grid used, so the caller can
 // reuse it for the extremum scan.
+func busyPeriod(agg traffic.Descriptor, capacity float64, opts MuxOptions) (float64, []float64, error) {
+	for horizon := opts.InitialHorizon; horizon <= opts.MaxHorizon*2; horizon *= 2 {
+		grid := traffic.Grid(agg, horizon, opts.GridPoints)
+		if t, ok := busyCrossing(agg, grid, capacity); ok {
+			return t, grid, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("%w: no idle point within %v s", ErrMuxNoConvergence, opts.MaxHorizon)
+}
+
+// busyCrossing scans one candidate grid for the first point with
+// ΣA(t) <= C·t. The grid allocation and the horizon-doubling retry live in
+// busyPeriod; this inner scan runs once per horizon per probe and is
+// annotated.
 //
 // The scan exploits monotonicity to skip ahead: after observing a = ΣA(t),
 // no earlier-unvisited point t' with C·t' + Eps < a can be the crossing (its
 // demand is at least a), so the scan resumes at the first grid point past
 // (a − Eps)/C. The crossing found is identical to the point-by-point scan's.
-func busyPeriod(agg traffic.Descriptor, capacity float64, opts MuxOptions) (float64, []float64, error) {
-	for horizon := opts.InitialHorizon; horizon <= opts.MaxHorizon*2; horizon *= 2 {
-		grid := traffic.Grid(agg, horizon, opts.GridPoints)
-		for i := 0; i < len(grid); {
-			t := grid[i]
-			a := agg.Bits(t)
-			if a <= capacity*t+units.Eps {
-				return t, grid, nil
+//
+//fafvet:hotpath
+func busyCrossing(agg traffic.Descriptor, grid []float64, capacity float64) (float64, bool) {
+	for i := 0; i < len(grid); {
+		t := grid[i]
+		a := agg.Bits(t)
+		if a <= capacity*t+units.Eps {
+			return t, true
+		}
+		catchup := (a - units.Eps) / capacity
+		i++
+		// Galloping + binary search keeps the skip cheap whether the
+		// crossing is one point or hundreds of points away.
+		if i < len(grid) && grid[i] < catchup {
+			lo, step := i, 1
+			for lo+step < len(grid) && grid[lo+step] < catchup {
+				lo += step
+				step *= 2
 			}
-			catchup := (a - units.Eps) / capacity
-			i++
-			// Galloping + binary search keeps the skip cheap whether the
-			// crossing is one point or hundreds of points away.
-			if i < len(grid) && grid[i] < catchup {
-				lo, step := i, 1
-				for lo+step < len(grid) && grid[lo+step] < catchup {
-					lo += step
-					step *= 2
-				}
-				hi := min(lo+step, len(grid))
-				i = lo + sort.SearchFloat64s(grid[lo:hi], catchup)
-			}
+			hi := min(lo+step, len(grid))
+			i = lo + sort.SearchFloat64s(grid[lo:hi], catchup)
 		}
 	}
-	return 0, nil, fmt.Errorf("%w: no idle point within %v s", ErrMuxNoConvergence, opts.MaxHorizon)
+	return 0, false
 }

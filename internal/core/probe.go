@@ -201,14 +201,27 @@ func (s *ProbeSession) evaluation(hs, hr float64) (*evaluation, error) {
 		if s.probe.Route.CrossesBackbone && s.probe.HR <= 0 {
 			return nil, fmt.Errorf("core: connection %q crosses the backbone without a receiver allocation", s.probe.ID)
 		}
-		ev := s.scratch
-		clear(ev.portDelay)
-		clear(ev.portBusy)
-		clear(ev.envMemo)
-		clear(ev.macMemo)
-		clear(ev.shaperMemo)
 	}
+	s.reseed()
+	return s.scratch, nil
+}
+
+// reseed clears the scratch evaluation's memo maps and re-seeds them with
+// the session's probe-invariant results: untainted port delays, unaffected
+// end-to-end delays, and the existing connections' stage-0 envelopes. It
+// runs once per probe — ~2·SearchIters times per admission request — and
+// touches only preallocated state, so it is annotated: the hotpath analyzer
+// proves it allocation-free, non-blocking and deterministic (the map
+// re-seeding loops are per-key transfers, which are iteration-order-safe).
+//
+//fafvet:hotpath
+func (s *ProbeSession) reseed() {
 	ev := s.scratch
+	clear(ev.portDelay)
+	clear(ev.portBusy)
+	clear(ev.envMemo)
+	clear(ev.macMemo)
+	clear(ev.shaperMemo)
 	ev.prefilledDelay = s.cleanDelay
 	for p, d := range s.cleanPortDelay {
 		ev.portDelay[p] = d
@@ -217,5 +230,4 @@ func (s *ProbeSession) evaluation(hs, hr float64) (*evaluation, error) {
 		ev.envMemo[envKey{connID: id, stage: 0}] = env
 	}
 	mProbeStage0Reused.Add(uint64(len(s.stage0)))
-	return ev, nil
 }

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"fafnet/internal/traffic"
 	"fafnet/internal/units"
@@ -103,6 +102,8 @@ type MACResult struct {
 //	avail(t) = max(0, (⌊t/TTRT⌋ − 1)·H·BW)
 //
 // The "−1" accounts for the token being up to a full rotation away.
+//
+//fafvet:hotpath
 func (p MACParams) Avail(t float64) float64 {
 	if t <= 0 {
 		return 0
@@ -153,33 +154,11 @@ func AnalyzeMAC(in traffic.Descriptor, p MACParams, opts Options) (MACResult, er
 		return MACResult{}, fmt.Errorf("%w: rho=%v bps, H·BW/TTRT=%v bps", ErrOverload, in.LongTermRate(), svc/ttrt)
 	}
 
-	// Busy interval (Eq. 9). avail is constant between multiples of TTRT and
-	// A is nondecreasing, so the condition A(t) <= avail(t) first becomes
-	// true at a multiple of TTRT. Monotonicity also licenses skipping ahead:
-	// after observing a = A(k·TTRT), no k' with (k'−1)·svc + Eps < a can be
-	// the crossing (its demand is at least a), so the next candidate is the
-	// first rotation whose service catches up with the demand already seen.
-	// The jump target uses Floor (undershooting by at most one rotation)
-	// rather than Ceil so float rounding can never overshoot a true
-	// crossing; the result is identical to the rotation-by-rotation scan.
-	busy := 0.0
-	for k := 1; ; {
-		if k > opts.MaxBusyRotations {
-			mMACInfeasible.Inc()
-			return MACResult{}, fmt.Errorf("%w: no busy-interval end within %d rotations", ErrNoConvergence, opts.MaxBusyRotations)
-		}
-		t := float64(k) * ttrt
-		envelopeEvals++
-		a := in.Bits(t)
-		if a <= float64(k-1)*svc+units.Eps {
-			busy = t
-			break
-		}
-		if next := 1 + int(math.Floor((a-units.Eps)/svc)); next > k {
-			k = next
-		} else {
-			k++
-		}
+	busy, busyEvals, converged := busyInterval(in, svc, ttrt, opts.MaxBusyRotations)
+	envelopeEvals += busyEvals
+	if !converged {
+		mMACInfeasible.Inc()
+		return MACResult{}, fmt.Errorf("%w: no busy-interval end within %d rotations", ErrNoConvergence, opts.MaxBusyRotations)
 	}
 
 	// Candidate extremum points: the input envelope's own vertices plus the
@@ -189,74 +168,18 @@ func AnalyzeMAC(in traffic.Descriptor, p MACParams, opts Options) (MACResult, er
 	// waits the full worst-case token latency.
 	grid = traffic.MergeGrids(busy, grid, multiplesOf(ttrt, busy), []float64{traffic.GridNudge})
 
-	// Worst-case backlog F (Eq. 10) and worst-case delay χ (Eq. 11).
-	// For the delay: the first time avail reaches A(t) is the first multiple
-	// m·TTRT with (m−1)·svc >= A(t), i.e. m = ⌈A(t)/svc⌉ + 1, so the
-	// candidate delay at t is m·TTRT − t.
-	//
-	// A is nondecreasing (the Descriptor contract), which licenses taking
-	// both maxima over far fewer than all grid points — with results
-	// identical to the full scan:
-	//
-	//   - avail(t) is constant wherever ⌊t/TTRT⌋ is, so over each maximal
-	//     segment of grid points sharing that value the backlog candidate
-	//     A(t) − avail(t) is maximized at the segment's last point;
-	//   - m(t) is a nondecreasing step function, so the delay candidate
-	//     m·TTRT − t is maximized at the first point of each m-run, and the
-	//     run boundaries are found by binary splitting, evaluating A at
-	//     O(runs·log |grid|) points instead of all of them.
-	vals := make([]float64, len(grid))
-	have := make([]bool, len(grid))
-	eval := func(i int) float64 {
-		if !have[i] {
-			envelopeEvals++
-			vals[i] = in.Bits(grid[i])
-			have[i] = true
-		}
-		return vals[i]
+	// Worst-case backlog F (Eq. 10) and worst-case delay χ (Eq. 11), scanned
+	// by the annotated macScan methods; all allocation happens here, before
+	// the scans start.
+	scan := macScan{
+		in: in, p: p, svc: svc, ttrt: ttrt,
+		grid: grid,
+		vals: make([]float64, len(grid)),
+		have: make([]bool, len(grid)),
 	}
-	var backlog, delay float64
-	for i := 0; i < len(grid); {
-		k := math.Floor(grid[i] / ttrt)
-		j := i
-		// Exact comparison of the floored rotation index: grouping must
-		// follow Avail's own segmentation, ulps and all.
-		for j+1 < len(grid) && math.Floor(grid[j+1]/ttrt) == k {
-			j++
-		}
-		if b := eval(j) - p.Avail(grid[j]); b > backlog {
-			backlog = b
-		}
-		i = j + 1
-	}
-	// Delay candidates exist only where A(t) > Eps, a suffix of the grid by
-	// monotonicity.
-	lo := sort.Search(len(grid), func(i int) bool { return eval(i) > units.Eps })
-	if lo < len(grid) {
-		mAt := func(i int) float64 { return units.CeilDiv(eval(i), svc) + 1 }
-		consider := func(i int) {
-			if d := mAt(i)*ttrt - grid[i]; d > delay {
-				delay = d
-			}
-		}
-		consider(lo)
-		var splits func(i, j int)
-		splits = func(i, j int) {
-			// m is an exact small integer; a run boundary is where it
-			// changes at all, so exact equality is the right test.
-			if mAt(i) == mAt(j) {
-				return
-			}
-			if j == i+1 {
-				consider(j)
-				return
-			}
-			mid := (i + j) / 2
-			splits(i, mid)
-			splits(mid, j)
-		}
-		splits(lo, len(grid)-1)
-	}
+	backlog := scan.maxBacklog()
+	delay := scan.maxDelay()
+	envelopeEvals += scan.evals
 	if p.BufferBits > 0 && backlog > p.BufferBits*(1+units.RelTol) {
 		mMACInfeasible.Inc()
 		return MACResult{}, fmt.Errorf("%w: F=%v bits, S=%v bits", ErrBufferOverflow, backlog, p.BufferBits)

@@ -1,0 +1,23 @@
+package atomicvisit_test
+
+import (
+	"testing"
+
+	"fafnet/internal/lint/atomicvisit"
+	"fafnet/internal/lint/linttest"
+)
+
+func TestAtomicvisit(t *testing.T) {
+	linttest.Run(t, atomicvisit.Analyzer, "testdata/av", "fafnet/internal/avfake")
+}
+
+// TestWaiver checks //lint:allow atomicvisit suppresses a finding.
+func TestWaiver(t *testing.T) {
+	linttest.Run(t, atomicvisit.Analyzer, "testdata/waive", "fafnet/internal/waivefake")
+}
+
+// TestOutOfScopeSilent runs the same fixture under a foreign module path;
+// the analyzer must not fire outside the module.
+func TestOutOfScopeSilent(t *testing.T) {
+	linttest.RunExpectNone(t, atomicvisit.Analyzer, "testdata/av", "example.com/outside")
+}

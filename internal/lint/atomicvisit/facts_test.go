@@ -1,0 +1,127 @@
+package atomicvisit_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fafnet/internal/lint"
+	"fafnet/internal/lint/atomicvisit"
+	"fafnet/internal/lint/facts"
+)
+
+// accessFact mirrors atomicvisit's exported per-variable fact.
+type accessFact struct {
+	Atomic bool `json:"atomic,omitempty"`
+	Plain  bool `json:"plain,omitempty"`
+}
+
+// checkDir typechecks the sources in dir as pkgPath — resolving module
+// imports from deps — and runs atomicvisit with the given imported facts.
+func checkDir(t *testing.T, dir, pkgPath string, deps map[string]*types.Package, imported map[string]facts.File) ([]lint.Diagnostic, facts.File, *types.Package) {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no sources under %s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, path := range matches {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	std := importer.ForCompiler(fset, "source", nil)
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if p, ok := deps[path]; ok {
+				return p, nil
+			}
+			return std.Import(path)
+		}),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", dir, err)
+	}
+	diags, exported, err := lint.Run(fset, files, pkg, info, []*lint.Analyzer{atomicvisit.Analyzer}, imported)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags, exported, pkg
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// TestCrossPackageFacts drives the facts protocol: package a publishes its
+// access modes, package b's mixed usage is flagged from the importing
+// side in both directions.
+func TestCrossPackageFacts(t *testing.T) {
+	const aPath = "fafnet/internal/avafake"
+	const bPath = "fafnet/internal/avbfake"
+
+	aDiags, aFacts, aPkg := checkDir(t, "testdata/facts/a", aPath, nil, nil)
+	if len(aDiags) != 0 {
+		t.Fatalf("package a should be clean, got %v", aDiags)
+	}
+	cases := []struct {
+		key  string
+		want accessFact
+	}{
+		{"Ctr.N", accessFact{Atomic: true}},
+		{"Hits", accessFact{Atomic: true}},
+		{"Flags", accessFact{Plain: true}},
+	}
+	for _, c := range cases {
+		var got accessFact
+		if !aFacts.Get("atomicvisit", c.key, &got) {
+			t.Errorf("no fact exported for %s", c.key)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("fact %s = %+v, want %+v", c.key, got, c.want)
+		}
+	}
+
+	bDiags, _, _ := checkDir(t, "testdata/facts/b", bPath,
+		map[string]*types.Package{aPath: aPkg},
+		map[string]facts.File{aPath: aFacts})
+
+	wantSubstrings := []string{
+		"N is accessed with sync/atomic in its declaring package fafnet/internal/avafake but plainly here",
+		"Hits is accessed with sync/atomic",
+		"Flags is accessed plainly in its declaring package fafnet/internal/avafake but atomically here",
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, d := range bDiags {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing diagnostic containing %q in %v", want, bDiags)
+		}
+	}
+	for _, d := range bDiags {
+		if strings.Contains(d.Message, "Ok") {
+			t.Errorf("the sanctioned atomic read was flagged: %v", d)
+		}
+	}
+}

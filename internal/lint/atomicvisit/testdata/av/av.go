@@ -1,0 +1,49 @@
+// Package av exercises every atomicvisit rule inside one package.
+package av
+
+import "sync/atomic"
+
+// ctr mixes access modes on n, keeps safe purely atomic and cold purely
+// plain.
+type ctr struct {
+	n    uint64
+	safe uint64
+	cold uint64
+}
+
+func (c *ctr) inc() { atomic.AddUint64(&c.n, 1) }
+
+func (c *ctr) read() uint64 {
+	return c.n // want `n is accessed with sync/atomic elsewhere`
+}
+
+func (c *ctr) incSafe() { atomic.AddUint64(&c.safe, 1) }
+
+func (c *ctr) readSafe() uint64 { return atomic.LoadUint64(&c.safe) }
+
+func (c *ctr) readCold() uint64 { return c.cold }
+
+// newCtr constructs a ctr; composite-literal keys are exempt.
+func newCtr() *ctr { return &ctr{n: 0} }
+
+var hits uint64
+
+func bump() { atomic.AddUint64(&hits, 1) }
+
+func drain() {
+	hits = 0 // want `hits is accessed with sync/atomic elsewhere`
+}
+
+func escape(p *uint64) { _ = p }
+
+// leak lets the address escape to an unchecked access path.
+func leak() {
+	escape(&hits) // want `hits is accessed with sync/atomic elsewhere`
+}
+
+// local shows the rule also binds local variables.
+func local() uint64 {
+	var x uint64
+	atomic.StoreUint64(&x, 7)
+	return x // want `x is accessed with sync/atomic elsewhere`
+}

@@ -1,0 +1,23 @@
+// Package a exports atomically- and plainly-accessed variables for the
+// cross-package facts test.
+package a
+
+import "sync/atomic"
+
+// Ctr counts admissions; N is accessed through sync/atomic here.
+type Ctr struct{ N uint64 }
+
+// Inc bumps the counter atomically.
+func (c *Ctr) Inc() { atomic.AddUint64(&c.N, 1) }
+
+// Hits is accessed atomically in this package.
+var Hits uint64
+
+// Bump records a hit.
+func Bump() { atomic.AddUint64(&Hits, 1) }
+
+// Flags is only ever accessed plainly here.
+var Flags uint64
+
+// SetFlag sets a bit.
+func SetFlag(b uint64) { Flags |= b }

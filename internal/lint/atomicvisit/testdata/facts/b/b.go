@@ -1,0 +1,26 @@
+// Package b mixes access modes against package a's exported facts.
+package b
+
+import (
+	"sync/atomic"
+
+	a "fafnet/internal/avafake"
+)
+
+// Read reads the counter plainly against its atomic contract.
+func Read(c *a.Ctr) uint64 {
+	return c.N // flagged: a accesses Ctr.N atomically
+}
+
+// Drain resets Hits plainly.
+func Drain() {
+	a.Hits = 0 // flagged: a accesses Hits atomically
+}
+
+// Mark bumps Flags atomically although a only ever touches it plainly.
+func Mark() {
+	atomic.AddUint64(&a.Flags, 1) // flagged from this side
+}
+
+// Ok reads Hits the sanctioned way.
+func Ok() uint64 { return atomic.LoadUint64(&a.Hits) }

@@ -1,0 +1,12 @@
+// Package waive holds a deliberately waived mixed access.
+package waive
+
+import "sync/atomic"
+
+var n uint64
+
+func inc() { atomic.AddUint64(&n, 1) }
+
+func read() uint64 {
+	return n //lint:allow atomicvisit deliberate fixture suppression
+}

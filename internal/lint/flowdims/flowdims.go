@@ -43,6 +43,7 @@ guessing; findings are only raised where the purely name-based unitcheck
 analyzer cannot see the mismatch.`,
 	Run:          run,
 	ExportsFacts: true,
+	FactTypes:    []string{"objFact"},
 }
 
 // spec is what the analysis knows about one float parameter, result or

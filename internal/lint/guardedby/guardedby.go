@@ -45,6 +45,7 @@ packages via facts. Struct-literal construction is exempt — a value being
 built is not yet shared.`,
 	Run:          run,
 	ExportsFacts: true,
+	FactTypes:    []string{"guardFact"},
 }
 
 // annotRe extracts the guard name from a declaration comment.

@@ -1,0 +1,136 @@
+package hotpath_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fafnet/internal/lint"
+	"fafnet/internal/lint/facts"
+	"fafnet/internal/lint/hotpath"
+)
+
+// cleanFact mirrors hotpath's exported per-function fact for assertions.
+type cleanFact struct {
+	Clean bool `json:"clean"`
+}
+
+// checkDir typechecks the sources in dir as pkgPath — resolving module
+// imports from deps — and runs hotpath with the given imported fact files.
+func checkDir(t *testing.T, dir, pkgPath string, deps map[string]*types.Package, imported map[string]facts.File) ([]lint.Diagnostic, facts.File, *types.Package) {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no sources under %s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, path := range matches {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	std := importer.ForCompiler(fset, "source", nil)
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if p, ok := deps[path]; ok {
+				return p, nil
+			}
+			return std.Import(path)
+		}),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", dir, err)
+	}
+	diags, exported, err := lint.Run(fset, files, pkg, info, []*lint.Analyzer{hotpath.Analyzer}, imported)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags, exported, pkg
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// TestCrossPackageFacts drives the facts protocol end to end: package a
+// exports an annotated interface method and a clean-function fact; package
+// b's implementations of the interface become checked roots, b's calls
+// resolve a's facts, and b republishes its own clean methods.
+func TestCrossPackageFacts(t *testing.T) {
+	const aPath = "fafnet/internal/afake"
+	const bPath = "fafnet/internal/bfake"
+
+	aDiags, aFacts, aPkg := checkDir(t, "testdata/facts/a", aPath, nil, nil)
+	if len(aDiags) != 0 {
+		t.Fatalf("package a should be clean, got %v", aDiags)
+	}
+	var scale cleanFact
+	if !aFacts.Get("hotpath", "Scale", &scale) || !scale.Clean {
+		t.Errorf("Scale fact = %+v, want clean", scale)
+	}
+	var build cleanFact
+	if aFacts.Get("hotpath", "Build", &build) {
+		t.Errorf("Build exported a fact (%+v); an allocating function must not be proven clean", build)
+	}
+	var ifaces []string
+	if !aFacts.Get("hotpath", "ifaces", &ifaces) {
+		t.Fatal("package a exported no annotated-interface fact")
+	}
+	if len(ifaces) != 1 || ifaces[0] != "Kernel.Eval" {
+		t.Errorf("ifaces fact = %v, want [Kernel.Eval]", ifaces)
+	}
+
+	bDiags, bFacts, _ := checkDir(t, "testdata/facts/b", bPath,
+		map[string]*types.Package{aPath: aPkg},
+		map[string]facts.File{aPath: aFacts})
+
+	wantSubstrings := []string{
+		"make allocates", // Bad.Eval, a root only via the imported annotation
+		"call to afake.Build is not proven hot-path-safe", // Drive's unproven cross-package call
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, d := range bDiags {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing diagnostic containing %q in %v", want, bDiags)
+		}
+	}
+	for _, d := range bDiags {
+		if strings.Contains(d.Message, "Kernel.Eval") {
+			t.Errorf("dynamic call through the annotated interface method was flagged: %v", d)
+		}
+	}
+
+	var linEval cleanFact
+	if !bFacts.Get("hotpath", "Lin.Eval", &linEval) || !linEval.Clean {
+		t.Errorf("Lin.Eval fact = %+v, want clean (proven through a.Scale's fact)", linEval)
+	}
+	var badEval cleanFact
+	if bFacts.Get("hotpath", "Bad.Eval", &badEval) {
+		t.Errorf("Bad.Eval exported a fact (%+v); it allocates", badEval)
+	}
+	var drive cleanFact
+	if bFacts.Get("hotpath", "Drive", &drive) {
+		t.Errorf("Drive exported a fact (%+v); it calls an unproven function", drive)
+	}
+}

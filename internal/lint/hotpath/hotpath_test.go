@@ -1,0 +1,25 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"fafnet/internal/lint/hotpath"
+	"fafnet/internal/lint/linttest"
+)
+
+// TestHotpath drives every rule against the want-annotated fixture.
+func TestHotpath(t *testing.T) {
+	linttest.Run(t, hotpath.Analyzer, "testdata/h", "fafnet/internal/hfake")
+}
+
+// TestWaiver shows a justified //lint:allow hotpath suppression silencing
+// a finding (and being counted as used).
+func TestWaiver(t *testing.T) {
+	linttest.Run(t, hotpath.Analyzer, "testdata/waive", "fafnet/internal/waivefake")
+}
+
+// TestOutOfScopeSilent shows the same sources produce nothing outside the
+// module: the analyzer is scoped to fafnet packages.
+func TestOutOfScopeSilent(t *testing.T) {
+	linttest.RunExpectNone(t, hotpath.Analyzer, "testdata/h", "example.com/outside")
+}

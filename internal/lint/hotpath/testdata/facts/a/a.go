@@ -1,0 +1,18 @@
+// Package a exports an annotated interface method and one proven-clean
+// helper for the cross-package facts test.
+package a
+
+// Kernel is the pluggable evaluation kernel.
+type Kernel interface {
+	// Eval evaluates the envelope at t.
+	//
+	//fafvet:hotpath
+	Eval(t float64) float64
+}
+
+// Scale multiplies; it is transitively hot-path-safe and must export a
+// clean fact.
+func Scale(x, k float64) float64 { return x * k }
+
+// Build allocates; it must export no fact.
+func Build(n int) []float64 { return make([]float64, n) }

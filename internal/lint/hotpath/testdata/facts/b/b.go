@@ -1,0 +1,30 @@
+// Package b implements package a's annotated interface and consumes its
+// facts.
+package b
+
+import "fafnet/internal/afake"
+
+// Lin implements a.Kernel cleanly through a's proven helper.
+type Lin struct{ K float64 }
+
+// Eval is an implementation root via the imported interface annotation.
+func (l Lin) Eval(t float64) float64 { return a.Scale(t, l.K) }
+
+// Bad implements a.Kernel with an allocation.
+type Bad struct{}
+
+// Eval allocates on the hot path.
+func (Bad) Eval(t float64) float64 {
+	xs := make([]float64, 1)
+	return xs[0]
+}
+
+// Drive trusts the annotated interface method but also calls an unproven
+// cross-package function.
+//
+//fafvet:hotpath
+func Drive(k a.Kernel, t float64) float64 {
+	v := k.Eval(t)
+	_ = a.Build(1)
+	return v
+}

@@ -1,0 +1,202 @@
+// Package h exercises every hotpath rule.
+package h
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Evaluator is the pluggable kernel; Value is part of the hot path.
+type Evaluator interface {
+	// Value returns the envelope value at t.
+	//
+	//fafvet:hotpath
+	Value(t float64) float64
+	// Other is deliberately not annotated.
+	Other(t float64) float64
+}
+
+// Lin is a clean implementation: checked as a root, silently.
+type Lin struct{ a float64 }
+
+// Value is allocation-free.
+func (l Lin) Value(t float64) float64 { return math.Floor(l.a * t) }
+
+// Other is unconstrained.
+func (l Lin) Other(t float64) float64 { return t }
+
+// Bad implements Evaluator with an allocating Value.
+type Bad struct{}
+
+// Value formats on the hot path.
+func (Bad) Value(t float64) float64 {
+	return float64(len(fmt.Sprint(t))) // want `call into fmt allocates`
+}
+
+// Other completes the interface so Bad actually implements it.
+func (Bad) Other(t float64) float64 { return t }
+
+// UseIface calls through both interface methods.
+//
+//fafvet:hotpath
+func UseIface(e Evaluator, t float64) float64 {
+	_ = e.Other(t)    // want `interface method Evaluator.Other is not covered by a //fafvet:hotpath annotation`
+	return e.Value(t) // trusted: the method is annotated
+}
+
+// Allocs collects the direct allocation rules.
+//
+//fafvet:hotpath
+func Allocs(xs []float64) float64 {
+	buf := make([]float64, 4) // want `make allocates`
+	p := new(int)             // want `new allocates`
+	xs = append(xs, 1)        // want `append may grow its backing array`
+	ys := []float64{1, 2}     // want `slice literal allocates`
+	m := map[int]int{}        // want `map literal allocates`
+	q := &pair{3, 4}          // want `address of a composite literal escapes`
+	v := pair{1, 2}           // a value struct literal stays on the stack
+	_, _, _ = buf, p, m
+	return xs[0] + ys[0] + q.a + v.b
+}
+
+type pair struct{ a, b float64 }
+
+// Strs collects the string rules.
+//
+//fafvet:hotpath
+func Strs(a, b string, bs []byte) string {
+	_ = string(bs) // want `conversion to string allocates`
+	_ = []byte(a)  // want `conversion of string to \[\]byte allocates`
+	return a + b   // want `string concatenation allocates`
+}
+
+// Conv boxes explicitly.
+//
+//fafvet:hotpath
+func Conv(x int) any {
+	return any(x) // want `conversion of int to interface .* allocates \(boxing\)`
+}
+
+// sink has an interface parameter.
+func sink(v any) { _ = v }
+
+// vsum is variadic.
+func vsum(vs ...float64) float64 {
+	s := 0.0
+	for i := range vs {
+		s += vs[i]
+	}
+	return s
+}
+
+// Calls collects the call-site allocation rules.
+//
+//fafvet:hotpath
+func Calls(x int) float64 {
+	sink(x)           // want `interface parameter v of sink allocates \(boxing\)`
+	return vsum(1, 2) // want `variadic call packs 2 argument\(s\) into a slice`
+}
+
+// Dyn calls through a function value.
+//
+//fafvet:hotpath
+func Dyn(f func() float64) float64 {
+	return f() // want `dynamic call through a function value`
+}
+
+// Spawns collects goroutine, defer and closure rules.
+//
+//fafvet:hotpath
+func Spawns() {
+	go cleanHelper()    // want `go statement allocates a goroutine`
+	defer cleanHelper() // want `defer may allocate its record`
+	f := func() {}      // want `func literal allocates a closure`
+	_ = f
+}
+
+// MethodVal binds a method.
+//
+//fafvet:hotpath
+func MethodVal(l Lin) func(float64) float64 {
+	return l.Value // want `bound method value l.Value allocates a closure`
+}
+
+// Chans collects the channel rules.
+//
+//fafvet:hotpath
+func Chans(ch chan int) {
+	ch <- 1  // want `channel send may block`
+	<-ch     // want `channel receive may block`
+	select { // want `select may block`
+	case v := <-ch: // want `channel receive may block`
+		_ = v
+	}
+	for range ch { // want `range over a channel may block`
+	}
+}
+
+var mu sync.Mutex
+
+// Locks trips the blocking rules.
+//
+//fafvet:hotpath
+func Locks() {
+	mu.Lock()     // want `sync.Mutex.Lock may block`
+	mu.Unlock()   // want `outside the hot-path allowlist`
+	time.Sleep(1) // want `time.Sleep blocks`
+}
+
+// Clock reads the wall clock through two hops; the finding carries the
+// call path from the root.
+//
+//fafvet:hotpath
+func Clock() int64 {
+	return hop1()
+}
+
+func hop1() int64 { return hop2() }
+
+func hop2() int64 {
+	_ = time.Now() // want `time.Now reads the wall clock.*call path: Clock -> hop1 -> hop2`
+	return 0
+}
+
+// CopyMaps is order-safe map iteration: transfers and deletes only.
+//
+//fafvet:hotpath
+func CopyMaps(dst, src map[int]float64) {
+	for k, v := range src {
+		dst[k] = v
+	}
+	for k := range src {
+		delete(dst, k)
+	}
+}
+
+// SumMap lets the iteration order escape into a float accumulation.
+//
+//fafvet:hotpath
+func SumMap(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want `map iteration order escapes`
+		s += v
+	}
+	return s
+}
+
+// Unv calls off-allowlist stdlib.
+//
+//fafvet:hotpath
+func Unv(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64) // want `strconv.FormatFloat is outside the hot-path allowlist`
+}
+
+//fafvet:typo-directive // want `unknown fafvet directive`
+
+//fafvet:hotpath // want `misplaced //fafvet:hotpath`
+var notAFunc int
+
+func cleanHelper() {}

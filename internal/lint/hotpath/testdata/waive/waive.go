@@ -1,0 +1,10 @@
+// Package waive shows a justified //lint:allow suppression holding back a
+// hotpath finding; the analyzer must stay silent.
+package waive
+
+// Scratch is annotated but waives its one allocation.
+//
+//fafvet:hotpath
+func Scratch() []int {
+	return make([]int, 1) //lint:allow hotpath deliberate fixture suppression
+}

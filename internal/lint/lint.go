@@ -41,6 +41,10 @@ type Analyzer struct {
 	// (Pass.ExportFact) for downstream packages. Only these analyzers run
 	// during facts-only passes over dependency packages (Config.VetxOnly).
 	ExportsFacts bool
+	// FactTypes names the fact shapes the analyzer exports (the Go type
+	// names of its fact payloads), for the -analyzers machine-readable
+	// listing. Empty for analyzers that export no facts.
+	FactTypes []string
 	// Flags lists extra analyzer-specific boolean flags. Main registers them
 	// on the command line and advertises them to `go vet` via -flags — which
 	// also makes them part of the go command's action cache key, so toggling

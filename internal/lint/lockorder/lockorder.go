@@ -61,6 +61,7 @@ executed while a mutex is held. Branches merge conservatively (intersection),
 and goroutine bodies start with an empty held set.`,
 	Run:          run,
 	ExportsFacts: true,
+	FactTypes:    []string{"funcFact", "edgeFact"},
 	Flags: []lint.BoolFlag{{
 		Name:  "lockgraph",
 		Usage: "emit lock-acquisition edges as diagnostics (used by -format=dot)",

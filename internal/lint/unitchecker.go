@@ -80,6 +80,7 @@ func Main(analyzers ...*Analyzer) {
 
 	printVersion := flag.String("V", "", "print version and exit (-V=full)")
 	printFlags := flag.Bool("flags", false, "print analyzer flags in JSON")
+	listAnalyzers := flag.Bool("analyzers", false, "print the analyzer inventory as JSON and exit")
 	emit := flag.String("emit", "text", `diagnostic format on stderr: "text" or "machine"`)
 	format := flag.String("format", "text", `driver-mode output format: "text", "json", "sarif" or "dot" (lock graph)`)
 	output := flag.String("o", "", "driver-mode output file (default stdout)")
@@ -101,6 +102,9 @@ func Main(analyzers ...*Analyzer) {
 		log.Fatalf("unsupported flag value: -V=%s", *printVersion)
 	case *printFlags:
 		flagsJSON(analyzers)
+		os.Exit(0)
+	case *listAnalyzers:
+		analyzersJSON(analyzers)
 		os.Exit(0)
 	}
 
@@ -199,6 +203,27 @@ func flagsJSON(analyzers []*Analyzer) {
 		}
 	}
 	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(append(data, '\n'))
+}
+
+// analyzersJSON prints the machine-readable analyzer inventory in
+// registration order: name, the first line of the doc, and the Go type
+// names of the facts the analyzer exports. The cmd/fafvet docs test diffs
+// this listing against the README analyzer table in both directions.
+func analyzersJSON(analyzers []*Analyzer) {
+	type entry struct {
+		Name  string   `json:"name"`
+		Doc   string   `json:"doc"`
+		Facts []string `json:"facts,omitempty"`
+	}
+	list := make([]entry, 0, len(analyzers))
+	for _, a := range analyzers {
+		list = append(list, entry{Name: a.Name, Doc: firstLine(a.Doc), Facts: a.FactTypes})
+	}
+	data, err := json.MarshalIndent(list, "", "\t")
 	if err != nil {
 		log.Fatal(err)
 	}

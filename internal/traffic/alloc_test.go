@@ -1,0 +1,83 @@
+package traffic_test
+
+import (
+	"testing"
+
+	"fafnet/internal/traffic"
+)
+
+// The Descriptor interface annotates Bits and LongTermRate as //fafvet:hotpath,
+// so the analyzer proves every implementation allocation-free at build time.
+// These regression tests pin the same property at run time for the paths the
+// admission probes actually exercise, so a change that defeats the static
+// proof's assumptions (e.g. a descriptor built in a way the analyzer never
+// sees) still fails CI.
+
+// evalPoints is a fixed set of query intervals spanning sub-burst to
+// multi-period horizons.
+func evalPoints() []float64 {
+	pts := make([]float64, 0, 100)
+	for i := 1; i <= 100; i++ {
+		pts = append(pts, float64(i)*3.7e-4)
+	}
+	return pts
+}
+
+// TestFusedEnvelopeEvalAllocationFree pins the warm fused-envelope path: a
+// realistic stage-0 chain (MAC output shape → frame→cell quantization →
+// FIFO port delays), fused and memoized exactly as the analyzer's stage-0
+// cache builds it, must answer repeated Bits queries with zero allocations
+// once the memo has seen the points.
+func TestFusedEnvelopeEvalAllocationFree(t *testing.T) {
+	src, err := traffic.NewDualPeriodic(50e3, 0.010, 10e3, 0.001, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := traffic.NewQuantized(src, 36000, 94*384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := traffic.NewDelayed(q, 0.4e-3, 140e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := traffic.NewDelayed(d1, 0.2e-3, 140e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := traffic.NewMemoized(traffic.Fuse(d2))
+
+	pts := evalPoints()
+	var sink float64
+	for _, p := range pts {
+		sink += m.Bits(p)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		for _, p := range pts {
+			sink += m.Bits(p)
+		}
+	}); n != 0 {
+		t.Errorf("warm memoized fused envelope: %v allocs per run, want 0", n)
+	}
+	_ = sink
+}
+
+// TestSourceEvalAllocationFree pins the cold path: the source descriptors
+// themselves are pure arithmetic, so even unmemoized evaluation at fresh
+// points must not allocate.
+func TestSourceEvalAllocationFree(t *testing.T) {
+	src, err := traffic.NewDualPeriodic(50e3, 0.010, 10e3, 0.001, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := evalPoints()
+	var sink float64
+	if n := testing.AllocsPerRun(100, func() {
+		for _, p := range pts {
+			sink += src.Bits(p)
+		}
+	}); n != 0 {
+		t.Errorf("dual-periodic source eval: %v allocs per run, want 0", n)
+	}
+	_ = sink
+}

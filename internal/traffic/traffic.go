@@ -25,10 +25,18 @@ import (
 type Descriptor interface {
 	// Bits returns A(I) = I·Γ(I): the maximum number of bits the connection
 	// may produce in any interval of length interval seconds.
+	//
+	// Bits is the inner loop of every server analysis and every admission
+	// probe; implementations must be allocation-free, non-blocking and
+	// deterministic (enforced transitively by the hotpath analyzer).
+	//
+	//fafvet:hotpath
 	Bits(interval float64) float64
 
 	// LongTermRate returns ρ = lim_{I→∞} Γ(I) in bits per second. It is the
 	// quantity every stability check compares against allocated capacity.
+	//
+	//fafvet:hotpath
 	LongTermRate() float64
 }
 
