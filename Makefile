@@ -12,7 +12,7 @@ BENCH_JSON ?= BENCH.json
 
 # bench-compare baseline: the JSON report committed with the most recent
 # performance PR.
-BENCH_BASELINE ?= BENCH_PR7.json
+BENCH_BASELINE ?= BENCH_PR8.json
 
 .PHONY: all build fmt vet sarif lockgraph lockgraph-check race test short bench bench-compare chaos docs-check check clean
 
@@ -93,9 +93,11 @@ bench: $(FAFBENCH)
 
 # Diff a fresh bench run against the committed baseline report. Defaults
 # apply both gates (ns/op 1.25x, allocs/op 1.10x) — appropriate for
-# interleaved runs on one quiet machine. CI overrides the flags because its
-# runners are too noisy for the wall-clock gate:
-#   make bench-compare FAFBENCH_COMPARE_FLAGS='-ns-ratio=0 -allocs-ratio=1.5'
+# interleaved runs on one quiet machine. CI loosens both because its
+# runners are shared (the loose wall-clock gate still catches
+# order-of-magnitude cache breakage):
+#   make bench-compare FAFBENCH_COMPARE_FLAGS='-ns-ratio=4 -allocs-ratio=1.5'
+# Add -format=markdown for a summary table (PR descriptions, job summaries).
 bench-compare: $(FAFBENCH)
 	./$(FAFBENCH) -compare $(FAFBENCH_COMPARE_FLAGS) $(BENCH_BASELINE) $(BENCH_JSON)
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 )
 
 // CompareThresholds configures the regression gates of Compare. A zero ratio
@@ -35,43 +36,94 @@ type Regression struct {
 // baseline). Benchmarks only in the new report are listed but never fail.
 // The human-readable diff is written to w.
 func Compare(w io.Writer, old, new Report, th CompareThresholds) []Regression {
+	var regs []Regression
+	eachRow(old, new, th, &regs,
+		func(ob Benchmark) { fmt.Fprintf(w, "%-40s MISSING from new report\n", ob.Name) },
+		func(ob, nb Benchmark, verdicts []string) {
+			fmt.Fprintf(w, "%-40s ns/op %12.4g -> %-12.4g (%s)", ob.Name, ob.NsPerOp, nb.NsPerOp, ratio(ob.NsPerOp, nb.NsPerOp))
+			if ob.AllocsPerOp != nil && nb.AllocsPerOp != nil {
+				fmt.Fprintf(w, "  allocs/op %6g -> %-6g", *ob.AllocsPerOp, *nb.AllocsPerOp)
+			}
+			for _, v := range verdicts {
+				fmt.Fprintf(w, "  %s", v)
+			}
+			fmt.Fprintln(w)
+		},
+		func(name string) { fmt.Fprintf(w, "%-40s only in new report (not gated)\n", name) },
+	)
+	return regs
+}
+
+// CompareMarkdown renders the same diff as Compare as a GitHub-flavored
+// markdown table (one row per benchmark, verdict column flagging gate
+// violations), suitable for pasting into a PR description or a CI job
+// summary. The regression verdicts are identical to Compare's.
+func CompareMarkdown(w io.Writer, old, new Report, th CompareThresholds) []Regression {
+	fmt.Fprintln(w, "| benchmark | ns/op (old) | ns/op (new) | ratio | allocs/op (old → new) | verdict |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---|")
+	var regs []Regression
+	eachRow(old, new, th, &regs,
+		func(ob Benchmark) {
+			fmt.Fprintf(w, "| %s | %.4g | — | — | — | missing from new report |\n", ob.Name, ob.NsPerOp)
+		},
+		func(ob, nb Benchmark, verdicts []string) {
+			allocs := "—"
+			if ob.AllocsPerOp != nil && nb.AllocsPerOp != nil {
+				allocs = fmt.Sprintf("%g → %g", *ob.AllocsPerOp, *nb.AllocsPerOp)
+			}
+			verdict := "ok"
+			if len(verdicts) > 0 {
+				verdict = strings.Join(verdicts, ", ")
+			}
+			fmt.Fprintf(w, "| %s | %.4g | %.4g | %s | %s | %s |\n",
+				ob.Name, ob.NsPerOp, nb.NsPerOp, ratio(ob.NsPerOp, nb.NsPerOp), allocs, verdict)
+		},
+		func(name string) {
+			fmt.Fprintf(w, "| %s | — | — | — | — | only in new report (not gated) |\n", name)
+		},
+	)
+	return regs
+}
+
+// eachRow walks the old report in order, applies the regression gates, and
+// dispatches each benchmark to the appropriate renderer callback: missing
+// from the new report, present in both (with its gate verdicts), or present
+// only in the new report (sorted, never gated). Gate violations are appended
+// to *regs, so every output format shares one verdict computation.
+func eachRow(old, new Report, th CompareThresholds, regs *[]Regression,
+	missing func(ob Benchmark),
+	both func(ob, nb Benchmark, verdicts []string),
+	addedOnly func(name string),
+) {
 	newByName := make(map[string]Benchmark, len(new.Benchmarks))
 	for _, b := range new.Benchmarks {
 		newByName[b.Name] = b
 	}
 	oldNames := make(map[string]bool, len(old.Benchmarks))
 
-	var regs []Regression
 	for _, ob := range old.Benchmarks {
 		oldNames[ob.Name] = true
 		nb, ok := newByName[ob.Name]
 		if !ok {
-			regs = append(regs, Regression{ob.Name, "benchmark missing from new report"})
-			fmt.Fprintf(w, "%-40s MISSING from new report\n", ob.Name)
+			*regs = append(*regs, Regression{ob.Name, "benchmark missing from new report"})
+			missing(ob)
 			continue
 		}
 		var verdicts []string
 		if th.NsRatio > 0 && nb.NsPerOp > ob.NsPerOp*th.NsRatio {
 			d := fmt.Sprintf("ns/op %.4g -> %.4g exceeds %.2fx threshold", ob.NsPerOp, nb.NsPerOp, th.NsRatio)
-			regs = append(regs, Regression{ob.Name, d})
+			*regs = append(*regs, Regression{ob.Name, d})
 			verdicts = append(verdicts, "REGRESSION(ns/op)")
 		}
 		if th.AllocsRatio > 0 && ob.AllocsPerOp != nil && nb.AllocsPerOp != nil {
 			oa, na := *ob.AllocsPerOp, *nb.AllocsPerOp
 			if na > oa*th.AllocsRatio && na > oa {
 				d := fmt.Sprintf("allocs/op %g -> %g exceeds %.2fx threshold", oa, na, th.AllocsRatio)
-				regs = append(regs, Regression{ob.Name, d})
+				*regs = append(*regs, Regression{ob.Name, d})
 				verdicts = append(verdicts, "REGRESSION(allocs/op)")
 			}
 		}
-		fmt.Fprintf(w, "%-40s ns/op %12.4g -> %-12.4g (%s)", ob.Name, ob.NsPerOp, nb.NsPerOp, ratio(ob.NsPerOp, nb.NsPerOp))
-		if ob.AllocsPerOp != nil && nb.AllocsPerOp != nil {
-			fmt.Fprintf(w, "  allocs/op %6g -> %-6g", *ob.AllocsPerOp, *nb.AllocsPerOp)
-		}
-		for _, v := range verdicts {
-			fmt.Fprintf(w, "  %s", v)
-		}
-		fmt.Fprintln(w)
+		both(ob, nb, verdicts)
 	}
 
 	var added []string
@@ -82,9 +134,8 @@ func Compare(w io.Writer, old, new Report, th CompareThresholds) []Regression {
 	}
 	sort.Strings(added)
 	for _, name := range added {
-		fmt.Fprintf(w, "%-40s only in new report (not gated)\n", name)
+		addedOnly(name)
 	}
-	return regs
 }
 
 // ratio renders new/old as a factor, guarding the old == 0 edge.
@@ -95,10 +146,11 @@ func ratio(old, new float64) string {
 	return fmt.Sprintf("%.3fx", new/old)
 }
 
-// runCompare implements the -compare CLI mode: load both reports, diff them,
-// and exit 2 when any threshold is violated (mirroring fafvet's
-// findings-exist exit code; operational errors exit 1).
-func runCompare(oldPath, newPath string, th CompareThresholds) {
+// runCompare implements the -compare CLI mode: load both reports, diff them
+// in the requested format (text or markdown), and exit 2 when any threshold
+// is violated (mirroring fafvet's findings-exist exit code; operational
+// errors exit 1).
+func runCompare(oldPath, newPath, format string, th CompareThresholds) {
 	old, err := loadReport(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fafbench:", err)
@@ -109,7 +161,16 @@ func runCompare(oldPath, newPath string, th CompareThresholds) {
 		fmt.Fprintln(os.Stderr, "fafbench:", err)
 		os.Exit(1)
 	}
-	regs := Compare(os.Stdout, old, new, th)
+	var regs []Regression
+	switch format {
+	case "", "text":
+		regs = Compare(os.Stdout, old, new, th)
+	case "markdown":
+		regs = CompareMarkdown(os.Stdout, old, new, th)
+	default:
+		fmt.Fprintf(os.Stderr, "fafbench: unknown -format %q (want text or markdown)\n", format)
+		os.Exit(1)
+	}
 	if len(regs) > 0 {
 		fmt.Fprintf(os.Stderr, "fafbench: %d regression(s) vs %s:\n", len(regs), oldPath)
 		for _, r := range regs {

@@ -92,3 +92,48 @@ func TestCompareSkipsAllocsWhenAbsent(t *testing.T) {
 		t.Fatalf("allocs gate fired without measurements: %v", regs)
 	}
 }
+
+func TestCompareMarkdown(t *testing.T) {
+	old := report(
+		Benchmark{Name: "CACAdmit/active9", NsPerOp: 12e6, AllocsPerOp: fptr(5000)},
+		Benchmark{Name: "MACAnalysis", NsPerOp: 1000},
+		Benchmark{Name: "Gone", NsPerOp: 7},
+	)
+	new := report(
+		Benchmark{Name: "CACAdmit/active9", NsPerOp: 1e6, AllocsPerOp: fptr(5000)},
+		Benchmark{Name: "MACAnalysis", NsPerOp: 1500},
+		Benchmark{Name: "BrandNew", NsPerOp: 5},
+	)
+	var sb strings.Builder
+	regs := CompareMarkdown(&sb, old, new, CompareThresholds{NsRatio: 1.25, AllocsRatio: 1.10})
+	out := sb.String()
+
+	// Verdicts must match the text renderer's exactly: one ns/op regression
+	// (MACAnalysis) and one missing benchmark (Gone).
+	if got := regressionNames(regs); len(got) != 2 || got[0] != "MACAnalysis" && got[1] != "MACAnalysis" {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // header + separator + 4 benchmark rows
+		t.Fatalf("expected 6 table lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "| benchmark |") || !strings.HasPrefix(lines[1], "|---") {
+		t.Fatalf("missing table header:\n%s", out)
+	}
+	for i, line := range lines {
+		if !strings.HasPrefix(line, "|") || !strings.HasSuffix(line, "|") {
+			t.Fatalf("line %d is not a table row: %q", i, line)
+		}
+	}
+	for _, want := range []string{
+		"| CACAdmit/active9 | 1.2e+07 | 1e+06 | 0.083x | 5000 → 5000 | ok |",
+		"REGRESSION(ns/op)",
+		"missing from new report",
+		"only in new report (not gated)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown output missing %q:\n%s", want, out)
+		}
+	}
+}

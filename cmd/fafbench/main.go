@@ -6,7 +6,7 @@
 //
 //	go test -run '^$' -bench . -benchmem . | fafbench -o BENCH.json
 //	fafbench -o BENCH.json bench.out
-//	fafbench -compare [-ns-ratio 1.25] [-allocs-ratio 1.10] old.json new.json
+//	fafbench -compare [-ns-ratio 1.25] [-allocs-ratio 1.10] [-format markdown] old.json new.json
 //
 // Each benchmark line becomes one record with the iteration count, the
 // standard ns/op, B/op and allocs/op measurements, and any custom metrics
@@ -35,6 +35,7 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two fafbench JSON reports (old new) and exit 2 on regression")
 	nsRatio := flag.Float64("ns-ratio", 1.25, "with -compare: fail when ns/op exceeds old by this factor (0 disables)")
 	allocsRatio := flag.Float64("allocs-ratio", 1.10, "with -compare: fail when allocs/op exceeds old by this factor (0 disables)")
+	format := flag.String("format", "text", "with -compare: output format, text or markdown (a summary table for PRs and CI job summaries)")
 	flag.Parse()
 
 	if *compare {
@@ -42,7 +43,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fafbench: -compare requires exactly two arguments: old.json new.json")
 			os.Exit(1)
 		}
-		runCompare(flag.Arg(0), flag.Arg(1), CompareThresholds{NsRatio: *nsRatio, AllocsRatio: *allocsRatio})
+		runCompare(flag.Arg(0), flag.Arg(1), *format, CompareThresholds{NsRatio: *nsRatio, AllocsRatio: *allocsRatio})
 		return
 	}
 

@@ -96,6 +96,39 @@ func AnalyzeMux(inputs []traffic.Descriptor, p MuxParams, opts MuxOptions) (MuxR
 			return MuxResult{}, fmt.Errorf("atm: input %d is nil", i)
 		}
 	}
+	// The aggregate is scanned twice over largely the same points (busy-period
+	// search, then the extremum pass over the merged grid) and its breakpoint
+	// union is re-requested at every doubled horizon; the memo makes each
+	// distinct point cost one chain walk total instead of one per scan.
+	agg := traffic.NewMemoized(traffic.NewAggregate(inputs...))
+	res, err := AnalyzeAggregate(agg, p, opts)
+	if err != nil {
+		return MuxResult{}, err
+	}
+
+	outs := make([]traffic.Descriptor, len(inputs))
+	for i, in := range inputs {
+		out, derr := traffic.NewDelayed(in, res.Delay, p.CapacityBps)
+		if derr != nil {
+			return MuxResult{}, fmt.Errorf("atm: building output envelope %d: %w", i, derr)
+		}
+		outs[i] = out
+	}
+	res.Outputs = outs
+	return res, nil
+}
+
+// AnalyzeAggregate bounds the same FIFO multiplexer given the combined
+// envelope of all its inputs — already summed, e.g. a materialized flat
+// breakpoint array delta-updated across admission probes — so callers that
+// maintain aggregates incrementally skip both the per-call Aggregate
+// construction and the per-point member summation. The result carries no
+// per-input Outputs (the caller owns the member set); everything else is
+// identical to AnalyzeMux over the member envelopes.
+func AnalyzeAggregate(agg traffic.Descriptor, p MuxParams, opts MuxOptions) (MuxResult, error) {
+	if agg == nil {
+		return MuxResult{}, errors.New("atm: AnalyzeAggregate requires an aggregate envelope")
+	}
 	if p.CapacityBps <= 0 {
 		return MuxResult{}, fmt.Errorf("atm: capacity %v must be positive", p.CapacityBps)
 	}
@@ -105,11 +138,6 @@ func AnalyzeMux(inputs []traffic.Descriptor, p MuxParams, opts MuxOptions) (MuxR
 	opts = opts.withDefaults()
 	mMuxAnalyses.Inc()
 
-	// The aggregate is scanned twice over largely the same points (busy-period
-	// search, then the extremum pass over the merged grid) and its breakpoint
-	// union is re-requested at every doubled horizon; the memo makes each
-	// distinct point cost one chain walk total instead of one per scan.
-	agg := traffic.NewMemoized(traffic.NewAggregate(inputs...))
 	if agg.LongTermRate() >= p.CapacityBps*(1-units.RelTol) {
 		mMuxInfeasible.Inc()
 		return MuxResult{}, fmt.Errorf("%w: Σρ=%v bps, C=%v bps", ErrMuxOverload, agg.LongTermRate(), p.CapacityBps)
@@ -129,16 +157,7 @@ func AnalyzeMux(inputs []traffic.Descriptor, p MuxParams, opts MuxOptions) (MuxR
 		mMuxInfeasible.Inc()
 		return MuxResult{}, fmt.Errorf("%w: backlog=%v bits, buffer=%v bits", ErrMuxBufferOverflow, backlog, p.BufferBits)
 	}
-
-	outs := make([]traffic.Descriptor, len(inputs))
-	for i, in := range inputs {
-		out, derr := traffic.NewDelayed(in, delay, p.CapacityBps)
-		if derr != nil {
-			return MuxResult{}, fmt.Errorf("atm: building output envelope %d: %w", i, derr)
-		}
-		outs[i] = out
-	}
-	return MuxResult{BusyPeriod: busy, Delay: delay, BacklogBits: backlog, Outputs: outs}, nil
+	return MuxResult{BusyPeriod: busy, Delay: delay, BacklogBits: backlog}, nil
 }
 
 // maxMuxBacklog returns the worst-case queue content: the maximum of
@@ -169,6 +188,12 @@ func maxMuxBacklog(agg traffic.Descriptor, grid []float64, busy, capacity float6
 // reuse it for the extremum scan.
 func busyPeriod(agg traffic.Descriptor, capacity float64, opts MuxOptions) (float64, []float64, error) {
 	for horizon := opts.InitialHorizon; horizon <= opts.MaxHorizon*2; horizon *= 2 {
+		// A lowered aggregate materializes out to the scanned horizon before
+		// the walk — for a delta-updated sum this extends the member arrays,
+		// so deep points cost a few array lookups instead of chain walks.
+		if he, ok := agg.(traffic.HorizonEnsurer); ok {
+			he.EnsureHorizon(horizon)
+		}
 		grid := traffic.Grid(agg, horizon, opts.GridPoints)
 		if t, ok := busyCrossing(agg, grid, capacity); ok {
 			return t, grid, nil

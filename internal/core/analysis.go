@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"reflect"
+	"slices"
 	"sort"
 
 	"fafnet/internal/atm"
@@ -36,19 +38,95 @@ type Analyzer struct {
 	// CAC forgets on every release and every rejected admission.
 	macCache map[string]map[float64]macEntry
 	// stage0Cache carries each connection's fused, memoized envelope at the
-	// entrance of its first shared port across evaluations. The envelope
-	// depends only on the connection's own spec and sender allocation, so it
-	// (and every Bits value its memo accumulates) stays valid until the
-	// allocation changes or Forget is called. Unused under DisableFusion.
-	stage0Cache map[string]stage0Entry
+	// entrance of its first shared port across evaluations, keyed like
+	// macCache by the sender allocation it was built with: a CAC bisection
+	// revisits the same handful of allocations, and each entry (with every
+	// Bits value its memo accumulates, and its lowered flat's pointer
+	// identity) stays valid until Forget. Unused under DisableFusion.
+	stage0Cache map[string]map[float64]stage0Entry
+	// stageFlats caches each connection's per-stage flat envelopes across
+	// evaluations, keyed by the exact inputs that determine them: the sender
+	// allocation and the worst-case delays of the upstream ports on the
+	// route. Admission probes and releases revisit the same global states,
+	// so the same keys — and therefore the same pointer-stable arrays —
+	// recur, which in turn lets portMux and dstCache key entire analysis
+	// results by flat identity.
+	stageFlats map[string][]stageFlatEntry
+	// portMux caches FIFO-port analysis results keyed by the exact member
+	// flat set (pointer identity, in evaluation order): a port whose members
+	// all match a previously analyzed state reuses the delay verbatim. Flats
+	// are value-immutable (window extension preserves every evaluation), so
+	// pointer equality implies envelope equality.
+	portMux map[topo.PortID][]portMuxEntry
+	// dstCache caches receiver-MAC analyses keyed by the connection's flat
+	// envelope entering the destination (pointer identity) and the receiver
+	// allocation — together they pin every input of the Theorem 1 analysis.
+	dstCache map[string]map[dstKey]macEntry
+	// portAgg holds the materialized per-port aggregate envelopes (flat
+	// sums of the member envelopes entering each shared FIFO port),
+	// delta-updated as members appear, change allocation, or depart — see
+	// portAggregate. Unused when the flat path is disabled.
+	portAgg map[topo.PortID]*portAggState
+	// specs records, per connection id, the specification the per-connection
+	// caches above were populated under. Every evaluation revalidates its
+	// connections against this map and purges an id whose spec changed, so
+	// cached state survives Forget (an admit/release/re-admit cycle — the
+	// steady state of a CAC — reuses everything) without a reused id ever
+	// seeing another spec's results.
+	specs map[string]ConnSpec
 	// stats accumulates cache hit/miss counts over the analyzer's lifetime.
 	stats CacheStats
 }
 
 type stage0Entry struct {
-	h   float64
 	env traffic.Descriptor
+	// flat is env lowered into a flat breakpoint array (nil when the chain
+	// has no exact lowering, e.g. shaped connections); flatTried
+	// distinguishes "not lowered yet" from "not lowerable". Cached beside
+	// env so the array — and its pointer identity, which the incremental
+	// port aggregates diff against — survives across evaluations exactly as
+	// long as the fused envelope does.
+	flat      *traffic.Flat
+	flatTried bool
 }
+
+// stageFlatEntry is one cached per-stage flat: the envelope of a connection
+// entering route port `stage`, valid whenever the sender allocation and the
+// upstream port delays match exactly.
+type stageFlatEntry struct {
+	stage int
+	h     float64
+	ds    []float64 // worst-case delays of ports 0..stage-1, exact
+	flat  *traffic.Flat
+}
+
+// portMuxEntry is one cached FIFO-port analysis: the member flats it was
+// computed against (evaluation order) and the outcome — either a finite
+// worst-case delay or the infeasibility verdict.
+type portMuxEntry struct {
+	flats []*traffic.Flat
+	delay float64
+	err   error
+}
+
+// dstKey identifies a receiver-MAC analysis: the flat envelope entering the
+// destination interface device and the receiver allocation.
+type dstKey struct {
+	flat *traffic.Flat
+	hr   float64
+}
+
+// Per-key cache entry caps. One CAC bisection at a busy port generates on
+// the order of a hundred distinct states (each probed allocation shifts
+// every downstream envelope), and the same states recur on the next
+// admission of the same spec, so the caps must hold a full bisection's
+// working set or every iteration recomputes it. On overflow the older half
+// is dropped — the recurring keys are the recently used ones.
+const (
+	maxStageFlatEntries = 512
+	maxPortMuxEntries   = 256
+	maxDstEntries       = 512
+)
 
 type macEntry struct {
 	res fddi.MACResult
@@ -64,15 +142,96 @@ func NewAnalyzer(net *topo.Network, opts AnalysisOptions) (*Analyzer, error) {
 		net:         net,
 		opts:        opts,
 		macCache:    make(map[string]map[float64]macEntry),
-		stage0Cache: make(map[string]stage0Entry),
+		stage0Cache: make(map[string]map[float64]stage0Entry),
+		stageFlats:  make(map[string][]stageFlatEntry),
+		portMux:     make(map[topo.PortID][]portMuxEntry),
+		dstCache:    make(map[string]map[dstKey]macEntry),
+		portAgg:     make(map[topo.PortID]*portAggState),
+		specs:       make(map[string]ConnSpec),
 	}, nil
 }
 
-// Forget drops cached results for a connection. Call it when a connection is
-// released or when an id is reused with a different traffic descriptor.
-func (a *Analyzer) Forget(connID string) {
+// maxTrackedConns bounds how many connection ids the analyzer retains cached
+// state for; past it, everything is dropped wholesale. Far above any single
+// network's active set, it only guards long-lived analyzers fed a stream of
+// unique ids.
+const maxTrackedConns = 256
+
+// revalidate checks connection c against the spec its cached state was built
+// under, purging the per-connection caches when the id is new or the spec
+// changed. It makes cache reuse safe across Forget: stale state cannot leak
+// into a reused id because the first evaluation that sees the new spec
+// drops it.
+func (a *Analyzer) revalidate(c *Connection) {
+	if old, ok := a.specs[c.ID]; ok && sameSpec(old, c.ConnSpec) {
+		return
+	}
+	if len(a.specs) >= maxTrackedConns {
+		clear(a.specs)
+		clear(a.macCache)
+		clear(a.stage0Cache)
+		clear(a.stageFlats)
+		clear(a.dstCache)
+		// The flats those entries point at are unreachable now, so the
+		// pointer-keyed port results can never match again either.
+		clear(a.portMux)
+	}
+	a.purge(c.ID)
+	a.specs[c.ID] = c.ConnSpec
+}
+
+// purge drops every per-connection cache entry for the given id.
+func (a *Analyzer) purge(connID string) {
 	delete(a.macCache, connID)
 	delete(a.stage0Cache, connID)
+	delete(a.stageFlats, connID)
+	delete(a.dstCache, connID)
+}
+
+// sameSpec reports whether two specifications are identical for caching
+// purposes. The source descriptor and shaper are compared by identity (or
+// shallow value for the shaper): callers that rebuild an equal descriptor
+// merely miss the cache, never corrupt it.
+func sameSpec(a, b ConnSpec) bool {
+	if a.ID != b.ID || a.Src != b.Src || a.Dst != b.Dst ||
+		a.HostBufferBits != b.HostBufferBits || a.IDBufferBits != b.IDBufferBits {
+		return false
+	}
+	if a.Shape != b.Shape &&
+		(a.Shape == nil || b.Shape == nil || *a.Shape != *b.Shape) {
+		return false
+	}
+	return sameDescriptor(a.Source, b.Source)
+}
+
+// sameDescriptor compares two descriptors: pointers by identity, comparable
+// value types (Periodic, DualPeriodic — plain parameter structs) by value.
+// Non-comparable dynamic types report false rather than risking the panic
+// interface equality would raise.
+func sameDescriptor(x, y traffic.Descriptor) bool {
+	if x == nil || y == nil {
+		return x == nil && y == nil
+	}
+	tx := reflect.TypeOf(x)
+	if tx != reflect.TypeOf(y) || !tx.Comparable() {
+		return false
+	}
+	return x == y
+}
+
+// Forget marks a connection as released. Its cached results are retained —
+// every per-connection cache is revalidated against the spec it was built
+// under on the next evaluation that sees the id, so a re-admission with the
+// same specification (the steady state of an admit/release CAC) reuses
+// everything, and a reused id with different traffic starts clean. The
+// materialized port aggregates likewise stay: the next mux analysis of any
+// port the connection traversed diffs its member set against the
+// materialized one and subtracts the departed flat — the release half of
+// the incremental delta updates.
+func (a *Analyzer) Forget(connID string) {
+	// Dropping only the spec record would be wrong — revalidation would
+	// then treat the retained caches as fresh for whatever spec shows up
+	// next. Keeping both spec and caches is what makes the retention safe.
 }
 
 // CacheStats returns the cache hit/miss totals accumulated since the
@@ -131,6 +290,9 @@ type evaluation struct {
 	envMemo    map[envKey]traffic.Descriptor
 	macMemo    map[string]fddi.MACResult // sender MAC per connection this evaluation
 	shaperMemo map[string]shaper.Result  // ingress regulator per shaped connection
+	// flatMemo memoizes flatEntering per evaluation, including the nil
+	// verdict for chains with no exact lowering.
+	flatMemo map[envKey]*traffic.Flat
 
 	// prefilledDelay carries end-to-end results proven unaffected by the
 	// current probe (see ProbeSession); totalDelay returns them directly.
@@ -154,6 +316,7 @@ func (a *Analyzer) newEvaluation(conns []*Connection) (*evaluation, error) {
 		envMemo:    make(map[envKey]traffic.Descriptor, 4*len(conns)),
 		macMemo:    make(map[string]fddi.MACResult, len(conns)),
 		shaperMemo: make(map[string]shaper.Result, len(conns)),
+		flatMemo:   make(map[envKey]*traffic.Flat, 4*len(conns)),
 	}
 	for _, c := range conns {
 		if c == nil {
@@ -171,6 +334,7 @@ func (a *Analyzer) newEvaluation(conns []*Connection) (*evaluation, error) {
 		if c.Route.CrossesBackbone && c.HR <= 0 {
 			return nil, fmt.Errorf("core: connection %q crosses the backbone without a receiver allocation", c.ID)
 		}
+		a.revalidate(c)
 		ev.conns[c.ID] = c
 		ev.ordered = append(ev.ordered, c)
 	}
@@ -233,8 +397,8 @@ func (ev *evaluation) envelopeHit(key envKey, c *Connection) (traffic.Descriptor
 	}
 	// Exact equality on the allocation: the cached envelope is valid only
 	// for precisely the h it was built with.
-	e, ok := ev.a.stage0Cache[c.ID]
-	if !ok || e.h != c.HS {
+	e, ok := ev.a.stage0Cache[c.ID][c.HS]
+	if !ok {
 		return nil, false
 	}
 	ev.a.stats.Stage0Hits++
@@ -281,9 +445,16 @@ func (ev *evaluation) envelopeEntering(c *Connection, stage int) (traffic.Descri
 			// The stage-0 envelope depends only on this connection's spec and
 			// sender allocation, so the fused, memoized form — and every Bits
 			// value it accumulates — is reusable verbatim by later evaluations
-			// until the allocation changes or the connection is Forgotten.
+			// until the connection is Forgotten. Entries are kept per probed
+			// allocation: a bisection that revisits an h reuses the envelope
+			// and its lowered flat, pointer identity included.
 			env = traffic.Fuse(env)
-			ev.a.stage0Cache[c.ID] = stage0Entry{h: c.HS, env: env}
+			byH := ev.a.stage0Cache[c.ID]
+			if byH == nil {
+				byH = make(map[float64]stage0Entry, 32)
+				ev.a.stage0Cache[c.ID] = byH
+			}
+			byH[c.HS] = stage0Entry{env: env}
 		}
 	} else {
 		prev, err := ev.envelopeEntering(c, stage-1)
@@ -351,6 +522,9 @@ func (ev *evaluation) muxDelay(p topo.PortID) (float64, error) {
 	defer func() { ev.portBusy[p] = false }()
 
 	var inputs []traffic.Descriptor
+	var flats []*traffic.Flat
+	var ids []string
+	allFlat := ev.a.flatEnabled()
 	for _, m := range ev.ordered {
 		for stage, q := range m.Route.Ports {
 			if q != p {
@@ -367,6 +541,14 @@ func (ev *evaluation) muxDelay(p topo.PortID) (float64, error) {
 				return 0, err
 			}
 			inputs = append(inputs, env)
+			if allFlat {
+				if f := ev.flatEntering(m, stage); f != nil {
+					flats = append(flats, f)
+					ids = append(ids, m.ID)
+				} else {
+					allFlat = false
+				}
+			}
 			break
 		}
 	}
@@ -374,25 +556,79 @@ func (ev *evaluation) muxDelay(p topo.PortID) (float64, error) {
 		ev.portDelay[p] = 0
 		return 0, nil
 	}
-	res, err := atm.AnalyzeMux(inputs, atm.MuxParams{CapacityBps: ev.a.net.PortCapacity()}, ev.a.opts.Mux)
+	var res atm.MuxResult
+	var err error
+	params := atm.MuxParams{CapacityBps: ev.a.net.PortCapacity()}
+	if allFlat {
+		// A port whose member flat set matches a previously analyzed state
+		// (pointer identity — flats are value-immutable, and the stage caches
+		// keep pointers stable across probes of the same global state) reuses
+		// the verdict without touching the aggregate.
+		for i := range ev.a.portMux[p] {
+			if e := &ev.a.portMux[p][i]; slices.Equal(e.flats, flats) {
+				if e.err != nil {
+					ev.portDelay[p] = math.Inf(1)
+					return 0, e.err
+				}
+				ev.portDelay[p] = e.delay
+				return e.delay, nil
+			}
+		}
+		// Every member lowered: analyze the port against the materialized
+		// flat aggregate, delta-updated from the previous member set (the
+		// common probe changes one member). The members-union tail covers
+		// evaluations beyond the flat window.
+		agg := ev.a.portAggregate(p, ids, flats)
+		res, err = atm.AnalyzeAggregate(agg, params, ev.a.opts.Mux)
+	} else {
+		res, err = atm.AnalyzeMux(inputs, params, ev.a.opts.Mux)
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, atm.ErrMuxOverload),
 			errors.Is(err, atm.ErrMuxNoConvergence),
 			errors.Is(err, atm.ErrMuxBufferOverflow):
+			err = fmt.Errorf("%w: port %v: %v", errInfeasible, p, err)
+			if allFlat {
+				ev.a.storePortMux(p, flats, 0, err)
+			}
 			ev.portDelay[p] = math.Inf(1)
-			return 0, fmt.Errorf("%w: port %v: %v", errInfeasible, p, err)
+			return 0, err
 		default:
 			return 0, err
 		}
+	}
+	if allFlat {
+		ev.a.storePortMux(p, flats, res.Delay, nil)
 	}
 	ev.portDelay[p] = res.Delay
 	return res.Delay, nil
 }
 
+// storePortMux records one port analysis verdict under its member flat set,
+// resetting the per-port list when it outgrows the cap.
+func (a *Analyzer) storePortMux(p topo.PortID, flats []*traffic.Flat, delay float64, err error) {
+	entries := a.portMux[p]
+	if len(entries) >= maxPortMuxEntries {
+		entries = append(entries[:0], entries[len(entries)/2:]...)
+	}
+	a.portMux[p] = append(entries, portMuxEntry{flats: slices.Clone(flats), delay: delay, err: err})
+}
+
 // dstMAC analyzes the receiving interface device's MAC on the destination
 // ring (the FDDI_R portion, mirroring the FDDI_S analysis).
 func (ev *evaluation) dstMAC(c *Connection) (fddi.MACResult, error) {
+	// The receiver-MAC analysis is a pure function of the envelope entering
+	// the destination and the receiver allocation. When the envelope is a
+	// cached flat, its pointer identity pins the whole input, so a previous
+	// verdict for the same (flat, HR) pair — the common case across the
+	// probes and releases of a CAC — is reused verbatim.
+	lf := ev.flatEntering(c, len(c.Route.Ports))
+	if lf != nil {
+		if e, ok := ev.a.dstCache[c.ID][dstKey{flat: lf, hr: c.HR}]; ok {
+			return e.res, e.err
+		}
+	}
 	env, err := ev.envelopeEntering(c, len(c.Route.Ports))
 	if err != nil {
 		return fddi.MACResult{}, err
@@ -410,6 +646,18 @@ func (ev *evaluation) dstMAC(c *Connection) (fddi.MACResult, error) {
 		// (No Memoized here: the MAC grid visits each point about once, so a
 		// per-call evaluation cache would cost more than it saves.)
 		input = traffic.Fuse(reassembled)
+		if lf != nil {
+			// Apply the reassembly quantization to the already-lowered
+			// stage-chain flat in closed form: every grid evaluation of the
+			// scans becomes a segment lookup instead of a chain walk. The
+			// fused chain stays on as the exact tail.
+			if qn, ok := reassembled.(traffic.Quantized); ok {
+				if qf := lf.Quantize(qn.QuantumBits, qn.OutBits, flatHorizon, input); qf != nil {
+					input = qf
+					mFlatLowerings.Inc()
+				}
+			}
+		}
 	}
 	params := fddi.MACParams{
 		Ring:       ev.a.net.RingConfig(c.Dst.Ring),
@@ -418,9 +666,20 @@ func (ev *evaluation) dstMAC(c *Connection) (fddi.MACResult, error) {
 	}
 	res, err := fddi.AnalyzeMAC(input, params, ev.a.opts.MAC)
 	if err != nil {
-		return fddi.MACResult{}, fmt.Errorf("%w: receiver MAC of %q: %v", errInfeasible, c.ID, err)
+		err = fmt.Errorf("%w: receiver MAC of %q: %v", errInfeasible, c.ID, err)
+		res = fddi.MACResult{}
 	}
-	return res, nil
+	if lf != nil {
+		byKey := ev.a.dstCache[c.ID]
+		if byKey == nil {
+			byKey = make(map[dstKey]macEntry, 32)
+			ev.a.dstCache[c.ID] = byKey
+		} else if len(byKey) >= maxDstEntries {
+			clear(byKey)
+		}
+		byKey[dstKey{flat: lf, hr: c.HR}] = macEntry{res: res, err: err}
+	}
+	return res, err
 }
 
 // totalDelay is Eq. 7: the sum of the worst-case delays of every server on

@@ -98,6 +98,15 @@ type AnalysisOptions struct {
 	// evaluations — so this flag exists for equivalence testing and for
 	// bisecting suspected optimizer regressions, not for production use.
 	DisableFusion bool
+	// DisableFlat switches off the flat breakpoint-array fast path layered on
+	// top of fusion: the closed-form lowering of fused chains into sorted
+	// breakpoint arrays and the incremental per-port aggregate envelopes
+	// delta-updated across admission probes. Like DisableFusion it exists for
+	// equivalence testing and regression bisection — the lowering rules are
+	// exact (values move only by float re-association, within units.RelTol) —
+	// not for production use. DisableFusion implies DisableFlat: the flat
+	// path lowers fused chains.
+	DisableFlat bool
 }
 
 // PortDelay reports the worst-case delay contributed by one shared FIFO

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"fafnet/internal/shaper"
 	"fafnet/internal/topo"
 	"fafnet/internal/traffic"
 	"fafnet/internal/units"
@@ -119,5 +120,145 @@ func TestFusionEquivalenceRandomized(t *testing.T) {
 				t.Fatalf("scenario %d, conn %s: warmed cache diverged: %v then %v", sc, id, g, a)
 			}
 		}
+	}
+}
+
+// TestFlatEquivalenceRandomized extends the randomized harness to the flat
+// breakpoint-array fast path, in two modes across the same 120-scenario
+// distribution (plus shaped connections, which have no exact lowering and
+// must take the closure-tree fallback):
+//
+//   - flat vs closure tree: the default analyzer (flat lowering, materialized
+//     per-port aggregates) must agree with DisableFlat — fusion on, closure
+//     trees on the hot path — within units.RelTol on every delay, exactly on
+//     feasibility;
+//   - incremental vs from-scratch: one long-lived analyzer carries its
+//     materialized per-port aggregates across every scenario, so each
+//     scenario's membership churn (previous connections forgotten, new ones
+//     admitted) is absorbed as delta updates and periodic rebuilds; its
+//     results must match a fresh analyzer that builds every aggregate from
+//     scratch.
+func TestFlatEquivalenceRandomized(t *testing.T) {
+	net := defaultNet(t)
+	rng := rand.New(rand.NewSource(20250807))
+
+	randomSource := func() traffic.Descriptor {
+		switch rng.Intn(3) {
+		case 0:
+			c1 := 50e3 + 150e3*rng.Float64()
+			d, err := traffic.NewDualPeriodic(c1, 0.010, c1/5, 0.001, 100e6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		case 1:
+			c := 20e3 + 80e3*rng.Float64()
+			p := []float64{0.005, 0.008, 0.010}[rng.Intn(3)]
+			d, err := traffic.NewPeriodic(c, p, 100e6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		default:
+			d, err := traffic.NewCBR(2e6 + 8e6*rng.Float64())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}
+	}
+
+	// incremental is the long-lived analyzer: its portAgg state survives all
+	// scenarios and is only ever delta-updated or budget-rebuilt.
+	incremental, err := NewAnalyzer(net, AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var previous []*Connection
+
+	const scenarios = 120
+	for sc := 0; sc < scenarios; sc++ {
+		nConns := 1 + rng.Intn(5)
+		conns := make([]*Connection, 0, nConns)
+		for i := 0; i < nConns; i++ {
+			src := topo.HostID{Ring: rng.Intn(3), Index: rng.Intn(4)}
+			dst := topo.HostID{Ring: rng.Intn(3), Index: rng.Intn(4)}
+			if src == dst {
+				dst.Index = (dst.Index + 1) % 4
+			}
+			route, err := net.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := &Connection{
+				ConnSpec: ConnSpec{
+					ID:       fmt.Sprintf("f%dc%d", sc, i),
+					Src:      src,
+					Dst:      dst,
+					Source:   randomSource(),
+					Deadline: 0.120,
+				},
+				Route: route,
+				HS:    0.4e-3 + 2.1e-3*rng.Float64(),
+				HR:    0.4e-3 + 2.1e-3*rng.Float64(),
+			}
+			// Roughly one connection in six is shaped: shaped stage-0 chains
+			// have no exact flat lowering, so these connections must ride the
+			// closure-tree fallback while sharing ports with flat members.
+			if rng.Intn(6) == 0 {
+				c.Shape = &shaper.Spec{
+					SigmaBits: 20e3 + 40e3*rng.Float64(),
+					RhoBps:    c.Source.LongTermRate() * (1.2 + 0.5*rng.Float64()),
+				}
+			}
+			conns = append(conns, c)
+		}
+
+		flat, err := NewAnalyzer(net, AnalysisOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		closure, err := NewAnalyzer(net, AnalysisOptions{DisableFlat: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := flat.Delays(conns)
+		if err != nil {
+			t.Fatalf("scenario %d: flat: %v", sc, err)
+		}
+		want, err := closure.Delays(conns)
+		if err != nil {
+			t.Fatalf("scenario %d: closure tree: %v", sc, err)
+		}
+		for id, w := range want {
+			g := got[id]
+			if math.IsInf(w, 1) != math.IsInf(g, 1) {
+				t.Fatalf("scenario %d, conn %s: feasibility diverged: flat %v, closure %v", sc, id, g, w)
+			}
+			if !math.IsInf(w, 1) && !units.WithinRel(g, w, units.RelTol) {
+				t.Fatalf("scenario %d, conn %s: flat %v, closure %v", sc, id, g, w)
+			}
+		}
+
+		// Incremental mode: forget the previous scenario's connections (the
+		// release half of the delta updates), then evaluate this scenario's
+		// set through the carried-over aggregates.
+		for _, c := range previous {
+			incremental.Forget(c.ID)
+		}
+		inc, err := incremental.Delays(conns)
+		if err != nil {
+			t.Fatalf("scenario %d: incremental: %v", sc, err)
+		}
+		for id, g := range got {
+			n := inc[id]
+			if math.IsInf(g, 1) != math.IsInf(n, 1) {
+				t.Fatalf("scenario %d, conn %s: feasibility diverged: from-scratch %v, incremental %v", sc, id, g, n)
+			}
+			if !math.IsInf(g, 1) && !units.WithinRel(n, g, units.RelTol) {
+				t.Fatalf("scenario %d, conn %s: from-scratch %v, incremental %v", sc, id, g, n)
+			}
+		}
+		previous = conns
 	}
 }

@@ -62,4 +62,13 @@ var (
 		"Sender-MAC cache lookups that ran the Theorem 1 analysis.")
 	mProbeStage0Reused = obs.Default.Counter("fafnet_cac_probe_stage0_reused_total",
 		"Stage-0 envelopes carried into probe evaluations without recomputation.")
+
+	mFlatLowerings = obs.Default.Counter("fafnet_cac_flat_lowerings_total",
+		"Descriptor chains lowered into flat breakpoint arrays (stage-0 envelopes and receiver-side conversions).")
+	mFlatFallbacks = obs.Default.Counter("fafnet_cac_flat_fallbacks_total",
+		"Envelope evaluations that fell back to the closure-tree path because a chain had no exact flat lowering (e.g. shaped connections).")
+	mFlatAggDeltas = obs.Default.Counter("fafnet_cac_flat_agg_deltas_total",
+		"Incremental updates of materialized per-port aggregate envelopes (one member flat added or subtracted).")
+	mFlatAggRebuilds = obs.Default.Counter("fafnet_cac_flat_agg_rebuilds_total",
+		"Per-port aggregate envelopes rebuilt from scratch (first use, membership churn past the delta budget, or drift-bound refresh).")
 )

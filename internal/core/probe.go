@@ -222,6 +222,10 @@ func (s *ProbeSession) reseed() {
 	clear(ev.envMemo)
 	clear(ev.macMemo)
 	clear(ev.shaperMemo)
+	// Flat arrays are re-resolved per probe: stage-0 flats come straight
+	// from the analyzer's stage-0 cache (pointer-stable across probes), and
+	// stage-k flats shift with the probe's port delays.
+	clear(ev.flatMemo)
 	ev.prefilledDelay = s.cleanDelay
 	for p, d := range s.cleanPortDelay {
 		ev.portDelay[p] = d

@@ -161,6 +161,14 @@ func AnalyzeMAC(in traffic.Descriptor, p MACParams, opts Options) (MACResult, er
 		return MACResult{}, fmt.Errorf("%w: no busy-interval end within %d rotations", ErrNoConvergence, opts.MaxBusyRotations)
 	}
 
+	// The extremum scans below evaluate the envelope across the whole busy
+	// interval; a lowered input materializes its breakpoint array out to
+	// that depth once, so every grid evaluation is an array lookup instead
+	// of a chain walk. Value-preserving by the HorizonEnsurer contract.
+	if he, ok := in.(traffic.HorizonEnsurer); ok {
+		he.EnsureHorizon(busy)
+	}
+
 	// Candidate extremum points: the input envelope's own vertices plus the
 	// avail steps at multiples of TTRT, each bracketed.
 	grid := traffic.Grid(in, busy, opts.TGridPoints)

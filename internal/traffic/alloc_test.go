@@ -81,3 +81,86 @@ func TestSourceEvalAllocationFree(t *testing.T) {
 	}
 	_ = sink
 }
+
+// TestFlatEvalAllocationFree pins the flat point-eval hot path: once lowered,
+// a Flat answers in-window Bits queries (binary search + FMA, cursor hint)
+// with zero allocations — no memo table needed.
+func TestFlatEvalAllocationFree(t *testing.T) {
+	src, err := traffic.NewDualPeriodic(50e3, 0.010, 10e3, 0.001, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := traffic.NewQuantized(src, 36000, 94*384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := traffic.NewDelayed(q, 0.4e-3, 140e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := traffic.Flatten(d1, 64e-3)
+	if f == nil {
+		t.Fatal("Flatten returned nil")
+	}
+	pts := evalPoints()
+	var sink float64
+	if n := testing.AllocsPerRun(100, func() {
+		for _, p := range pts {
+			sink += f.Bits(p)
+		}
+	}); n != 0 {
+		t.Errorf("warm flat envelope eval: %v allocs per run, want 0", n)
+	}
+	_ = sink
+}
+
+// TestSumIntoAllocationFree pins the warm sum-merge path: merging into a
+// scratch Flat whose arrays (and tail aggregate) were sized by a first call
+// must not allocate thereafter.
+func TestSumIntoAllocationFree(t *testing.T) {
+	a, b := flatPair(t)
+	dst := &traffic.Flat{}
+	traffic.SumInto(dst, a, b) // sizes the scratch
+	if n := testing.AllocsPerRun(100, func() {
+		traffic.SumInto(dst, a, b)
+	}); n != 0 {
+		t.Errorf("warm SumInto: %v allocs per run, want 0", n)
+	}
+}
+
+// TestDeltaUpdateAllocationFree pins the aggregate delta-update cycle the
+// analyzer runs per probe — subtract the changed member, add its replacement
+// — at zero allocations on warm scratch.
+func TestDeltaUpdateAllocationFree(t *testing.T) {
+	a, b := flatPair(t)
+	agg := traffic.SumFlats(traffic.NewAggregate(a.Tail(), b.Tail()), a, b)
+	scratch := &traffic.Flat{}
+	cur := &traffic.Flat{}
+	traffic.SubInto(scratch, agg, b) // sizes both scratches
+	traffic.SumInto(cur, scratch, b)
+	if n := testing.AllocsPerRun(100, func() {
+		traffic.SubInto(scratch, cur, b)
+		traffic.SumInto(cur, scratch, b)
+	}); n != 0 {
+		t.Errorf("warm delta update: %v allocs per run, want 0", n)
+	}
+}
+
+// flatPair lowers two harness-shaped envelopes for the merge tests.
+func flatPair(t *testing.T) (*traffic.Flat, *traffic.Flat) {
+	t.Helper()
+	src, err := traffic.NewDualPeriodic(50e3, 0.010, 10e3, 0.001, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := traffic.NewPeriodic(48e3, 8e-3, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := traffic.Flatten(src, 64e-3)
+	b := traffic.Flatten(per, 64e-3)
+	if a == nil || b == nil {
+		t.Fatal("Flatten returned nil")
+	}
+	return a, b
+}

@@ -1,0 +1,904 @@
+package traffic
+
+import (
+	"math"
+	"sort"
+
+	"fafnet/internal/units"
+)
+
+// Flat is the canonical piecewise-linear envelope: a flat sorted breakpoint
+// array. Segment i covers (ts[i], ts[i+1]] (the last segment runs to the
+// horizon) and on it the envelope is the line
+//
+//	A(t) = vs[i] + ss[i]·(t − ts[i])
+//
+// with vs[i] the right-limit at ts[i] — the envelope is left-continuous, so
+// an instantaneous burst at ts[i] is represented by vs[i] jumping above the
+// previous segment's value at ts[i]. ts[0] is always 0. A point evaluation
+// is one binary search plus one fused multiply-add; closure-tree composition
+// (Delayed over Quantized over a source) is replaced by exact closed-form
+// operations on the array: Sum is an O(n+m) breakpoint merge, rate-capping
+// and delay-shifting are segment walks, and frame/cell quantization emits
+// the exact staircase crossings.
+//
+// A Flat covers [0, horizon] exactly; beyond the horizon Bits delegates to
+// tail, the untransformed descriptor chain the array was lowered from, so a
+// Flat is pointwise exact everywhere (fast inside the window the analyses
+// actually scan, correct outside it). Breakpoints likewise delegates to the
+// tail chain — grid assembly must see the same vertex set the chain would
+// advertise, because the extremum scans' candidate grids define the analysis
+// results; the Flat's own segment boundaries (quantization snap thresholds,
+// cap crossings) are evaluation structure, not advertised breakpoints, and
+// substituting them shifts which points the busy-period and backlog scans
+// visit (e.g. onto the left limit of a staircase step, where a left-continuous
+// envelope reads one level lower than the chain's bracketed crossings).
+//
+// Flat is NOT safe for concurrent use: Bits maintains a segment-cursor hint
+// (ascending scans — busy-period searches, backlog scans, merges — then
+// locate their segment in O(1) amortized instead of O(log n)), and the
+// breakpoint cache is filled lazily. Every analyzer that holds one is itself
+// documented single-threaded.
+type Flat struct {
+	ts, vs, ss []float64
+	horizon    float64
+	tail       Descriptor
+	rho        float64
+
+	// hint is the segment index of the most recent in-window evaluation.
+	hint int
+
+	// bp caches the tail chain's breakpoints (sorted, exact duplicates
+	// removed) at the largest horizon queried; smaller horizons answer with
+	// a binary-searched prefix.
+	bp  []float64
+	bpH float64
+
+	// extendFailed records that EnsureHorizon found no lowering for the tail
+	// chain, so later calls skip straight to delegation.
+	extendFailed bool
+}
+
+// HorizonEnsurer is implemented by descriptors that can materialize (or
+// otherwise accelerate) their evaluation out to a requested horizon. The
+// extremum scans call it once per analysis — after the busy interval is
+// known, before the grid walk — so deep scans run on breakpoint arrays
+// instead of descriptor chains. Implementations must be value-preserving:
+// EnsureHorizon changes evaluation speed, never evaluation results.
+type HorizonEnsurer interface {
+	// EnsureHorizon reports whether evaluations up to the given horizon are
+	// now served from materialized state.
+	EnsureHorizon(horizon float64) bool
+}
+
+// EnsureHorizon extends the breakpoint window to cover at least the given
+// horizon by re-lowering the tail chain, adopting the larger array in place
+// (the Flat keeps its identity, so aggregate membership diffs and caches are
+// unaffected). The lowering emits vertices in the same order regardless of
+// horizon, so the covered prefix is bit-identical before and after — an
+// extension never moves a value, it only widens the window served by the
+// array. When the tail has no lowering (e.g. a members-union tail), the call
+// delegates, so a materialized aggregate extends its member flats instead.
+func (f *Flat) EnsureHorizon(horizon float64) bool {
+	if units.AlmostLE(horizon, f.horizon) {
+		return true
+	}
+	if !f.extendFailed {
+		if nf := Flatten(f.tail, horizon); nf != nil && nf != f && nf.horizon > f.horizon {
+			f.ts, f.vs, f.ss = nf.ts, nf.vs, nf.ss
+			f.horizon = nf.horizon
+			f.hint = 0
+			// The segment cap may truncate the re-lowered window short of the
+			// request; the tail still serves the remainder exactly.
+			return units.AlmostGE(f.horizon, horizon)
+		}
+		f.extendFailed = true
+	}
+	if he, ok := f.tail.(HorizonEnsurer); ok {
+		return he.EnsureHorizon(horizon)
+	}
+	return false
+}
+
+var _ Descriptor = (*Flat)(nil)
+var _ BreakpointProvider = (*Flat)(nil)
+
+// maxFlatSegments bounds the breakpoint array of any single Flat. Lowering
+// truncates the horizon rather than the values when a descriptor would
+// exceed it (the tail keeps evaluations beyond the truncated window exact),
+// so the bound trades window size, never correctness.
+const maxFlatSegments = 1 << 14
+
+// NewFlat assembles a Flat from parallel breakpoint arrays. ts must be
+// strictly increasing and start at 0, vs and ss must have the same length,
+// horizon must be at least the last breakpoint, and tail must be the exact
+// descriptor the array represents (consulted beyond the horizon and for
+// Breakpoints). The slices are NOT copied; the caller yields ownership.
+func NewFlat(ts, vs, ss []float64, horizon float64, tail Descriptor) *Flat {
+	if len(ts) == 0 || len(ts) != len(vs) || len(ts) != len(ss) || ts[0] != 0 || tail == nil || horizon < ts[len(ts)-1] {
+		return nil
+	}
+	for i := 1; i < len(ts); i++ {
+		if !(ts[i] > ts[i-1]) {
+			return nil
+		}
+	}
+	return &Flat{ts: ts, vs: vs, ss: ss, horizon: horizon, tail: tail, rho: tail.LongTermRate()}
+}
+
+// Horizon returns the upper end of the window the breakpoint array covers;
+// evaluations beyond it delegate to the tail chain.
+func (f *Flat) Horizon() float64 { return f.horizon }
+
+// Segments returns the number of breakpoints in the array.
+func (f *Flat) Segments() int { return len(f.ts) }
+
+// Tail returns the exact descriptor chain the array was lowered from.
+func (f *Flat) Tail() Descriptor { return f.tail }
+
+// Bits implements Descriptor: locate the segment whose half-open interval
+// (ts[i], ts[i+1]] contains t, then one fused multiply-add. The cursor hint
+// makes ascending scans O(1) amortized; a miss falls back to binary search.
+//
+//fafvet:hotpath
+func (f *Flat) Bits(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if t > f.horizon {
+		return f.tail.Bits(t)
+	}
+	i := f.seg(t)
+	return f.vs[i] + f.ss[i]*(t-f.ts[i])
+}
+
+// seg returns the index of the segment containing t, for t in (0, horizon]:
+// the largest i with ts[i] < t.
+//
+//fafvet:hotpath
+func (f *Flat) seg(t float64) int {
+	n := len(f.ts)
+	if h := f.hint; h >= 0 && h < n && f.ts[h] < t {
+		if h+1 == n || t <= f.ts[h+1] {
+			return h
+		}
+		if h+2 == n || t <= f.ts[h+2] {
+			f.hint = h + 1
+			return h + 1
+		}
+	}
+	// sort.SearchFloat64s returns the first index with ts[idx] >= t; the
+	// segment owning t starts one breakpoint earlier. t > 0 = ts[0] keeps
+	// the result in range.
+	i := sort.SearchFloat64s(f.ts, t) - 1
+	f.hint = i
+	return i
+}
+
+// LongTermRate implements Descriptor.
+func (f *Flat) LongTermRate() float64 { return f.rho }
+
+// PeakRate reports the tail chain's peak, mirroring what Peak would compute
+// on the chain directly.
+func (f *Flat) PeakRate() float64 { return Peak(f.tail) }
+
+// Breakpoints implements BreakpointProvider by delegating to the tail chain,
+// cached at the largest horizon queried: the candidate grids of the extremum
+// scans must contain exactly the vertex set the un-lowered chain would
+// advertise, so the analysis results are value-preserved. Smaller horizons
+// answer with a binary-searched prefix of the cached list — points the chain
+// keeps a hair beyond a queried horizon are clipped by grid assembly either
+// way, so the prefix produces identical grids at a fraction of the cost (the
+// chain is walked once per Flat, not once per scan). The returned slice is
+// shared with the cache and must not be mutated.
+func (f *Flat) Breakpoints(horizon float64) []float64 {
+	if horizon <= 0 {
+		return nil
+	}
+	if f.bpH == 0 || horizon > f.bpH {
+		f.bp = sortedChainBreakpoints(f.tail, horizon)
+		f.bpH = horizon
+	} else if horizon < f.bpH {
+		n := sort.Search(len(f.bp), func(i int) bool { return f.bp[i] > horizon })
+		return f.bp[:n]
+	}
+	return f.bp
+}
+
+// sortedChainBreakpoints asks the chain for its breakpoints and returns them
+// sorted with exact duplicates removed — the normalization CleanGrid performs
+// downstream anyway, so grids are unchanged.
+func sortedChainBreakpoints(d Descriptor, horizon float64) []float64 {
+	var raw []float64
+	if bp, ok := d.(BreakpointProvider); ok {
+		raw = bp.Breakpoints(horizon)
+	}
+	sorted := make([]float64, len(raw))
+	copy(sorted, raw)
+	if !sort.Float64sAreSorted(sorted) {
+		sort.Float64s(sorted)
+	}
+	out := sorted[:0]
+	for i, p := range sorted {
+		if i > 0 && p == sorted[i-1] {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// flatBuilder accumulates breakpoints during lowering. add keeps ts strictly
+// increasing: a vertex at the time of the previous one replaces it (the last
+// writer owns the right-limit), an earlier time is ignored.
+type flatBuilder struct {
+	ts, vs, ss []float64
+}
+
+func (b *flatBuilder) add(t, v, s float64) {
+	if n := len(b.ts); n > 0 {
+		if t < b.ts[n-1] {
+			return
+		}
+		if t == b.ts[n-1] {
+			b.vs[n-1], b.ss[n-1] = v, s
+			return
+		}
+	}
+	b.ts = append(b.ts, t)
+	b.vs = append(b.vs, v)
+	b.ss = append(b.ss, s)
+}
+
+func (b *flatBuilder) full() bool { return len(b.ts) >= maxFlatSegments }
+
+// reserve sizes an empty builder for an expected vertex count, clamped to
+// the segment cap, so the lowering loops append without growth copies. An
+// under-estimate only costs the usual append growth; never correctness.
+func (b *flatBuilder) reserve(n int) {
+	if len(b.ts) > 0 || n <= 0 {
+		return
+	}
+	if n > maxFlatSegments {
+		n = maxFlatSegments
+	}
+	if cap(b.ts) >= n {
+		return
+	}
+	b.ts = make([]float64, 0, n)
+	b.vs = make([]float64, 0, n)
+	b.ss = make([]float64, 0, n)
+}
+
+// finish assembles the built segments into a Flat. When the builder hit the
+// segment cap, the horizon shrinks to the last breakpoint so every covered
+// point is exact; the tail serves the rest.
+func (b *flatBuilder) finish(horizon float64, tail Descriptor) *Flat {
+	if len(b.ts) == 0 || b.ts[0] != 0 || tail == nil {
+		return nil
+	}
+	if b.full() && b.ts[len(b.ts)-1] < horizon {
+		horizon = b.ts[len(b.ts)-1]
+	}
+	if horizon <= 0 {
+		return nil
+	}
+	return &Flat{ts: b.ts, vs: b.vs, ss: b.ss, horizon: horizon, tail: tail, rho: tail.LongTermRate()}
+}
+
+// Flatten lowers a descriptor chain into one flat breakpoint array covering
+// [0, horizon], or returns nil when the chain contains a node with no exact
+// closed-form lowering (callers then keep the closure-tree path — Flatten is
+// an accelerator, never an approximation). Every lowering rule is exact in
+// the same sense Fuse is: the array evaluates to the chain's value up to
+// float re-association, with the chain itself retained as the tail for
+// points beyond the horizon.
+func Flatten(d Descriptor, horizon float64) *Flat {
+	if horizon <= 0 {
+		return nil
+	}
+	switch v := d.(type) {
+	case *Flat:
+		// Best effort: a flat embedded in a chain extends itself so the
+		// enclosing lowering is not clipped to its current window.
+		v.EnsureHorizon(horizon)
+		return v
+	case *Memoized:
+		// The memo stores exact inner evaluations, so lowering the inner is
+		// lowering the whole.
+		return Flatten(v.Inner(), horizon)
+	case CBR:
+		b := &flatBuilder{}
+		b.add(0, 0, v.RateBps)
+		return b.finish(horizon, d)
+	case LeakyBucket:
+		return flattenLeakyBucket(v, horizon)
+	case Periodic:
+		return flattenPeriodic(v, horizon)
+	case DualPeriodic:
+		return flattenDualPeriodic(v, horizon)
+	case *Sampled:
+		return flattenSampled(v, horizon)
+	case Delayed:
+		inner := Flatten(v.Inner, horizon+v.Delay)
+		if inner == nil {
+			return nil
+		}
+		return inner.shiftCap(v.Delay, v.CapBps, horizon, d)
+	case RateCapped:
+		inner := Flatten(v.Inner, horizon)
+		if inner == nil {
+			return nil
+		}
+		return inner.capped(v.CapBps, horizon, d)
+	case Quantized:
+		inner := Flatten(v.Inner, horizon)
+		if inner == nil {
+			return nil
+		}
+		return inner.quantized(v.QuantumBits, v.OutBits, horizon, d)
+	case Aggregate:
+		flats := make([]*Flat, len(v.members))
+		for i, m := range v.members {
+			if flats[i] = Flatten(m, horizon); flats[i] == nil {
+				return nil
+			}
+		}
+		return SumFlats(d, flats...)
+	default:
+		return nil
+	}
+}
+
+// flattenLeakyBucket lowers min(Peak·I, σ + ρ·I).
+func flattenLeakyBucket(v LeakyBucket, horizon float64) *Flat {
+	b := &flatBuilder{}
+	switch {
+	case v.PeakBps == 0:
+		// Uncapped: an instantaneous burst of σ at 0, then the token rate.
+		b.add(0, v.Sigma, v.Rho)
+	case v.PeakBps > v.Rho:
+		x := v.Sigma / (v.PeakBps - v.Rho)
+		if x <= 0 {
+			// σ = 0: the sustained line is the minimum from the start.
+			b.add(0, 0, v.Rho)
+		} else {
+			b.add(0, 0, v.PeakBps)
+			if x < horizon {
+				b.add(x, v.Sigma+v.Rho*x, v.Rho)
+			}
+		}
+	default:
+		// peak <= ρ: the peak line never exceeds σ + ρI.
+		b.add(0, 0, v.PeakBps)
+	}
+	return b.finish(horizon, v)
+}
+
+// flattenPeriodic lowers ⌊I/P⌋·C + min(C, (I mod P)·Peak): a burst ramp of
+// length C/Peak at every period start, then a plateau.
+func flattenPeriodic(v Periodic, horizon float64) *Flat {
+	b := &flatBuilder{}
+	b.reserve(2 * (int(horizon/v.P) + 2))
+	burst := v.C / v.PeakBps
+	for k := 0; !b.full(); k++ {
+		base := float64(k) * v.P
+		if base > horizon {
+			break
+		}
+		b.add(base, float64(k)*v.C, v.PeakBps)
+		if end := base + burst; end < base+v.P && !(end > horizon) {
+			b.add(end, float64(k)*v.C+v.C, 0)
+		}
+	}
+	return b.finish(horizon, v)
+}
+
+// flattenDualPeriodic lowers Eq. 37: within each long period, short-period
+// bursts ramp at the peak rate until the long-period budget C1 binds — the
+// budget crossing is a true envelope vertex the closed form places exactly.
+func flattenDualPeriodic(v DualPeriodic, horizon float64) *Flat {
+	b := &flatBuilder{}
+	perPeriod := math.Min(v.P1/v.P2, v.C1/v.C2+1)
+	b.reserve(int((horizon/v.P1 + 1) * (2*perPeriod + 2)))
+	burst := v.C2 / v.PeakBps
+	for k1 := 0; !b.full(); k1++ {
+		base := float64(k1) * v.P1
+		if base > horizon {
+			break
+		}
+		baseV := float64(k1) * v.C1
+		capped := false
+		for j := 0; !capped && !b.full(); j++ {
+			r0 := float64(j) * v.P2
+			if !(r0 < v.P1) || base+r0 > horizon {
+				break
+			}
+			start := float64(j) * v.C2
+			switch {
+			case start >= v.C1:
+				// Budget exhausted before this burst: plateau at C1.
+				b.add(base+r0, baseV+v.C1, 0)
+				capped = true
+			case start+v.C2 > v.C1:
+				// Budget binds mid-burst.
+				b.add(base+r0, baseV+start, v.PeakBps)
+				rc := r0 + (v.C1-start)/v.PeakBps
+				if rc < v.P1 {
+					b.add(base+rc, baseV+v.C1, 0)
+				}
+				capped = true
+			default:
+				b.add(base+r0, baseV+start, v.PeakBps)
+				if end := r0 + burst; end < r0+v.P2 && end < v.P1 {
+					b.add(base+end, baseV+start+v.C2, 0)
+				}
+			}
+		}
+	}
+	return b.finish(horizon, v)
+}
+
+// flattenSampled lowers the tabulated staircase exactly up to its last
+// sample; the subadditive extension beyond it is served by the tail.
+func flattenSampled(v *Sampled, horizon float64) *Flat {
+	b := &flatBuilder{}
+	b.reserve(len(v.grid) + 1)
+	b.add(0, v.bits[0], 0)
+	for i := 0; i+1 < len(v.grid) && !b.full(); i++ {
+		if v.grid[i] > horizon {
+			break
+		}
+		b.add(v.grid[i], v.bits[i+1], 0)
+	}
+	return b.finish(math.Min(horizon, v.grid[len(v.grid)-1]), v)
+}
+
+// shiftCap applies the Delayed transform A'(I) = min(cap·I, A(I + d)) in
+// closed form: the breakpoints shift left by the delay and the cap line is
+// intersected exactly. tail is the chain equivalent retained for evaluations
+// beyond the new horizon.
+func (f *Flat) shiftCap(delay, capBps, horizon float64, tail Descriptor) *Flat {
+	h := math.Min(horizon, f.horizon-delay)
+	if h <= 0 {
+		return nil
+	}
+	b := &flatBuilder{}
+	b.reserve(len(f.ts) + 2)
+	// Right-limit at I = 0 is the value just after t = delay.
+	i := sort.SearchFloat64s(f.ts, delay)
+	// First segment whose interior extends past delay: ts[i] <= delay when
+	// delay lands exactly on a breakpoint (right-limit uses that segment).
+	if i == len(f.ts) || f.ts[i] > delay {
+		i--
+	}
+	b.add(0, f.vs[i]+f.ss[i]*(delay-f.ts[i]), f.ss[i])
+	for k := i + 1; k < len(f.ts) && !b.full(); k++ {
+		t := f.ts[k] - delay
+		if t > h {
+			break
+		}
+		b.add(t, f.vs[k], f.ss[k])
+	}
+	shifted := b.finish(h, tail)
+	if shifted == nil {
+		return nil
+	}
+	if capBps > 0 {
+		return shifted.capped(capBps, h, tail)
+	}
+	return shifted
+}
+
+// capped intersects the envelope with the line cap·I exactly: within each
+// linear segment the minimum switches sides at most once, and the crossing
+// point is a new breakpoint.
+func (f *Flat) capped(capBps, horizon float64, tail Descriptor) *Flat {
+	h := math.Min(horizon, f.horizon)
+	if h <= 0 {
+		return nil
+	}
+	b := &flatBuilder{}
+	b.reserve(2*len(f.ts) + 2)
+	n := len(f.ts)
+	for i := 0; i < n && !b.full(); i++ {
+		t0, v0, s := f.ts[i], f.vs[i], f.ss[i]
+		if t0 > h {
+			break
+		}
+		t1 := h
+		if i+1 < n {
+			t1 = math.Min(h, f.ts[i+1])
+		}
+		// D(t) = A(t) − cap·t on (t0, t1]; D is linear with slope s − cap.
+		d0 := v0 - capBps*t0
+		d1 := v0 + s*(t1-t0) - capBps*t1
+		if d0 >= 0 {
+			b.add(t0, capBps*t0, capBps) // line below the envelope
+			if d1 < 0 && d0 > d1 {
+				tc := t0 + (t1-t0)*d0/(d0-d1)
+				b.add(tc, v0+s*(tc-t0), s)
+			}
+		} else {
+			b.add(t0, v0, s) // envelope below the line
+			if d1 > 0 && d1 > d0 {
+				tc := t0 + (t1-t0)*(-d0)/(d1-d0)
+				b.add(tc, capBps*tc, capBps)
+			}
+		}
+	}
+	return b.finish(h, tail)
+}
+
+// quantized applies A'(I) = ⌈A(I)/q⌉·o in closed form: each linear segment
+// contributes its staircase steps at the exact quantum crossings, with the
+// same units.CeilDiv snapping the closure path uses (a value within relative
+// tolerance of a multiple stays on the lower step).
+func (f *Flat) quantized(q, o, horizon float64, tail Descriptor) *Flat {
+	h := math.Min(horizon, f.horizon)
+	if h <= 0 {
+		return nil
+	}
+	b := &flatBuilder{}
+	n := len(f.ts)
+	// One step vertex per quantum level up to the value at the horizon, plus
+	// one plateau vertex per input segment.
+	j := sort.SearchFloat64s(f.ts, h) - 1
+	if j < 0 {
+		j = 0
+	}
+	vh := f.vs[j] + f.ss[j]*(h-f.ts[j])
+	b.reserve(n + int(vh/q) + 4)
+	for i := 0; i < n && !b.full(); i++ {
+		t0, v0, s := f.ts[i], f.vs[i], f.ss[i]
+		if t0 > h {
+			break
+		}
+		t1 := h
+		if i+1 < n {
+			t1 = math.Min(h, f.ts[i+1])
+		}
+		l0 := units.CeilDiv(v0, q)
+		b.add(t0, l0*o, 0)
+		if s <= 0 {
+			continue
+		}
+		l1 := units.CeilDiv(v0+s*(t1-t0), q)
+		for m := l0 + 1; !(m > l1) && !b.full(); m++ {
+			// Level m begins where CeilDiv first rounds up — not at the exact
+			// crossing of (m−1)·q but once the quotient exceeds CeilDiv's
+			// relative snap radius. Using the same threshold keeps the step
+			// times aligned with the closure path, which matters exactly at
+			// advertised breakpoints (grid points) that land on crossings.
+			k := m - 1
+			thresh := k*q + units.RelTol*math.Max(1, k)*q
+			tc := t0 + (thresh-v0)/s
+			if tc < t0 {
+				tc = t0
+			}
+			if tc > t1 {
+				break
+			}
+			b.add(tc, m*o, 0)
+		}
+	}
+	return b.finish(h, tail)
+}
+
+// ShiftCap applies the Delayed transform A'(I) = min(capBps·I, A(I + delay))
+// (capBps 0 = no cap) and returns the result as a new Flat with the given
+// tail chain. It is the per-stage lowering step of the analyzer: stage k's
+// flat is stage k−1's shifted by the port's worst-case delay and capped by
+// the port capacity, without re-lowering the source.
+func (f *Flat) ShiftCap(delay, capBps, horizon float64, tail Descriptor) *Flat {
+	if delay < 0 || tail == nil {
+		return nil
+	}
+	return f.shiftCap(delay, capBps, horizon, tail)
+}
+
+// Quantize applies A'(I) = ⌈A(I)/quantumBits⌉·outBits and returns the result
+// as a new Flat with the given tail chain — the frame/cell conversion of the
+// interface devices, applied in closed form to an already-lowered envelope.
+func (f *Flat) Quantize(quantumBits, outBits, horizon float64, tail Descriptor) *Flat {
+	if quantumBits <= 0 || outBits <= 0 || tail == nil {
+		return nil
+	}
+	return f.quantized(quantumBits, outBits, horizon, tail)
+}
+
+// SumFlats returns the exact sum of the given flats — the O(Σn) breakpoint
+// union merge — with the given tail chain (typically the matching Aggregate)
+// serving beyond the smallest input horizon. Returns nil when no input or a
+// nil input is given.
+func SumFlats(tail Descriptor, flats ...*Flat) *Flat {
+	if len(flats) == 0 || tail == nil {
+		return nil
+	}
+	for _, f := range flats {
+		if f == nil {
+			return nil
+		}
+	}
+	acc := flats[0]
+	for _, f := range flats[1:] {
+		dst := &Flat{}
+		dst.ensure(acc.Segments() + f.Segments())
+		mergeLinear(dst, acc, f, 1)
+		dst.tail = tail
+		acc = dst
+	}
+	if acc == flats[0] {
+		// Single input: copy, so the caller may mutate the result freely.
+		dst := &Flat{}
+		dst.ensure(acc.Segments())
+		mergeLinear(dst, acc, acc.zero(), 1)
+		acc = dst
+	}
+	acc.tail = tail
+	acc.rho = tail.LongTermRate()
+	return acc
+}
+
+// zero returns an all-zero flat over the same horizon, used to express copy
+// and negate through the one merge kernel.
+func (f *Flat) zero() *Flat {
+	return &Flat{ts: []float64{0}, vs: []float64{0}, ss: []float64{0}, horizon: f.horizon, tail: zeroDesc{}}
+}
+
+// zeroDesc is the identity element of envelope summation.
+type zeroDesc struct{}
+
+func (zeroDesc) Bits(float64) float64  { return 0 }
+func (zeroDesc) LongTermRate() float64 { return 0 }
+
+// ensure grows the destination arrays to hold at least n breakpoints. It is
+// the cold half of the merge API: callers size the scratch here, then the
+// annotated kernels below run allocation-free.
+func (f *Flat) ensure(n int) {
+	if cap(f.ts) < n {
+		f.ts = make([]float64, 0, n)
+		f.vs = make([]float64, 0, n)
+		f.ss = make([]float64, 0, n)
+	}
+}
+
+// SumInto writes the exact sum a + b into dst, growing dst's arrays only
+// when their capacity is insufficient (pass a scratch Flat reused across
+// calls for the allocation-free warm path). dst's tail is set to aggregate
+// the operands' tails, reusing dst's existing tail aggregate when possible.
+// dst must not alias a or b.
+func SumInto(dst, a, b *Flat) {
+	dst.ensure(a.Segments() + b.Segments())
+	dst.ensureTail(a, b)
+	mergeLinear(dst, a, b, 1)
+}
+
+// SubInto writes the exact difference a − b into dst under the same scratch
+// contract as SumInto. It is the release half of aggregate delta-updates:
+// subtracting a departed member's flat from a materialized sum. The caller
+// owns the tail (a difference has no canonical chain); dst keeps whatever
+// tail it has, so seed dst via SumFlats or set Retail before evaluating
+// beyond the horizon.
+func SubInto(dst, a, b *Flat) {
+	dst.ensure(a.Segments() + b.Segments())
+	mergeLinear(dst, a, b, -1)
+}
+
+// flatTail aggregates member tails for a scratch sum without rebuilding a
+// descriptor per update: the members slice is rewritten in place.
+type flatTail struct {
+	members []Descriptor
+}
+
+func (t *flatTail) Bits(interval float64) float64 {
+	var sum float64
+	for _, m := range t.members {
+		sum += m.Bits(interval)
+	}
+	return sum
+}
+
+func (t *flatTail) LongTermRate() float64 {
+	var sum float64
+	for _, m := range t.members {
+		sum += m.LongTermRate()
+	}
+	return sum
+}
+
+// Breakpoints implements BreakpointProvider as the members' union, matching
+// Aggregate's semantics for grid assembly. Member lists that are already
+// ascending (Flat members answer from their breakpoint caches) are combined
+// by a linear k-way merge, so the union is ascending and the normalization
+// downstream never pays a comparison sort.
+func (t *flatTail) Breakpoints(horizon float64) []float64 {
+	lists := make([][]float64, 0, len(t.members))
+	total := 0
+	sorted := true
+	for _, m := range t.members {
+		if bp, ok := m.(BreakpointProvider); ok {
+			l := bp.Breakpoints(horizon)
+			if len(l) == 0 {
+				continue
+			}
+			if !sort.Float64sAreSorted(l) {
+				sorted = false
+			}
+			lists = append(lists, l)
+			total += len(l)
+		}
+	}
+	pts := make([]float64, 0, total)
+	if !sorted {
+		for _, l := range lists {
+			pts = append(pts, l...)
+		}
+		return pts
+	}
+	idx := make([]int, len(lists))
+	for len(lists) > 0 {
+		best := 0
+		for k := 1; k < len(lists); k++ {
+			if lists[k][idx[k]] < lists[best][idx[best]] {
+				best = k
+			}
+		}
+		pts = append(pts, lists[best][idx[best]])
+		idx[best]++
+		if idx[best] == len(lists[best]) {
+			lists = append(lists[:best], lists[best+1:]...)
+			idx = append(idx[:best], idx[best+1:]...)
+		}
+	}
+	return pts
+}
+
+// NewMemberTail returns a reusable members-union tail for materialized sums:
+// Bits and LongTermRate sum the members, Breakpoints unions them. Passing the
+// member Flats themselves (rather than their chains) makes every beyond-window
+// evaluation and every breakpoint union go through the members' own fast paths
+// and caches.
+func NewMemberTail() *MemberTail { return &MemberTail{} }
+
+// MemberTail is the exported handle for a reusable members-union tail; see
+// NewMemberTail.
+type MemberTail = flatTail
+
+// SetMembers replaces the member set in place, reusing the backing array.
+func (t *flatTail) SetMembers(ms ...Descriptor) {
+	t.members = append(t.members[:0], ms...)
+}
+
+// EnsureHorizon implements HorizonEnsurer by extending every member that can
+// extend itself: a materialized aggregate sum whose own window is bounded by
+// delta-updates then serves deep evaluations as a sum of member array
+// lookups instead of member chain walks.
+func (t *flatTail) EnsureHorizon(horizon float64) bool {
+	all := true
+	for _, m := range t.members {
+		if he, ok := m.(HorizonEnsurer); ok {
+			if !he.EnsureHorizon(horizon) {
+				all = false
+			}
+		} else {
+			all = false
+		}
+	}
+	return all
+}
+
+// ensureTail points dst's tail at a flatTail over a's and b's tails, reusing
+// the existing flatTail (and its backing array, when large enough) so warm
+// updates stay allocation-free.
+func (dst *Flat) ensureTail(a, b *Flat) {
+	ft, ok := dst.tail.(*flatTail)
+	if !ok {
+		ft = &flatTail{members: make([]Descriptor, 0, 8)}
+		dst.tail = ft
+	}
+	ft.members = append(ft.members[:0], a.tail, b.tail)
+}
+
+// Retail replaces the tail chain (and the cached breakpoints derived from
+// it). Use it after delta-updates when the canonical chain of the result is
+// known — e.g. the Aggregate over the current member set.
+func (f *Flat) Retail(tail Descriptor) {
+	f.tail = tail
+	f.rho = tail.LongTermRate()
+	f.bp = nil
+	f.bpH = 0
+	f.extendFailed = false
+}
+
+// mergeLinear writes a + sign·b into dst over the union of breakpoints,
+// clipped to the smaller horizon. It is the aggregate delta-update kernel —
+// one admit, release, or probe step adds or subtracts one connection's flat
+// from a materialized sum — and runs on preallocated scratch: the caller
+// (SumInto/SubInto) has sized dst, so the kernel only writes by index.
+//
+//fafvet:hotpath
+func mergeLinear(dst, a, b *Flat, sign float64) {
+	h := math.Min(a.horizon, b.horizon)
+	na, nb := len(a.ts), len(b.ts)
+	ts := dst.ts[:cap(dst.ts)]
+	vs := dst.vs[:cap(dst.vs)]
+	ss := dst.ss[:cap(dst.ss)]
+	k := 0
+	i, j := 0, 0
+	for i < na || j < nb {
+		var t float64
+		takeA, takeB := false, false
+		switch {
+		case i < na && j < nb && a.ts[i] == b.ts[j]:
+			t, takeA, takeB = a.ts[i], true, true
+		case j == nb || (i < na && a.ts[i] < b.ts[j]):
+			t, takeA = a.ts[i], true
+		default:
+			t, takeB = b.ts[j], true
+		}
+		if t > h {
+			break
+		}
+		var va, vb, sa, sb float64
+		if takeA {
+			va, sa = a.vs[i], a.ss[i]
+			i++
+		} else {
+			p := i - 1
+			va = a.vs[p] + a.ss[p]*(t-a.ts[p])
+			sa = a.ss[p]
+		}
+		if takeB {
+			vb, sb = b.vs[j], b.ss[j]
+			j++
+		} else {
+			p := j - 1
+			vb = b.vs[p] + b.ss[p]*(t-b.ts[p])
+			sb = b.ss[p]
+		}
+		ts[k] = t
+		vs[k] = va + sign*vb
+		ss[k] = sa + sign*sb
+		k++
+	}
+	dst.ts = ts[:k]
+	dst.vs = vs[:k]
+	dst.ss = ss[:k]
+	dst.horizon = h
+	dst.rho = a.rho + sign*b.rho
+	dst.hint = 0
+	dst.bp = nil
+	dst.bpH = 0
+}
+
+// Compact drops breakpoints that are collinear with their predecessor within
+// the given relative tolerance, in place. Delta-updated aggregates grow
+// residual vertices from departed members (their times remain, carrying the
+// float dust of an add followed by a subtract); compaction keeps the array
+// bounded while moving values by at most tol relative. Returns the number of
+// breakpoints removed.
+func (f *Flat) Compact(tol float64) int {
+	n := len(f.ts)
+	if n < 2 {
+		return 0
+	}
+	k := 1
+	for i := 1; i < n; i++ {
+		pt, pv, ps := f.ts[k-1], f.vs[k-1], f.ss[k-1]
+		predicted := pv + ps*(f.ts[i]-pt)
+		scale := math.Max(math.Abs(predicted), math.Abs(f.vs[i]))
+		sScale := math.Max(math.Abs(ps), math.Abs(f.ss[i]))
+		if math.Abs(f.vs[i]-predicted) <= tol*scale+units.Eps && math.Abs(f.ss[i]-ps) <= tol*sScale+units.Eps {
+			continue
+		}
+		f.ts[k], f.vs[k], f.ss[k] = f.ts[i], f.vs[i], f.ss[i]
+		k++
+	}
+	removed := n - k
+	f.ts = f.ts[:k]
+	f.vs = f.vs[:k]
+	f.ss = f.ss[:k]
+	f.hint = 0
+	return removed
+}

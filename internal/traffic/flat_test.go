@@ -1,0 +1,376 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fafnet/internal/units"
+)
+
+const flatTestHorizon = 64e-3
+
+// flatCases enumerates one chain per lowering rule, shaped like the envelopes
+// the admission analysis actually builds (harness sources, conversion
+// quantization, stage delays).
+func flatCases(t *testing.T) map[string]Descriptor {
+	cbr, err := NewCBR(4e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := NewPeriodic(48000, 8e-3, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := NewDualPeriodic(120000, 10e-3, 24000, 1e-3, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := NewLeakyBucket(30000, 2e6, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbNoPeak, err := NewLeakyBucket(30000, 2e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbNoSigma, err := NewLeakyBucket(0, 2e6, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The constructor rejects peak < ρ; build the literal to cover the
+	// lowering's defensive branch anyway.
+	lbSlowPeak := LeakyBucket{Sigma: 30000, Rho: 2e6, PeakBps: 1e6}
+	samp, err := NewSampled([]float64{1e-3, 3e-3, 7e-3, 20e-3}, []float64{9000, 9000, 27000, 51000}, 2.55e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quant, err := NewQuantized(dual, 36000, 94*384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed, err := NewDelayed(per, 1.7e-3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayedCap, err := NewDelayed(quant, 2.3e-3, 135e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage2, err := NewDelayed(delayedCap, 0.9e-3, 135e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := NewRateCapped(lb, 40e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Descriptor{
+		"cbr":          cbr,
+		"periodic":     per,
+		"dual":         dual,
+		"leaky":        lb,
+		"leakyNoPeak":  lbNoPeak,
+		"leakyNoSigma": lbNoSigma,
+		"leakySlow":    lbSlowPeak,
+		"sampled":      samp,
+		"memoized":     NewMemoized(dual),
+		"quantized":    quant,
+		"delayed":      delayed,
+		"delayedCap":   delayedCap,
+		"twoStage":     stage2,
+		"rateCapped":   capped,
+		"aggregate":    NewAggregate(per, dual, cbr, quant),
+	}
+}
+
+// probePoints assembles the evaluation points the equivalence check uses:
+// dense seeded-random coverage of (0, 1.5·horizon] plus every chain
+// breakpoint bracketed from both sides. Brackets sit well outside the
+// CeilDiv/FloorDiv snap radius so both evaluation paths round identically.
+func probePoints(d Descriptor, horizon float64, rng *rand.Rand) []float64 {
+	pts := []float64{0, -1e-3, horizon, horizon * 1.5}
+	for i := 0; i < 500; i++ {
+		pts = append(pts, rng.Float64()*1.5*horizon)
+	}
+	if bp, ok := d.(BreakpointProvider); ok {
+		for _, p := range bp.Breakpoints(horizon) {
+			eps := 1e-6 * math.Max(1e-3, p)
+			pts = append(pts, p-eps, p, p+eps)
+		}
+	}
+	return pts
+}
+
+func checkAgreement(t *testing.T, name string, d Descriptor, f *Flat, pts []float64) {
+	t.Helper()
+	for _, pt := range pts {
+		want := d.Bits(pt)
+		got := f.Bits(pt)
+		if !units.WithinRel(got, want, units.RelTol) {
+			t.Fatalf("%s: Bits(%v) flat=%v chain=%v", name, pt, got, want)
+		}
+	}
+	if got, want := f.LongTermRate(), d.LongTermRate(); got != want {
+		t.Fatalf("%s: LongTermRate flat=%v chain=%v", name, got, want)
+	}
+}
+
+// TestFlattenPointwiseAgreement is the core lowering property: every
+// supported chain evaluates identically (within RelTol) through the flat
+// array and through the closure tree, in and beyond the flat window.
+func TestFlattenPointwiseAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(20250808))
+	for name, d := range flatCases(t) {
+		f := Flatten(d, flatTestHorizon)
+		if f == nil {
+			t.Fatalf("%s: Flatten returned nil", name)
+		}
+		if f.Horizon() <= 0 || f.Segments() == 0 {
+			t.Fatalf("%s: degenerate flat: horizon=%v segments=%d", name, f.Horizon(), f.Segments())
+		}
+		checkAgreement(t, name, d, f, probePoints(d, flatTestHorizon, rng))
+	}
+}
+
+// TestFlattenFuseChains lowers the same randomized chains the fusion harness
+// builds and checks pointwise agreement against the fused closure tree.
+func TestFlattenFuseChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		var src Descriptor
+		switch trial % 3 {
+		case 0:
+			c1 := 50000 + rng.Float64()*150000
+			d, err := NewDualPeriodic(c1, 0.010, c1/5, 0.001, 100e6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src = d
+		case 1:
+			d, err := NewPeriodic(20000+rng.Float64()*80000, []float64{5e-3, 8e-3, 10e-3}[rng.Intn(3)], 100e6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src = d
+		default:
+			d, err := NewCBR(2e6 + rng.Float64()*8e6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src = d
+		}
+		chain, err := NewQuantized(src, 36000, 94*384)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d Descriptor = chain
+		for s := 0; s < 1+rng.Intn(3); s++ {
+			d, err = NewDelayed(d, 0.2e-3+rng.Float64()*2e-3, 135e6)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		fused := Fuse(d)
+		f := Flatten(fused, flatTestHorizon)
+		if f == nil {
+			t.Fatalf("trial %d: Flatten(Fuse(chain)) returned nil", trial)
+		}
+		checkAgreement(t, "fused chain", fused, f, probePoints(fused, flatTestHorizon, rng))
+	}
+}
+
+// TestFlatHintMatchesBinarySearch evaluates one flat twice over the same
+// points — once ascending (exercising the cursor hint) and once in random
+// order (exercising the binary-search fallback) — and demands bit-identical
+// results: the hint is an index shortcut, never an approximation.
+func TestFlatHintMatchesBinarySearch(t *testing.T) {
+	d := flatCases(t)["quantized"]
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]float64, 2000)
+	for i := range pts {
+		pts[i] = rng.Float64() * flatTestHorizon
+	}
+	sort.Float64s(pts)
+	asc := Flatten(d, flatTestHorizon)
+	shuffled := Flatten(d, flatTestHorizon)
+	want := make([]float64, len(pts))
+	for i, pt := range pts {
+		want[i] = asc.Bits(pt)
+	}
+	perm := rng.Perm(len(pts))
+	for _, i := range perm {
+		if got := shuffled.Bits(pts[i]); got != want[i] {
+			t.Fatalf("Bits(%v): shuffled=%v ascending=%v", pts[i], got, want[i])
+		}
+	}
+}
+
+// TestFlatBreakpointsDelegate pins the grid-preservation invariant: a Flat
+// advertises exactly the tail chain's breakpoints (sorted, deduplicated),
+// never its own segment boundaries, and smaller horizons answer with a
+// prefix of the cached list clipped to the queried horizon.
+func TestFlatBreakpointsDelegate(t *testing.T) {
+	d := flatCases(t)["quantized"]
+	f := Flatten(d, flatTestHorizon)
+	want := append([]float64(nil), d.(BreakpointProvider).Breakpoints(flatTestHorizon)...)
+	sort.Float64s(want)
+	dedup := want[:0]
+	for i, p := range want {
+		if i > 0 && p == want[i-1] {
+			continue
+		}
+		dedup = append(dedup, p)
+	}
+	got := f.Breakpoints(flatTestHorizon)
+	if len(got) != len(dedup) {
+		t.Fatalf("breakpoint count: flat=%d chain=%d", len(got), len(dedup))
+	}
+	for i := range got {
+		if got[i] != dedup[i] {
+			t.Fatalf("breakpoint %d: flat=%v chain=%v", i, got[i], dedup[i])
+		}
+	}
+	// A smaller horizon is the prefix of the cached list clipped to it: the
+	// same points grid assembly would keep (it clips beyond-horizon points
+	// itself), without a fresh chain walk.
+	half := f.Breakpoints(flatTestHorizon / 2)
+	n := 0
+	for _, p := range dedup {
+		if p <= flatTestHorizon/2 {
+			n++
+		}
+	}
+	if len(half) != n {
+		t.Fatalf("half-horizon breakpoint count: flat=%d, want prefix of %d", len(half), n)
+	}
+	for i := range half {
+		if half[i] != dedup[i] {
+			t.Fatalf("half-horizon breakpoint %d: flat=%v chain=%v", i, half[i], dedup[i])
+		}
+	}
+}
+
+// TestFlattenUnsupportedReturnsNil: chains with no exact closed-form lowering
+// must fall back to the closure tree, not approximate.
+func TestFlattenUnsupportedReturnsNil(t *testing.T) {
+	cases := flatCases(t)
+	m, err := NewMin(cases["periodic"], cases["cbr"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Flatten(m, flatTestHorizon) != nil {
+		t.Fatal("Flatten(Min) must return nil (no exact lowering)")
+	}
+	if Flatten(cases["periodic"], 0) != nil {
+		t.Fatal("Flatten with zero horizon must return nil")
+	}
+	d, err := NewDelayed(m, 1e-3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Flatten(d, flatTestHorizon) != nil {
+		t.Fatal("Flatten(Delayed(Min)) must return nil")
+	}
+}
+
+// TestSumFlatsMatchesAggregate: the O(n+m) merge equals member-wise summation.
+func TestSumFlatsMatchesAggregate(t *testing.T) {
+	cases := flatCases(t)
+	members := []Descriptor{cases["periodic"], cases["dual"], cases["quantized"], cases["cbr"]}
+	agg := NewAggregate(members...)
+	flats := make([]*Flat, len(members))
+	for i, m := range members {
+		if flats[i] = Flatten(m, flatTestHorizon); flats[i] == nil {
+			t.Fatalf("member %d failed to flatten", i)
+		}
+	}
+	sum := SumFlats(agg, flats...)
+	if sum == nil {
+		t.Fatal("SumFlats returned nil")
+	}
+	rng := rand.New(rand.NewSource(3))
+	checkAgreement(t, "sum", agg, sum, probePoints(agg, flatTestHorizon, rng))
+}
+
+// TestDeltaUpdateRoundTrip drives the incremental-aggregate cycle the
+// analyzer runs per probe — subtract one member, add a replacement — and
+// checks the delta-updated aggregate stays pointwise equal to a from-scratch
+// sum of the current member set, through many cycles.
+func TestDeltaUpdateRoundTrip(t *testing.T) {
+	cases := flatCases(t)
+	base := []Descriptor{cases["periodic"], cases["dual"], cases["cbr"]}
+	flats := make([]*Flat, len(base))
+	for i, m := range base {
+		flats[i] = Flatten(m, flatTestHorizon)
+	}
+	agg := SumFlats(NewAggregate(base...), flats...)
+
+	rng := rand.New(rand.NewSource(11))
+	scratch := &Flat{}
+	cur := agg
+	members := append([]*Flat(nil), flats...)
+	for cycle := 0; cycle < 50; cycle++ {
+		// Replace a random member with a fresh random Periodic.
+		idx := rng.Intn(len(members))
+		p, err := NewPeriodic(20000+rng.Float64()*80000, []float64{5e-3, 8e-3, 10e-3}[rng.Intn(3)], 100e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nf := Flatten(p, flatTestHorizon)
+		SubInto(scratch, cur, members[idx])
+		SumInto(cur, scratch, nf)
+		members[idx] = nf
+
+		tails := make([]Descriptor, len(members))
+		for i, m := range members {
+			tails[i] = m.Tail()
+		}
+		ref := SumFlats(NewAggregate(tails...), members...)
+		for trial := 0; trial < 40; trial++ {
+			pt := rng.Float64() * flatTestHorizon
+			got, want := cur.Bits(pt), ref.Bits(pt)
+			if !units.WithinRel(got, want, units.RelTol) {
+				t.Fatalf("cycle %d: Bits(%v) incremental=%v scratch=%v", cycle, pt, got, want)
+			}
+		}
+	}
+	// Compaction keeps residual vertices from departed members bounded
+	// without moving values beyond its tolerance.
+	before := cur.Segments()
+	probe := make([]float64, 200)
+	want := make([]float64, len(probe))
+	for i := range probe {
+		probe[i] = rng.Float64() * cur.Horizon()
+		want[i] = cur.Bits(probe[i])
+	}
+	removed := cur.Compact(units.RelTol)
+	if cur.Segments()+removed != before {
+		t.Fatalf("Compact accounting: %d segments + %d removed != %d before", cur.Segments(), removed, before)
+	}
+	for i, pt := range probe {
+		if !units.WithinRel(cur.Bits(pt), want[i], 1e-8) {
+			t.Fatalf("Compact moved Bits(%v): %v -> %v", pt, want[i], cur.Bits(pt))
+		}
+	}
+}
+
+// TestMergeLinearClipsToSharedHorizon: the merge result covers only the
+// window both operands cover exactly; the tail serves the rest.
+func TestMergeLinearClipsToSharedHorizon(t *testing.T) {
+	cases := flatCases(t)
+	a := Flatten(cases["periodic"], flatTestHorizon)
+	b := Flatten(cases["dual"], flatTestHorizon/2)
+	dst := &Flat{}
+	SumInto(dst, a, b)
+	if got := dst.Horizon(); got != flatTestHorizon/2 {
+		t.Fatalf("merged horizon %v, want %v", got, flatTestHorizon/2)
+	}
+	// Beyond the shared horizon the tail aggregate answers, still exactly.
+	pt := flatTestHorizon * 0.75
+	want := cases["periodic"].Bits(pt) + cases["dual"].Bits(pt)
+	if got := dst.Bits(pt); !units.WithinRel(got, want, units.RelTol) {
+		t.Fatalf("tail Bits(%v)=%v want %v", pt, got, want)
+	}
+}
