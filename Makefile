@@ -14,7 +14,7 @@ BENCH_JSON ?= BENCH.json
 # performance PR.
 BENCH_BASELINE ?= BENCH_PR8.json
 
-.PHONY: all build fmt vet sarif lockgraph lockgraph-check race test short bench bench-compare chaos docs-check check clean
+.PHONY: all build fmt vet sarif lockgraph lockgraph-check race test short bench bench-compare chaos load-smoke docs-check check clean
 
 all: build
 
@@ -78,6 +78,13 @@ short:
 chaos:
 	$(GO) test -race -run 'TestChaos' -v ./internal/signaling/
 	$(GO) test -race ./internal/faultnet/
+
+# Throughput smoke for the sharded daemon: a short closed-loop batched-
+# preview run against an in-process server must sustain a conservative
+# decisions/sec floor and leave zero goroutines behind. The full acceptance
+# methodology and the headline numbers live in EXPERIMENTS.md E10.
+load-smoke:
+	$(GO) test -run TestLoadSmoke -v ./cmd/fafsim/
 
 $(FAFBENCH): FORCE
 	$(GO) build -o $(FAFBENCH) ./cmd/fafbench

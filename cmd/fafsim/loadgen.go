@@ -1,0 +1,603 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"math/rand"
+
+	"fafnet/internal/scenario"
+	"fafnet/internal/signaling"
+	"fafnet/internal/topo"
+)
+
+// loadConfig configures the multi-worker daemon load driver (-experiment
+// daemon with -daemon-mode closed or open). Unlike the legacy single-worker
+// workload it is built to push millions of decisions through a live fafcacd
+// and report sustained throughput plus tail latency, so it separates a
+// warmup window (excluded from statistics) from the measurement window and
+// runs every worker over its own connection with its own seeded generator.
+type loadConfig struct {
+	Addr    string
+	Mode    string // "closed" or "open"
+	Workers int
+	// Requests bounds the run by total decisions across all workers
+	// (including warmup); Duration bounds the measurement window by wall
+	// time. At least one must be set; the first to trip stops the run.
+	Requests int
+	Duration time.Duration
+	Warmup   time.Duration
+	// Rate is the aggregate open-loop arrival rate in decisions per second,
+	// split evenly across workers. Ignored in closed mode.
+	Rate float64
+	Seed int64
+	// PreviewFrac is the fraction of iterations that issue a preview (a
+	// non-committing admission decision) from a small recurring class
+	// palette instead of admit/release churn. Previews leave the admitted
+	// state untouched, which is what lets the daemon's verdict cache answer
+	// repeats without re-running the probe analysis — the high-throughput
+	// regime. 0 is pure churn (every decision pays a full analysis); 1 is
+	// pure preview (peak decision rate against a standing set).
+	PreviewFrac float64
+	// Prefill admits and holds this many connections per worker before the
+	// loop starts, so previews are judged against a loaded network rather
+	// than an empty one. Held until the final drain.
+	Prefill int
+	// Batch > 1 sends previews as OpPreviewBatch requests of this size: one
+	// round trip and one JSON frame carry Batch decisions, which is what
+	// lifts throughput past the per-message transport cost. Latency samples
+	// then measure the whole round trip, not a single decision.
+	Batch int
+	// MetricsURL, when set, is the daemon's /metrics endpoint; the driver
+	// scrapes it at both edges of the measurement window and reports
+	// server-side admit latency quantiles from the histogram bucket deltas.
+	MetricsURL string
+}
+
+// loadResult aggregates the run. Totals cover the whole run; Measured,
+// Window and Lats cover only the measurement window.
+type loadResult struct {
+	Admitted, Rejected, Ambiguous, TransportErrors int
+	Releases                                       int
+	// Previews counts preview decisions (included in Measured); Prefilled
+	// counts the standing connections established before the loop (excluded
+	// from every statistic).
+	Previews  int
+	Prefilled int
+	Measured  int
+	Window    time.Duration
+	// Lats holds client-observed admit latencies in seconds from the
+	// measurement window. In open mode each is measured from the request's
+	// scheduled start, so queueing behind a slow daemon is charged to the
+	// daemon (no coordinated omission).
+	Lats []float64
+	// MaxLag is the worst distance any open-mode worker fell behind its
+	// arrival schedule; a persistently growing value means the offered rate
+	// exceeds what the daemon sustains.
+	MaxLag time.Duration
+	Stats  signaling.ClientStats
+}
+
+// loadShared is the cross-worker coordination block: the stop latch, the
+// recording flag that opens the measurement window, and the global decision
+// counter that enforces the -requests bound.
+type loadShared struct {
+	stop     chan struct{}
+	stopOnce sync.Once
+	stopAt   atomic.Int64 // UnixNano when the stop latch fired
+	record   atomic.Bool
+	decided  atomic.Int64
+	target   int64
+}
+
+func (sh *loadShared) fireStop() {
+	sh.stopOnce.Do(func() {
+		sh.stopAt.Store(time.Now().UnixNano())
+		close(sh.stop)
+	})
+}
+
+func (sh *loadShared) stopped() bool {
+	select {
+	case <-sh.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// countDecisions advances the global counter and trips the stop latch when
+// the request bound is reached.
+func (sh *loadShared) countDecisions(n int) {
+	if v := sh.decided.Add(int64(n)); sh.target > 0 && v >= sh.target {
+		sh.fireStop()
+	}
+}
+
+// loadHost identifies one source host slot owned by a worker.
+type loadHost struct{ ring, index int }
+
+// loadWorker drives one connection's worth of admit/release churn. Source
+// hosts are partitioned across workers so no two workers contend for the
+// same host (a cross-worker ReasonHostBusy would measure the generator, not
+// the daemon); destinations may be any remote-ring host.
+type loadWorker struct {
+	id    int
+	cfg   loadConfig
+	hosts []loadHost
+	// pool is the global set of hosts left free after every worker's
+	// prefill; preview sources draw from it (previews do not occupy hosts,
+	// so the pool is shared by all workers without conflict).
+	pool []loadHost
+	sh   *loadShared
+	res  loadResult
+}
+
+// previewClasses is the per-worker palette size: small enough that the
+// daemon's verdict cache holds every (state, class) pair after one warm
+// pass, large enough to exercise eviction-free variety.
+const previewClasses = 16
+
+// run executes the worker loop until the shared stop latch fires, then
+// releases everything it still holds so the daemon ends clean.
+func (w *loadWorker) run() (err error) {
+	client, err := signaling.DialConfig(signaling.ClientConfig{
+		Addr:        w.cfg.Addr,
+		DialTimeout: 5 * time.Second,
+		ReadTimeout: 30 * time.Second,
+		Retry:       signaling.DefaultRetryPolicy(),
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { w.res.Stats = client.Stats(); client.Close() }()
+
+	cfg := topo.Default()
+	rng := rand.New(rand.NewSource(w.cfg.Seed + int64(w.id)*9973))
+	free := append([]loadHost(nil), w.hosts...)
+	active := make(map[string]loadHost)
+	// FIFO of admitted ids: entries are only appended on admit and popped on
+	// release, so the front is always the oldest still-active connection.
+	order := make([]string, 0, len(w.hosts))
+
+	releaseOldest := func() error {
+		id := order[0]
+		order = order[1:]
+		if _, err := client.Release(id); err != nil {
+			w.res.TransportErrors++
+			return err
+		}
+		w.res.Releases++
+		free = append(free, active[id])
+		delete(active, id)
+		return nil
+	}
+
+	buildReq := func(id string, src loadHost, deadlineMillis float64) scenario.Request {
+		dstRing := rng.Intn(cfg.NumRings - 1)
+		if dstRing >= src.ring {
+			dstRing++ // uniform over remote rings
+		}
+		return scenario.Request{
+			ID:      id,
+			SrcRing: src.ring, SrcHost: src.index,
+			DstRing: dstRing, DstHost: rng.Intn(cfg.HostsPerRing),
+			DeadlineMillis: deadlineMillis,
+			Source:         scenario.Source{Type: "dualPeriodic", C1Kbit: 50, P1Millis: 10, C2Kbit: 10, P2Millis: 1},
+		}
+	}
+	// Deadlines come from a small discrete set, not a continuum: real
+	// deployments reuse a handful of service classes, and recurring classes
+	// are what lets the verdict cache amortize repeated analyses.
+	deadline := func() float64 { return 30 + 5*float64(rng.Intn(8)) }
+
+	// Prefill: admit and hold a standing set so later decisions are judged
+	// against a loaded network. Rejections rotate the host to the back and
+	// move on; transport errors settle by idempotent release, like the loop.
+	for k := 0; k < w.cfg.Prefill && len(free) > 0; k++ {
+		src := free[0]
+		id := fmt.Sprintf("fill-%d-%d-%d", w.cfg.Seed, w.id, k)
+		dec, err := client.Admit(buildReq(id, src, deadline()))
+		switch {
+		case err == nil && dec.Admitted:
+			free = free[1:]
+			active[id] = src
+			order = append(order, id)
+			w.res.Prefilled++
+		case err == nil:
+			free = append(free[1:], src)
+		default:
+			w.res.TransportErrors++
+			if _, rerr := client.Release(id); rerr != nil {
+				w.res.TransportErrors++
+			}
+		}
+	}
+
+	// The preview palette: a fixed set of recurring request classes over
+	// hosts the prefill left free. An empty pool (everything prefilled)
+	// falls back to this worker's own hosts; those previews short-circuit
+	// as host-busy rejects, which still measures the wire but not the
+	// analysis — keep some hosts free for meaningful previews.
+	var classes []scenario.Request
+	if w.cfg.PreviewFrac > 0 {
+		pool := w.pool
+		if len(pool) == 0 {
+			pool = w.hosts
+		}
+		if len(pool) == 0 {
+			// A worker beyond the host count previews across the whole grid.
+			for r := 0; r < cfg.NumRings; r++ {
+				for h := 0; h < cfg.HostsPerRing; h++ {
+					pool = append(pool, loadHost{r, h})
+				}
+			}
+		}
+		for k := 0; k < previewClasses; k++ {
+			src := pool[rng.Intn(len(pool))]
+			classes = append(classes, buildReq("", src, deadline()))
+		}
+	}
+
+	var interval time.Duration
+	if w.cfg.Mode == "open" {
+		perWorker := w.cfg.Rate / float64(w.cfg.Workers)
+		// Rate is in decisions/sec; in the pure-preview batched regime each
+		// paced iteration delivers a whole batch, so iterations run at
+		// rate/batch to keep the decision rate as asked.
+		if w.cfg.PreviewFrac == 1 && w.cfg.Batch > 1 {
+			perWorker /= float64(w.cfg.Batch)
+		}
+		interval = time.Duration(float64(time.Second) / perWorker)
+	}
+	var batchReqs []scenario.Request
+	start := time.Now()
+
+	for i := 0; !w.sh.stopped(); i++ {
+		// Open-loop pacing: request i is due at start + i*interval. Waiting
+		// happens only when ahead of schedule; when behind, the request
+		// fires immediately and the latency clock still starts at the
+		// scheduled instant.
+		issueAt := time.Now()
+		if w.cfg.Mode == "open" {
+			sched := start.Add(time.Duration(i) * interval)
+			if d := time.Until(sched); d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-w.sh.stop:
+					t.Stop()
+				case <-t.C:
+				}
+			} else if lag := -d; lag > w.res.MaxLag {
+				w.res.MaxLag = lag
+			}
+			if w.sh.stopped() {
+				break
+			}
+			// Charge latency from the scheduled start when running behind;
+			// from now when the timer woke early (never negative).
+			issueAt = sched
+			if now := time.Now(); now.Before(issueAt) {
+				issueAt = now
+			}
+		}
+
+		if len(classes) > 0 && rng.Float64() < w.cfg.PreviewFrac {
+			// Ids are excluded from the daemon's verdict fingerprints and
+			// previews commit nothing, so the batch is built once (randomized
+			// class composition, stable per-slot ids) and reused verbatim —
+			// re-randomizing 512 entries per round trip would measure the
+			// generator's rng and fmt, not the daemon.
+			var decided int
+			var err error
+			if w.cfg.Batch > 1 {
+				if batchReqs == nil {
+					batchReqs = make([]scenario.Request, w.cfg.Batch)
+					for k := range batchReqs {
+						batchReqs[k] = classes[rng.Intn(len(classes))]
+						batchReqs[k].ID = fmt.Sprintf("prev-%d-%d-%d", w.cfg.Seed, w.id, k)
+					}
+				}
+				var decs []signaling.Decision
+				decs, err = client.PreviewBatch(batchReqs)
+				decided = len(decs)
+			} else {
+				req := classes[rng.Intn(len(classes))]
+				req.ID = fmt.Sprintf("prev-%d-%d-%d", w.cfg.Seed, w.id, i)
+				_, err = client.Preview(req)
+				decided = 1
+			}
+			lat := time.Since(issueAt)
+			if err != nil {
+				// Previews commit nothing; a lost response needs no settling.
+				w.res.TransportErrors++
+				continue
+			}
+			w.res.Previews += decided
+			if w.sh.record.Load() {
+				w.res.Measured += decided
+				// One sample per round trip: with -batch > 1 this is the
+				// latency of the whole batch.
+				w.res.Lats = append(w.res.Lats, lat.Seconds())
+			}
+			w.sh.countDecisions(decided)
+			continue
+		}
+
+		if len(free) == 0 {
+			if err := releaseOldest(); err != nil {
+				continue
+			}
+		}
+		src := free[rng.Intn(len(free))]
+		id := fmt.Sprintf("load-%d-%d-%d", w.cfg.Seed, w.id, i)
+		req := buildReq(id, src, deadline())
+		dec, err := client.Admit(req)
+		lat := time.Since(issueAt)
+		switch {
+		case err == nil && dec.Admitted:
+			w.res.Admitted++
+			for j, h := range free {
+				if h == src {
+					free = append(free[:j], free[j+1:]...)
+					break
+				}
+			}
+			active[id] = src
+			order = append(order, id)
+		case err == nil:
+			w.res.Rejected++
+		default:
+			// Ambiguity and outright failure settle the same way: release
+			// is idempotent, so one successful round trip proves the id
+			// holds nothing.
+			if isPossiblyCommitted(err) {
+				w.res.Ambiguous++
+			} else {
+				w.res.TransportErrors++
+			}
+			if _, rerr := client.Release(id); rerr != nil {
+				w.res.TransportErrors++
+			}
+		}
+		if err == nil {
+			if w.sh.record.Load() {
+				w.res.Measured++
+				w.res.Lats = append(w.res.Lats, lat.Seconds())
+			}
+			w.sh.countDecisions(1)
+		}
+		// Turn hosts over so the standing set keeps moving: a static set
+		// would let every later decision hit the verdict cache against one
+		// frozen state, which flatters throughput.
+		if len(order) > 0 && i%3 == 2 {
+			_ = releaseOldest()
+		}
+	}
+	for len(order) > 0 {
+		if err := releaseOldest(); err != nil {
+			return fmt.Errorf("worker %d final drain: %w", w.id, err)
+		}
+	}
+	return nil
+}
+
+// runDaemonLoad is the -daemon-mode closed/open entry point: validate,
+// execute, report.
+func runDaemonLoad(cfg loadConfig) error {
+	if cfg.Addr == "" {
+		return fmt.Errorf("-experiment daemon requires -daemon-addr")
+	}
+	if cfg.Workers <= 0 {
+		return fmt.Errorf("-workers %d must be positive", cfg.Workers)
+	}
+	if cfg.Requests <= 0 && cfg.Duration <= 0 {
+		return fmt.Errorf("set -requests or -duration to bound the run")
+	}
+	if cfg.Mode == "open" && cfg.Rate <= 0 {
+		return fmt.Errorf("-daemon-mode open requires -rate > 0")
+	}
+	if cfg.PreviewFrac < 0 || cfg.PreviewFrac > 1 {
+		return fmt.Errorf("-preview-frac %g must be in [0, 1]", cfg.PreviewFrac)
+	}
+	if cfg.Prefill < 0 {
+		return fmt.Errorf("-prefill %d must not be negative", cfg.Prefill)
+	}
+	if cfg.Batch > signaling.MaxBatch {
+		return fmt.Errorf("-batch %d exceeds the protocol maximum of %d", cfg.Batch, signaling.MaxBatch)
+	}
+	fmt.Printf("# daemon %s-loop load against %s (workers=%d, seed=%d, warmup=%s)\n",
+		cfg.Mode, cfg.Addr, cfg.Workers, cfg.Seed, cfg.Warmup)
+	total, scraper, err := executeLoad(cfg)
+	if err != nil {
+		return err
+	}
+	printLoadResult(cfg, total, scraper)
+	return nil
+}
+
+// executeLoad partitions hosts, starts the workers, opens the measurement
+// window after warmup, and stops on the first bound hit.
+func executeLoad(cfg loadConfig) (loadResult, *histScraper, error) {
+	topoCfg := topo.Default()
+	totalHosts := topoCfg.NumRings * topoCfg.HostsPerRing
+	// Pure-preview runs never contend for hosts, so they may oversubscribe
+	// workers; anything that admits needs a disjoint host share per worker.
+	if cfg.Workers > totalHosts && cfg.PreviewFrac < 1 {
+		return loadResult{}, nil, fmt.Errorf("-workers %d exceeds the %d source hosts in the default topology (only -preview-frac 1 may oversubscribe)", cfg.Workers, totalHosts)
+	}
+
+	sh := &loadShared{stop: make(chan struct{}), target: int64(cfg.Requests)}
+	workers := make([]*loadWorker, cfg.Workers)
+	for i := range workers {
+		workers[i] = &loadWorker{id: i, cfg: cfg, sh: sh}
+	}
+	// Round-robin the (ring, host) grid over workers: every worker gets a
+	// disjoint, near-equal share of source hosts.
+	slot := 0
+	for r := 0; r < topoCfg.NumRings; r++ {
+		for h := 0; h < topoCfg.HostsPerRing; h++ {
+			w := workers[slot%cfg.Workers]
+			w.hosts = append(w.hosts, loadHost{r, h})
+			slot++
+		}
+	}
+	// The shared preview pool is whatever the prefill leaves free; workers
+	// that churn need at least one host of their own beyond the prefill.
+	var pool []loadHost
+	for _, w := range workers {
+		held := cfg.Prefill
+		if held > len(w.hosts) {
+			held = len(w.hosts)
+		}
+		if cfg.PreviewFrac < 1 && len(w.hosts)-held < 1 {
+			return loadResult{}, nil, fmt.Errorf("worker %d has no host left for churn: %d hosts, -prefill %d (raise hosts per worker or use -preview-frac 1)", w.id, len(w.hosts), cfg.Prefill)
+		}
+		pool = append(pool, w.hosts[held:]...)
+	}
+	for _, w := range workers {
+		w.pool = pool
+	}
+
+	var scraper *histScraper
+	if cfg.MetricsURL != "" {
+		// Scrape the op the workload actually issues most.
+		label := `op="admit"`
+		if cfg.PreviewFrac > 0.5 {
+			if cfg.Batch > 1 {
+				label = `op="previewBatch"`
+			} else {
+				label = `op="preview"`
+			}
+		}
+		scraper = &histScraper{url: cfg.MetricsURL, metric: "fafnet_signaling_op_seconds", label: label}
+	}
+
+	var windowStart atomic.Int64
+	openWindow := func() {
+		if scraper != nil {
+			if err := scraper.snapshotBefore(); err != nil {
+				fmt.Printf("# metrics scrape (start): %v\n", err)
+				scraper = nil
+			}
+		}
+		windowStart.Store(time.Now().UnixNano())
+		sh.record.Store(true)
+	}
+	var warmT, durT *time.Timer
+	if cfg.Warmup > 0 {
+		warmT = time.AfterFunc(cfg.Warmup, openWindow)
+	} else {
+		openWindow()
+	}
+	if cfg.Duration > 0 {
+		durT = time.AfterFunc(cfg.Warmup+cfg.Duration, sh.fireStop)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Workers)
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w *loadWorker) {
+			defer wg.Done()
+			errs[i] = w.run()
+		}(i, w)
+	}
+	wg.Wait()
+	sh.fireStop() // requests bound met: make sure the latch records an end time
+	if warmT != nil {
+		warmT.Stop()
+	}
+	if durT != nil {
+		durT.Stop()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return loadResult{}, nil, err
+		}
+	}
+	if scraper != nil {
+		if err := scraper.snapshotAfter(); err != nil {
+			fmt.Printf("# metrics scrape (end): %v\n", err)
+			scraper = nil
+		}
+	}
+
+	var total loadResult
+	for _, w := range workers {
+		total.Admitted += w.res.Admitted
+		total.Rejected += w.res.Rejected
+		total.Previews += w.res.Previews
+		total.Prefilled += w.res.Prefilled
+		total.Ambiguous += w.res.Ambiguous
+		total.TransportErrors += w.res.TransportErrors
+		total.Releases += w.res.Releases
+		total.Measured += w.res.Measured
+		total.Lats = append(total.Lats, w.res.Lats...)
+		if w.res.MaxLag > total.MaxLag {
+			total.MaxLag = w.res.MaxLag
+		}
+		total.Stats.Attempts += w.res.Stats.Attempts
+		total.Stats.Retries += w.res.Stats.Retries
+		total.Stats.Redials += w.res.Stats.Redials
+	}
+	t0, t1 := windowStart.Load(), sh.stopAt.Load()
+	if t0 > 0 && t1 > t0 {
+		total.Window = time.Duration(t1 - t0)
+	}
+	return total, scraper, nil
+}
+
+// printLoadResult renders the run summary tables.
+func printLoadResult(cfg loadConfig, total loadResult, scraper *histScraper) {
+	throughput := 0.0
+	if total.Window > 0 {
+		throughput = float64(total.Measured) / total.Window.Seconds()
+	}
+	fmt.Println("mode\tworkers\tdecisions\twindow_s\tdecisions_per_s\tadmitted\trejected\tpreviews\tprefilled\treleases\tambiguous\ttransport_errors")
+	fmt.Printf("%s\t%d\t%d\t%.3f\t%.0f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+		cfg.Mode, cfg.Workers, total.Measured, total.Window.Seconds(), throughput,
+		total.Admitted, total.Rejected, total.Previews, total.Prefilled,
+		total.Releases, total.Ambiguous, total.TransportErrors)
+	if total.Measured == 0 {
+		fmt.Println("# no decisions landed inside the measurement window (bound hit during warmup?)")
+	}
+	if len(total.Lats) > 0 {
+		sort.Float64s(total.Lats)
+		fmt.Println("client_admit_ms\tp50\tp90\tp99\tp999\tmax")
+		fmt.Printf("\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			quantileSorted(total.Lats, 0.50)*1e3,
+			quantileSorted(total.Lats, 0.90)*1e3,
+			quantileSorted(total.Lats, 0.99)*1e3,
+			quantileSorted(total.Lats, 0.999)*1e3,
+			total.Lats[len(total.Lats)-1]*1e3)
+	}
+	if cfg.Mode == "open" {
+		fmt.Printf("max_sched_lag_ms\t%.3f\n", total.MaxLag.Seconds()*1e3)
+	}
+	if scraper != nil {
+		if q, count, ok := scraper.deltaQuantiles([]float64{0.50, 0.90, 0.99}); ok {
+			op := strings.TrimSuffix(strings.TrimPrefix(scraper.label, `op="`), `"`)
+			fmt.Printf("server_%s_ms\tp50\tp90\tp99\tcount\n", op)
+			fmt.Printf("\t%.3f\t%.3f\t%.3f\t%d\n", q[0]*1e3, q[1]*1e3, q[2]*1e3, count)
+		} else {
+			fmt.Println("# server-side histogram unchanged over the window; nothing to report")
+		}
+	}
+	fmt.Printf("client_transport\tattempts=%d\tretries=%d\tredials=%d\n",
+		total.Stats.Attempts, total.Stats.Retries, total.Stats.Redials)
+}
+
+// quantileSorted returns the q-quantile of an ascending sample slice using
+// nearest-rank; good enough for run reporting.
+func quantileSorted(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(xs)-1))
+	return xs[i]
+}

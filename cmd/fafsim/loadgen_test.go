@@ -1,0 +1,258 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"fafnet/internal/core"
+	"fafnet/internal/signaling"
+	"fafnet/internal/topo"
+)
+
+// startShardedDaemon serves an in-process sharded-pipeline signaling server
+// and returns its address and pipeline for post-run inspection. Cleanup is
+// registered on t.
+func startShardedDaemon(t *testing.T) (string, *core.Sharded) {
+	t.Helper()
+	net0, err := topo.NewNetwork(topo.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := core.NewSharded(net0, core.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := signaling.NewShardedServer(pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		if err := <-serveDone; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return l.Addr().String(), pipe
+}
+
+// TestClosedLoopLoadLeavesServerClean drives the closed-loop load driver
+// against an in-process sharded daemon: it must hit the request bound, see
+// a fault-free transport, and release everything before returning.
+func TestClosedLoopLoadLeavesServerClean(t *testing.T) {
+	addr, pipe := startShardedDaemon(t)
+	res, _, err := executeLoad(loadConfig{
+		Addr: addr, Mode: "closed", Workers: 3, Requests: 300, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TransportErrors != 0 || res.Ambiguous != 0 {
+		t.Errorf("fault-free transport produced errors: %+v", res)
+	}
+	if decided := res.Admitted + res.Rejected; decided < 300 {
+		t.Errorf("decided %d, want >= 300", decided)
+	}
+	if res.Admitted == 0 {
+		t.Error("load admitted nothing")
+	}
+	// Warmup is zero, so every decision lands inside the window.
+	if res.Measured == 0 || len(res.Lats) != res.Measured {
+		t.Errorf("measured %d decisions with %d latency samples", res.Measured, len(res.Lats))
+	}
+	if res.Window <= 0 {
+		t.Errorf("window %v, want > 0", res.Window)
+	}
+	if got := pipe.Active(); got != 0 {
+		t.Errorf("load left %d connections admitted, want 0", got)
+	}
+}
+
+// TestOpenLoopLoadPacesArrivals checks the open-loop mode completes a
+// duration-bounded run cleanly at a modest rate.
+func TestOpenLoopLoadPacesArrivals(t *testing.T) {
+	addr, pipe := startShardedDaemon(t)
+	res, _, err := executeLoad(loadConfig{
+		Addr: addr, Mode: "open", Workers: 2, Rate: 2000,
+		Duration: 250 * time.Millisecond, Warmup: 50 * time.Millisecond, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TransportErrors != 0 || res.Ambiguous != 0 {
+		t.Errorf("fault-free transport produced errors: %+v", res)
+	}
+	if res.Measured == 0 {
+		t.Error("no decisions inside the measurement window")
+	}
+	if got := pipe.Active(); got != 0 {
+		t.Errorf("load left %d connections admitted, want 0", got)
+	}
+}
+
+// TestLoadConfigValidation exercises runDaemonLoad's argument checks.
+func TestLoadConfigValidation(t *testing.T) {
+	cases := []loadConfig{
+		{Mode: "closed", Workers: 4, Requests: 10},                           // no addr
+		{Addr: "x", Mode: "closed", Workers: 0, Requests: 10},                // no workers
+		{Addr: "x", Mode: "closed", Workers: 4},                              // unbounded
+		{Addr: "x", Mode: "open", Workers: 4, Requests: 10},                  // open without rate
+		{Addr: "x", Mode: "closed", Workers: 1000, Requests: 10, Rate: 1000}, // too many workers
+	}
+	for i, cfg := range cases {
+		if err := runDaemonLoad(cfg); err == nil {
+			t.Errorf("case %d: config %+v accepted, want error", i, cfg)
+		}
+	}
+}
+
+// TestLoadSmoke is the CI gate for the sharded pipeline's throughput: a
+// short duration-bounded closed-loop run against an in-process daemon must
+// sustain a conservative floor (the acceptance run in EXPERIMENTS.md E7 is
+// over an order of magnitude higher) and must not leak goroutines.
+func TestLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke is not a -short test")
+	}
+	before := runtime.NumGoroutine()
+	addr, pipe := startShardedDaemon(t)
+	// The smoke measures the cache-amortized regime the daemon runs at
+	// scale: a prefilled standing set with batched preview traffic, the
+	// same shape as the E7 acceptance run (any state churn invalidates the
+	// verdict cache and drops throughput to the analysis-bound hundreds
+	// per second, which is a different regime with its own test above).
+	res, _, err := executeLoad(loadConfig{
+		Addr: addr, Mode: "closed", Workers: 4, PreviewFrac: 1.0, Prefill: 1, Batch: 512,
+		Duration: time.Second, Warmup: 500 * time.Millisecond, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TransportErrors != 0 {
+		t.Errorf("transport errors: %+v", res)
+	}
+	if got := pipe.Active(); got != 0 {
+		t.Errorf("load left %d connections admitted, want 0", got)
+	}
+	const floor = 5000.0
+	got := float64(res.Measured) / res.Window.Seconds()
+	t.Logf("sustained %.0f decisions/sec over %v (%d decisions)", got, res.Window, res.Measured)
+	if got < floor {
+		t.Errorf("sustained %.0f decisions/sec, floor %.0f", got, floor)
+	}
+	// Workers and their clients are done; only the server (shut down by
+	// cleanup) remains. Poll because connection goroutines unwind async.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Errorf("goroutine leak: %d before, %d after\n%s", before, n, buf[:runtime.Stack(buf, true)])
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestHistScraperDeltaQuantiles feeds the scraper two canned expositions
+// and checks the interpolated quantiles of the bucket deltas.
+func TestHistScraperDeltaQuantiles(t *testing.T) {
+	exposition := func(c1, c2, cInf uint64) string {
+		return "# HELP fafnet_signaling_op_seconds latency\n" +
+			"# TYPE fafnet_signaling_op_seconds histogram\n" +
+			fmt.Sprintf("fafnet_signaling_op_seconds_bucket{op=\"admit\",le=\"0.001\"} %d\n", c1) +
+			fmt.Sprintf("fafnet_signaling_op_seconds_bucket{op=\"admit\",le=\"0.01\"} %d\n", c2) +
+			fmt.Sprintf("fafnet_signaling_op_seconds_bucket{op=\"admit\",le=\"+Inf\"} %d\n", cInf) +
+			"fafnet_signaling_op_seconds_bucket{op=\"release\",le=\"+Inf\"} 999\n" +
+			fmt.Sprintf("fafnet_signaling_op_seconds_count{op=\"admit\"} %d\n", cInf)
+	}
+	bodies := []string{exposition(10, 10, 10), exposition(60, 100, 110)}
+	call := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, bodies[call])
+		call++
+	}))
+	defer ts.Close()
+
+	s := &histScraper{url: ts.URL, metric: "fafnet_signaling_op_seconds", label: `op="admit"`}
+	if err := s.snapshotBefore(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.snapshotAfter(); err != nil {
+		t.Fatal(err)
+	}
+	// Deltas: 50 in (0, 1ms], 40 in (1ms, 10ms], 10 above 10ms; total 100.
+	qs, count, ok := s.deltaQuantiles([]float64{0.5, 0.9, 0.99})
+	if !ok {
+		t.Fatal("no delta reported")
+	}
+	if count != 100 {
+		t.Errorf("count %d, want 100", count)
+	}
+	// p50 interpolates inside the first bucket: rank 50 of 50 -> 1ms.
+	if math.Abs(qs[0]-0.001) > 1e-9 {
+		t.Errorf("p50 %v, want 0.001", qs[0])
+	}
+	// p90: rank 90, first bucket holds 50, second spans (0.001, 0.01] with
+	// 40 -> 0.001 + 0.009*(90-50)/40 = 0.01.
+	if math.Abs(qs[1]-0.01) > 1e-9 {
+		t.Errorf("p90 %v, want 0.01", qs[1])
+	}
+	// p99 lands in the open-ended bucket -> reported as its lower edge.
+	if math.Abs(qs[2]-0.01) > 1e-9 {
+		t.Errorf("p99 %v, want 0.01", qs[2])
+	}
+}
+
+// TestHistScraperNoMovement reports ok=false when the histogram did not
+// change between snapshots.
+func TestHistScraperNoMovement(t *testing.T) {
+	s := &histScraper{
+		before: map[float64]uint64{0.001: 5, math.Inf(1): 5},
+		after:  map[float64]uint64{0.001: 5, math.Inf(1): 5},
+	}
+	if _, _, ok := s.deltaQuantiles([]float64{0.5}); ok {
+		t.Error("unchanged histogram reported quantiles")
+	}
+}
+
+// TestParseLE covers the label extraction corner cases.
+func TestParseLE(t *testing.T) {
+	if v, ok := parseLE(`op="admit",le="0.25"`); !ok || v != 0.25 {
+		t.Errorf("got %v %v", v, ok)
+	}
+	if v, ok := parseLE(`le="+Inf"`); !ok || !math.IsInf(v, 1) {
+		t.Errorf("got %v %v", v, ok)
+	}
+	if _, ok := parseLE(`op="admit"`); ok {
+		t.Error("missing le parsed")
+	}
+}
+
+// TestQuantileSorted pins the nearest-rank helper.
+func TestQuantileSorted(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := quantileSorted(xs, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := quantileSorted(xs, 1); got != 5 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := quantileSorted(nil, 0.5); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+}

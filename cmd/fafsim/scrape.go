@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// histScraper diffs one labeled Prometheus histogram between two scrapes of
+// a /metrics endpoint, so the load driver can report the daemon's own view
+// of admit latency over exactly the measurement window — client-side
+// quantiles include the transport, these do not.
+type histScraper struct {
+	url    string
+	metric string // family name, e.g. fafnet_signaling_op_seconds
+	label  string // rendered label that must be present, e.g. op="admit"
+
+	before, after map[float64]uint64 // upper bound -> cumulative count
+}
+
+func (s *histScraper) snapshotBefore() (err error) {
+	s.before, err = s.scrape()
+	return err
+}
+
+func (s *histScraper) snapshotAfter() (err error) {
+	s.after, err = s.scrape()
+	return err
+}
+
+// scrape fetches the endpoint and collects the matching family's
+// cumulative bucket counts.
+func (s *histScraper) scrape() (map[float64]uint64, error) {
+	client := http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(s.url)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if cerr := resp.Body.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scraping %s: %s", s.url, resp.Status)
+	}
+	prefix := s.metric + "_bucket{"
+	out := make(map[float64]uint64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		end := strings.IndexByte(line, '}')
+		if end < 0 {
+			continue
+		}
+		labels := line[len(prefix):end]
+		if !strings.Contains(labels, s.label) {
+			continue
+		}
+		bound, ok := parseLE(labels)
+		if !ok {
+			continue
+		}
+		count, err := strconv.ParseUint(strings.TrimSpace(line[end+1:]), 10, 64)
+		if err != nil {
+			continue
+		}
+		out[bound] = count
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no %s buckets with %s at %s", s.metric, s.label, s.url)
+	}
+	return out, nil
+}
+
+// parseLE extracts the le="..." bound from a rendered label string.
+func parseLE(labels string) (float64, bool) {
+	i := strings.Index(labels, `le="`)
+	if i < 0 {
+		return 0, false
+	}
+	rest := labels[i+len(`le="`):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return 0, false
+	}
+	raw := rest[:j]
+	if raw == "+Inf" {
+		return math.Inf(1), true
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// deltaQuantiles estimates quantiles of the latency observed BETWEEN the
+// two snapshots by differencing the cumulative bucket counts and
+// interpolating linearly inside the bucket that crosses each rank — the
+// standard Prometheus histogram_quantile estimate. Returns ok=false when
+// the histogram did not move over the window.
+func (s *histScraper) deltaQuantiles(qs []float64) ([]float64, uint64, bool) {
+	if s.before == nil || s.after == nil {
+		return nil, 0, false
+	}
+	bounds := make([]float64, 0, len(s.after))
+	for b := range s.after {
+		bounds = append(bounds, b)
+	}
+	sort.Float64s(bounds)
+	deltas := make([]uint64, len(bounds))
+	var total uint64
+	for i, b := range bounds {
+		d := s.after[b] - s.before[b]
+		deltas[i] = d
+		if d > total {
+			total = d // cumulative: the +Inf (last) delta is the total
+		}
+	}
+	if total == 0 {
+		return nil, 0, false
+	}
+	out := make([]float64, len(qs))
+	for k, q := range qs {
+		rank := q * float64(total)
+		out[k] = bounds[len(bounds)-1]
+		for i, b := range bounds {
+			if float64(deltas[i]) < rank {
+				continue
+			}
+			lo, cumLo := 0.0, uint64(0)
+			if i > 0 {
+				lo, cumLo = bounds[i-1], deltas[i-1]
+			}
+			if math.IsInf(b, 1) {
+				out[k] = lo // open-ended bucket: report its lower edge
+				break
+			}
+			span := float64(deltas[i] - cumLo)
+			if span > 0 {
+				out[k] = lo + (b-lo)*(rank-float64(cumLo))/span
+			} else {
+				out[k] = b
+			}
+			break
+		}
+	}
+	return out, total, true
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 
 	"fafnet/internal/obs"
@@ -260,7 +259,11 @@ func (c *Controller) decide(spec ConnSpec, commit bool) (Decision, error) {
 	return dec, err
 }
 
-// decideInner implements both the committing and the preview paths.
+// decideInner implements both the committing and the preview paths. The
+// algorithm itself lives in decideAgainst (shared with the sharded
+// pipeline); this wrapper supplies the controller's live view — its admitted
+// map and the network's real ring availabilities — and owns the state
+// transitions a verdict triggers.
 func (c *Controller) decideInner(spec ConnSpec, commit bool) (Decision, error) {
 	if err := spec.Validate(); err != nil {
 		return Decision{}, err
@@ -276,84 +279,17 @@ func (c *Controller) decideInner(spec ConnSpec, commit bool) (Decision, error) {
 		return Decision{Reason: ReasonInvalidTarget}, nil
 	}
 
-	cand := &Connection{ConnSpec: spec, Route: route}
-	dec := Decision{
-		HSMaxAvail: c.net.Ring(spec.Src.Ring).Available(),
-	}
-	if route.CrossesBackbone {
-		dec.HRMaxAvail = c.net.Ring(spec.Dst.Ring).Available()
-	}
-
-	// Step 1–2: availability floor.
-	if dec.HSMaxAvail < c.opts.HMinAbs ||
-		(route.CrossesBackbone && dec.HRMaxAvail < c.opts.HMinAbs) {
-		dec.Reason = ReasonNoBandwidth
-		c.forgetCandidate(spec.ID)
-		return dec, nil
-	}
-
-	seg := c.searchSegment(route, dec.HSMaxAvail, dec.HRMaxAvail)
-
-	// The probe session reuses every analysis result the candidate's
-	// allocation provably cannot change.
-	session, err := c.analyzer.NewProbeSession(c.Connections(), cand)
+	avail := func(ring int) float64 { return c.net.Ring(ring).Available() }
+	dec, cand, err := decideAgainst(c.analyzer, c.opts, c.Connections(), avail, spec, route)
 	if err != nil {
 		return Decision{}, err
 	}
-	probe := func(a allocation) (bool, map[string]float64) {
-		dec.Probes++
-		mProbes.Inc()
-		delays, err := session.Delays(a.hs, a.hr)
-		if err != nil {
-			// Structural errors cannot occur for specs validated above;
-			// treat defensively as infeasible.
-			return false, nil
-		}
-		return c.meetsDeadlines(cand, delays), delays
-	}
-
-	// Step 2: feasibility at the segment's maximum point.
-	okMax, delaysMax := probe(seg.p1)
-	if !okMax {
-		dec.Reason = ReasonInfeasible
+	if !dec.Admitted {
 		c.forgetCandidate(spec.ID)
 		return dec, nil
 	}
-
-	// Step 3: minimum needed allocation.
-	alphaMin := c.bisectFeasible(probe, seg)
-	minAlloc := seg.at(alphaMin)
-	dec.HSMinNeed, dec.HRMinNeed = minAlloc.hs, minAlloc.hr
-
-	// Step 4: maximum needed allocation — the smallest point whose delays
-	// match the maximum allocation's (Eq. 31–33).
-	alphaEq := c.bisectEqualDelays(probe, seg, alphaMin, delaysMax)
-	maxAlloc := seg.at(alphaEq)
-	dec.HSMaxNeed, dec.HRMaxNeed = maxAlloc.hs, maxAlloc.hr
-
-	// Step 5: β interpolation (Eq. 35–36).
-	chosen := allocation{
-		hs: minAlloc.hs + c.opts.Beta*(maxAlloc.hs-minAlloc.hs),
-		hr: minAlloc.hr + c.opts.Beta*(maxAlloc.hr-minAlloc.hr),
-	}
-	ok, delays := probe(chosen)
-	if !ok {
-		// Convexity (Theorem 3–4) makes this unreachable in exact
-		// arithmetic; numeric quantization can still surface it. Fall back
-		// to the segment maximum, which was verified feasible. The probe
-		// session's scratch evaluation holds the failed allocation, so no
-		// Stages decomposition is reported for this (rare) path.
-		chosen = seg.p1
-		delays = delaysMax
-	} else if bd, bderr := session.Breakdown(spec.ID); bderr == nil {
-		// The scratch evaluation is warm from the probe just run at the
-		// chosen allocation, so assembling the decomposition re-runs no
-		// analysis.
-		dec.Stages = &bd
-	}
-
 	if commit {
-		if err := c.commit(cand, chosen); err != nil {
+		if err := c.commit(cand, allocation{hs: dec.HS, hr: dec.HR}); err != nil {
 			// The candidate was not admitted; clear its probe-time analyzer
 			// state so a retry of the same id starts clean.
 			c.forgetCandidate(spec.ID)
@@ -362,28 +298,7 @@ func (c *Controller) decideInner(spec ConnSpec, commit bool) (Decision, error) {
 	} else {
 		c.forgetCandidate(spec.ID)
 	}
-	dec.Admitted = true
-	dec.Reason = ReasonAdmitted
-	dec.HS, dec.HR = chosen.hs, chosen.hr
-	dec.Delays = delays
 	return dec, nil
-}
-
-// searchSegment builds the allocation segment for the configured rule.
-func (c *Controller) searchSegment(route topo.Route, hsMax, hrMax float64) segment {
-	minAbs := c.opts.HMinAbs
-	if !route.CrossesBackbone {
-		return segment{p0: allocation{hs: minAbs}, p1: allocation{hs: hsMax}}
-	}
-	switch c.opts.Rule {
-	case RuleFixedSplit:
-		m := math.Min(hsMax, hrMax)
-		return segment{p0: allocation{minAbs, minAbs}, p1: allocation{m, m}}
-	case RuleSenderBiased:
-		return segment{p0: allocation{hsMax, minAbs}, p1: allocation{hsMax, hrMax}}
-	default: // RuleProportional (the paper's Rule 2)
-		return segment{p0: allocation{minAbs, minAbs}, p1: allocation{hsMax, hrMax}}
-	}
 }
 
 // feasible evaluates Eq. 24–25: with the candidate at allocation a, do all
@@ -403,70 +318,7 @@ func (c *Controller) feasible(cand *Connection, a allocation) (bool, map[string]
 		// treat defensively as infeasible.
 		return false, nil
 	}
-	return c.meetsDeadlines(cand, delays), delays
-}
-
-// meetsDeadlines checks Eq. 24–25 against a computed delay map.
-func (c *Controller) meetsDeadlines(cand *Connection, delays map[string]float64) bool {
-	for _, conn := range c.conns {
-		if delays[conn.ID] > conn.Deadline*(1+units.RelTol) {
-			return false
-		}
-	}
-	return delays[cand.ID] <= cand.Deadline*(1+units.RelTol)
-}
-
-// bisectFeasible locates the smallest α in [0,1] whose allocation is
-// feasible. The caller guarantees α=1 is feasible; Theorems 3–4 make the
-// feasible subset of the segment an interval ending at 1.
-func (c *Controller) bisectFeasible(probe func(allocation) (bool, map[string]float64), seg segment) float64 {
-	if ok, _ := probe(seg.at(0)); ok {
-		return 0
-	}
-	lo, hi := 0.0, 1.0 // infeasible at lo, feasible at hi
-	for i := 0; i < c.opts.SearchIters; i++ {
-		mBisectSteps.Inc()
-		mid := (lo + hi) / 2
-		if ok, _ := probe(seg.at(mid)); ok {
-			hi = mid
-		} else {
-			lo = mid
-		}
-	}
-	return hi
-}
-
-// bisectEqualDelays locates the smallest α in [alphaMin,1] whose delays
-// match those at α=1 within the configured tolerance (Eq. 31–32). Delays
-// vary monotonically toward their α=1 values along the segment, so the
-// equality set is an interval ending at 1.
-func (c *Controller) bisectEqualDelays(probe func(allocation) (bool, map[string]float64), seg segment, alphaMin float64, delaysMax map[string]float64) float64 {
-	equal := func(alpha float64) bool {
-		ok, delays := probe(seg.at(alpha))
-		if !ok {
-			return false
-		}
-		for id, dMax := range delaysMax {
-			if !units.WithinRel(delays[id], dMax, c.opts.EqualTolerance) {
-				return false
-			}
-		}
-		return true
-	}
-	if equal(alphaMin) {
-		return alphaMin
-	}
-	lo, hi := alphaMin, 1.0
-	for i := 0; i < c.opts.SearchIters; i++ {
-		mBisectSteps.Inc()
-		mid := (lo + hi) / 2
-		if equal(mid) {
-			hi = mid
-		} else {
-			lo = mid
-		}
-	}
-	return hi
+	return meetsDeadlines(conns[:len(conns)-1], cand, delays), delays
 }
 
 // commit admits the candidate at the chosen allocation, updating ring

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math"
+
+	"fafnet/internal/topo"
+	"fafnet/internal/units"
+)
+
+// This file is the CAC decision algorithm of Section 5.3 factored free of
+// Controller so two owners can run it: the serialized Controller (which
+// mutates its live network in place) and the sharded pipeline (which
+// evaluates against an immutable snapshot and commits through two-phase
+// ring reservations). The algorithm itself is a pure function of the
+// standing connection set, the per-ring availabilities, and the candidate
+// specification — everything stateful (bandwidth bookkeeping, the admitted
+// map) stays with the caller.
+
+// decideAgainst runs steps 1–5 of the admission algorithm — availability
+// floor (Eq. 26–27), feasibility at the segment maximum, the
+// (H^min_need, H^max_need) binary searches, and the β interpolation
+// (Eq. 35–36) — against a fixed view of the world: the standing connections
+// (sorted by id, candidate excluded) and the per-ring available synchronous
+// bandwidth. It commits nothing. On an admit verdict the returned Decision
+// has Admitted, Reason, HS, HR, Delays, and Stages populated and the
+// returned candidate carries the route; the caller is responsible for
+// charging the rings and recording the connection (or discarding both, for
+// previews). A non-nil error is an analysis failure, not a rejection.
+func decideAgainst(an *Analyzer, opts Options, standing []*Connection, avail func(ring int) float64, spec ConnSpec, route topo.Route) (Decision, *Connection, error) {
+	cand := &Connection{ConnSpec: spec, Route: route}
+	dec := Decision{
+		HSMaxAvail: avail(spec.Src.Ring),
+	}
+	if route.CrossesBackbone {
+		dec.HRMaxAvail = avail(spec.Dst.Ring)
+	}
+
+	// Step 1–2: availability floor.
+	if dec.HSMaxAvail < opts.HMinAbs ||
+		(route.CrossesBackbone && dec.HRMaxAvail < opts.HMinAbs) {
+		dec.Reason = ReasonNoBandwidth
+		return dec, cand, nil
+	}
+
+	seg := searchSegment(opts, route, dec.HSMaxAvail, dec.HRMaxAvail)
+
+	// The probe session reuses every analysis result the candidate's
+	// allocation provably cannot change.
+	session, err := an.NewProbeSession(standing, cand)
+	if err != nil {
+		return Decision{}, nil, err
+	}
+	probe := func(a allocation) (bool, map[string]float64) {
+		dec.Probes++
+		mProbes.Inc()
+		delays, err := session.Delays(a.hs, a.hr)
+		if err != nil {
+			// Structural errors cannot occur for specs validated above;
+			// treat defensively as infeasible.
+			return false, nil
+		}
+		return meetsDeadlines(standing, cand, delays), delays
+	}
+
+	// Step 2: feasibility at the segment's maximum point.
+	okMax, delaysMax := probe(seg.p1)
+	if !okMax {
+		dec.Reason = ReasonInfeasible
+		return dec, cand, nil
+	}
+
+	// Step 3: minimum needed allocation.
+	alphaMin := bisectFeasible(opts, probe, seg)
+	minAlloc := seg.at(alphaMin)
+	dec.HSMinNeed, dec.HRMinNeed = minAlloc.hs, minAlloc.hr
+
+	// Step 4: maximum needed allocation — the smallest point whose delays
+	// match the maximum allocation's (Eq. 31–33).
+	alphaEq := bisectEqualDelays(opts, probe, seg, alphaMin, delaysMax)
+	maxAlloc := seg.at(alphaEq)
+	dec.HSMaxNeed, dec.HRMaxNeed = maxAlloc.hs, maxAlloc.hr
+
+	// Step 5: β interpolation (Eq. 35–36).
+	chosen := allocation{
+		hs: minAlloc.hs + opts.Beta*(maxAlloc.hs-minAlloc.hs),
+		hr: minAlloc.hr + opts.Beta*(maxAlloc.hr-minAlloc.hr),
+	}
+	ok, delays := probe(chosen)
+	if !ok {
+		// Convexity (Theorem 3–4) makes this unreachable in exact
+		// arithmetic; numeric quantization can still surface it. Fall back
+		// to the segment maximum, which was verified feasible. The probe
+		// session's scratch evaluation holds the failed allocation, so no
+		// Stages decomposition is reported for this (rare) path.
+		chosen = seg.p1
+		delays = delaysMax
+	} else if bd, bderr := session.Breakdown(spec.ID); bderr == nil {
+		// The scratch evaluation is warm from the probe just run at the
+		// chosen allocation, so assembling the decomposition re-runs no
+		// analysis.
+		dec.Stages = &bd
+	}
+
+	dec.Admitted = true
+	dec.Reason = ReasonAdmitted
+	dec.HS, dec.HR = chosen.hs, chosen.hr
+	dec.Delays = delays
+	return dec, cand, nil
+}
+
+// searchSegment builds the allocation segment for the configured rule.
+func searchSegment(opts Options, route topo.Route, hsMax, hrMax float64) segment {
+	minAbs := opts.HMinAbs
+	if !route.CrossesBackbone {
+		return segment{p0: allocation{hs: minAbs}, p1: allocation{hs: hsMax}}
+	}
+	switch opts.Rule {
+	case RuleFixedSplit:
+		m := math.Min(hsMax, hrMax)
+		return segment{p0: allocation{minAbs, minAbs}, p1: allocation{m, m}}
+	case RuleSenderBiased:
+		return segment{p0: allocation{hsMax, minAbs}, p1: allocation{hsMax, hrMax}}
+	default: // RuleProportional (the paper's Rule 2)
+		return segment{p0: allocation{minAbs, minAbs}, p1: allocation{hsMax, hrMax}}
+	}
+}
+
+// meetsDeadlines checks Eq. 24–25 against a computed delay map: every
+// standing connection and the candidate must meet its deadline.
+func meetsDeadlines(standing []*Connection, cand *Connection, delays map[string]float64) bool {
+	for _, conn := range standing {
+		if delays[conn.ID] > conn.Deadline*(1+units.RelTol) {
+			return false
+		}
+	}
+	return delays[cand.ID] <= cand.Deadline*(1+units.RelTol)
+}
+
+// bisectFeasible locates the smallest α in [0,1] whose allocation is
+// feasible. The caller guarantees α=1 is feasible; Theorems 3–4 make the
+// feasible subset of the segment an interval ending at 1.
+func bisectFeasible(opts Options, probe func(allocation) (bool, map[string]float64), seg segment) float64 {
+	if ok, _ := probe(seg.at(0)); ok {
+		return 0
+	}
+	lo, hi := 0.0, 1.0 // infeasible at lo, feasible at hi
+	for i := 0; i < opts.SearchIters; i++ {
+		mBisectSteps.Inc()
+		mid := (lo + hi) / 2
+		if ok, _ := probe(seg.at(mid)); ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// bisectEqualDelays locates the smallest α in [alphaMin,1] whose delays
+// match those at α=1 within the configured tolerance (Eq. 31–32). Delays
+// vary monotonically toward their α=1 values along the segment, so the
+// equality set is an interval ending at 1.
+func bisectEqualDelays(opts Options, probe func(allocation) (bool, map[string]float64), seg segment, alphaMin float64, delaysMax map[string]float64) float64 {
+	equal := func(alpha float64) bool {
+		ok, delays := probe(seg.at(alpha))
+		if !ok {
+			return false
+		}
+		for id, dMax := range delaysMax {
+			if !units.WithinRel(delays[id], dMax, opts.EqualTolerance) {
+				return false
+			}
+		}
+		return true
+	}
+	if equal(alphaMin) {
+		return alphaMin
+	}
+	lo, hi := alphaMin, 1.0
+	for i := 0; i < opts.SearchIters; i++ {
+		mBisectSteps.Inc()
+		mid := (lo + hi) / 2
+		if equal(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}

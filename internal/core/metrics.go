@@ -63,6 +63,26 @@ var (
 	mProbeStage0Reused = obs.Default.Counter("fafnet_cac_probe_stage0_reused_total",
 		"Stage-0 envelopes carried into probe evaluations without recomputation.")
 
+	mVerdictHits = obs.Default.Counter("fafnet_cac_verdict_cache_hits_total",
+		"Admission decisions answered from the verdict cache without running any probe.")
+	mVerdictMisses = obs.Default.Counter("fafnet_cac_verdict_cache_misses_total",
+		"Admission decisions that ran the full probe-based analysis and seeded the verdict cache.")
+	mVerdictSkips = obs.Default.Counter("fafnet_cac_verdict_cache_skips_total",
+		"Admission decisions that bypassed the verdict cache (unfingerprintable spec or admitted set).")
+
+	mShardCommits = obs.Default.Counter("fafnet_shard_commits_total",
+		"Two-phase reserve/commit sequences that published a new admitted-state snapshot.")
+	mShardCommitRetries = obs.Default.Counter("fafnet_shard_commit_retries_total",
+		"Admission commits abandoned because another commit published first; the decision re-ran against the fresh snapshot.")
+	mShardPessimisticCommits = obs.Default.Counter("fafnet_shard_pessimistic_commits_total",
+		"Decisions that fell back to deciding under the commit lock after exhausting optimistic retries.")
+	mShardReserveAborts = obs.Default.Counter("fafnet_shard_reserve_aborts_total",
+		"Shard reservations rolled back because the partner ring could not cover its half of a two-ring admission.")
+	gShardUtilMax = obs.Default.Gauge("fafnet_shard_allocated_fraction_max",
+		"Highest committed synchronous-bandwidth fraction across ring shards.")
+	gShardImbalance = obs.Default.Gauge("fafnet_shard_imbalance",
+		"Spread between the most and least loaded ring shards (allocated-fraction max minus min).")
+
 	mFlatLowerings = obs.Default.Counter("fafnet_cac_flat_lowerings_total",
 		"Descriptor chains lowered into flat breakpoint arrays (stage-0 envelopes and receiver-side conversions).")
 	mFlatFallbacks = obs.Default.Counter("fafnet_cac_flat_fallbacks_total",

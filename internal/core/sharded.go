@@ -1,0 +1,842 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"fafnet/internal/fddi"
+	"fafnet/internal/obs"
+	"fafnet/internal/topo"
+)
+
+// Sharded is the horizontally scaled admission pipeline: the same CAC
+// algorithm as Controller (both call decideAgainst), restructured so
+// decisions run concurrently. The single controller mutex and its in-place
+// network bookkeeping are replaced by three mechanisms:
+//
+//   - Per-ring shard controllers. Each FDDI segment's H-budget ledger lives
+//     in its own shard with its own mutex, so charging the sender ring never
+//     contends with charging an unrelated receiver ring. Shard locks are
+//     leaves: the pipeline never holds two at once (a two-ring admission
+//     touches them strictly one at a time, in ascending ring order), which
+//     keeps the fafvet lockorder graph acyclic even though every shard
+//     shares the one mutex field.
+//
+//   - Immutable admitted-state snapshots. The admitted set, per-ring
+//     committed availability, and the state fingerprint are published as a
+//     copy-on-write snapshot behind an atomic pointer. Analysis — the
+//     expensive part, milliseconds of probing — runs against a snapshot with
+//     no lock held, on an analyzer checked out from a fixed lane pool.
+//     Commits are optimistic: a decision computed against snapshot S commits
+//     only if S is still current; otherwise the world changed mid-analysis
+//     and the decision re-runs against the fresh snapshot (Eq. 24–25 demand
+//     every admitted connection's delay be re-verified, and a stale snapshot
+//     can no longer prove that).
+//
+//   - An exact verdict cache. The CAC verdict is a pure function of the
+//     admitted multiset of (endpoints, traffic, H_S, H_R) and the candidate
+//     specification — connection ids name decisions but cannot change them —
+//     so verdicts are cached under the (state hash, spec fingerprint) key
+//     from fingerprint.go. Under admission churn the state hash cycles back
+//     to previously seen values every time a release undoes an admission,
+//     and a whole class of same-shape candidates then resolves with zero
+//     probes. Concurrent misses on one key single-flight: followers wait for
+//     the leader's analysis instead of duplicating it, which is what batches
+//     a burst of same-class candidates into one probe.
+//
+// Lock ordering: commitMu → shard.mu, commitMu → (audit record callback).
+// cacheMu and shard.mu are leaves. Analyzer lanes are a channel, not a
+// lock, and are never held across a commit on the optimistic path.
+type Sharded struct {
+	net  *topo.Network
+	opts Options
+
+	// lanes is the analyzer pool. Each lane owns private analysis caches;
+	// checking one out grants exclusive use until it is returned.
+	lanes chan *Analyzer
+
+	// shards holds one budget ledger per FDDI segment, indexed by ring.
+	shards []*shard
+
+	// commitMu serializes state transitions: two-phase commits, releases,
+	// and restores. Analysis never runs under it on the optimistic path.
+	// snap is only Stored while commitMu is held (Loads are lock-free).
+	commitMu sync.Mutex
+	snap     atomic.Pointer[snapState]
+
+	cacheMu sync.Mutex
+	// cache is the verdict cache and its single-flight table: an entry with
+	// an open done channel is a computation in flight. guarded by cacheMu.
+	cache map[verdictKey]*verdictEntry
+}
+
+// shard owns one ring's synchronous-bandwidth ledger. Reservations are the
+// first phase of a two-ring commit: bandwidth is charged to the ledger but
+// marked pending, so an abort can roll it back without touching committed
+// state. All reservations resolve (confirm or abort) before their commit
+// critical section ends, so pending mass is zero whenever commitMu is free.
+type shard struct {
+	ring int
+	mu   sync.Mutex
+	// budget is the ring's private H-budget ledger (same arithmetic as the
+	// live network ring the serialized Controller charges). guarded by mu.
+	budget *fddi.Ring
+	// pending maps reservation ids to the bandwidth charged but not yet
+	// committed. guarded by mu.
+	pending map[string]float64
+	// pendingSum is the total pending mass, maintained so committed
+	// availability is budget availability plus pendingSum. guarded by mu.
+	pendingSum float64
+}
+
+// reserve charges h to the ledger as a pending reservation.
+func (s *shard) reserve(id string, h float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.budget.Allocate(id, h); err != nil {
+		return err
+	}
+	s.pending[id] = h
+	s.pendingSum += h
+	return nil
+}
+
+// abort rolls back a pending reservation.
+func (s *shard) abort(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.pending[id]
+	if !ok {
+		return
+	}
+	delete(s.pending, id)
+	s.pendingSum -= h
+	if !s.budget.Release(id) {
+		mBookkeepingErrors.Inc()
+	}
+}
+
+// confirm promotes a pending reservation to committed state.
+func (s *shard) confirm(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.pending[id]
+	if !ok {
+		// The reservation was made a few lines up in the same commit
+		// sequence; a miss means the two-phase bookkeeping diverged.
+		mBookkeepingErrors.Inc()
+		return
+	}
+	delete(s.pending, id)
+	s.pendingSum -= h
+}
+
+// releaseCommitted frees a committed allocation, reporting whether it
+// existed.
+func (s *shard) releaseCommitted(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.budget.Release(id)
+}
+
+// availCommitted returns the availability counting only committed
+// allocations: pending reservations are added back so in-flight two-phase
+// commits never distort what a concurrent analysis sees as free.
+func (s *shard) availCommitted() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.budget.Available() + s.pendingSum
+}
+
+// utilization returns the committed allocated fraction of the shard's
+// usable budget.
+func (s *shard) utilization() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	alloc := s.budget.Allocated() - s.pendingSum
+	usable := s.budget.Allocated() + s.budget.Available()
+	if usable <= 0 {
+		return 0
+	}
+	return alloc / usable
+}
+
+// snapState is one immutable published view of the admitted state. Every
+// field is read-only after publication; commits build a fresh snapState.
+type snapState struct {
+	// seq increments with every published transition.
+	seq uint64
+	// conns is the admitted set sorted by id.
+	conns []*Connection
+	// byID indexes conns.
+	byID map[string]*Connection
+	// busy maps each source host that already originates a connection to
+	// that connection's id.
+	busy map[topo.HostID]string
+	// avail is the committed synchronous-bandwidth availability per ring.
+	avail []float64
+	// hash is the multiset fingerprint of the admitted set; meaningful only
+	// when unhashable is zero.
+	hash stateHash
+	// unhashable counts admitted connections whose spec has no fingerprint;
+	// any such connection disables the verdict cache until released.
+	unhashable int
+}
+
+// verdictKey identifies one decision problem: the admitted-state hash plus
+// the candidate's specification fingerprint.
+type verdictKey struct {
+	state stateHash
+	spec  fingerprint
+}
+
+// verdictEntry is one cached (or in-flight) verdict. done is closed once
+// the leader fills the remaining fields; settled flips true just before,
+// giving evictLocked a lock-free doneness probe with no channel operation.
+type verdictEntry struct {
+	done    chan struct{}
+	settled atomic.Bool
+	// dec is the decision template: Delays stripped (its keys are the
+	// leader's standing ids, meaningless to a later hit), Probes and Cache
+	// zeroed (a hit costs none).
+	dec Decision
+	// candDelay is the candidate's own end-to-end delay (admit verdicts).
+	candDelay float64
+	err       error
+}
+
+// verdictCacheCap bounds the verdict cache; past it an arbitrary chunk of
+// entries is evicted (recurrence under churn re-seeds hot keys in one miss).
+const verdictCacheCap = 4096
+
+// maxOptimisticRetries bounds how many times one admission re-analyzes
+// after losing a commit race before falling back to deciding under the
+// commit lock.
+const maxOptimisticRetries = 16
+
+// NewSharded builds the sharded pipeline over the given network topology.
+// The network is used read-only (routing and ring configuration); bandwidth
+// bookkeeping lives in the per-ring shards, so the same Options over the
+// same topology make Sharded and Controller decide identically. lanes is
+// the number of pooled analyzers (≤ 0 selects a GOMAXPROCS-based default).
+func NewSharded(net *topo.Network, opts Options, lanes int) (*Sharded, error) {
+	if net == nil {
+		return nil, errors.New("core: Sharded requires a network")
+	}
+	opts = opts.withDefaults()
+	if opts.Beta < 0 || opts.Beta > 1 {
+		return nil, fmt.Errorf("core: beta %v must be in [0,1]", opts.Beta)
+	}
+	if lanes <= 0 {
+		lanes = runtime.GOMAXPROCS(0)
+		if lanes > 8 {
+			lanes = 8
+		}
+	}
+	p := &Sharded{
+		net:   net,
+		opts:  opts,
+		lanes: make(chan *Analyzer, lanes),
+		cache: make(map[verdictKey]*verdictEntry),
+	}
+	for i := 0; i < lanes; i++ {
+		an, err := NewAnalyzer(net, opts.Analysis)
+		if err != nil {
+			return nil, err
+		}
+		p.lanes <- an
+	}
+	for i := 0; i < net.NumRings(); i++ {
+		budget, err := fddi.NewRing(net.RingConfig(i))
+		if err != nil {
+			return nil, err
+		}
+		p.shards = append(p.shards, &shard{
+			ring:    i,
+			budget:  budget,
+			pending: make(map[string]float64),
+		})
+	}
+	avail := make([]float64, len(p.shards))
+	for i, sh := range p.shards {
+		avail[i] = sh.availCommitted()
+	}
+	p.snap.Store(&snapState{
+		byID:  make(map[string]*Connection),
+		busy:  make(map[topo.HostID]string),
+		avail: avail,
+	})
+	return p, nil
+}
+
+// Network returns the pipeline's network topology.
+func (p *Sharded) Network() *topo.Network { return p.net }
+
+// Options returns the effective options (defaults applied).
+func (p *Sharded) Options() Options { return p.opts }
+
+// Active returns the number of admitted connections.
+func (p *Sharded) Active() int { return len(p.snap.Load().conns) }
+
+// Seq returns the published state-transition sequence number.
+func (p *Sharded) Seq() uint64 { return p.snap.Load().seq }
+
+// Connections returns the admitted connections sorted by id. The returned
+// slice is the caller's; the *Connection values are shared and must be
+// treated as read-only.
+func (p *Sharded) Connections() []*Connection {
+	conns := p.snap.Load().conns
+	out := make([]*Connection, len(conns))
+	copy(out, conns)
+	return out
+}
+
+// SourceBusy reports whether some admitted connection already originates at
+// the given host.
+func (p *Sharded) SourceBusy(h topo.HostID) bool {
+	_, busy := p.snap.Load().busy[h]
+	return busy
+}
+
+func (p *Sharded) acquireLane() *Analyzer   { return <-p.lanes }
+func (p *Sharded) releaseLane(an *Analyzer) { p.lanes <- an }
+
+// RequestAdmission runs the CAC algorithm of Section 5.3 and, on an admit
+// verdict, commits the allocation through the two-phase shard protocol. A
+// non-nil error indicates an invalid request, not a rejection. On a verdict
+// cache hit, Decision.Delays contains only the candidate's entry.
+func (p *Sharded) RequestAdmission(spec ConnSpec) (Decision, error) {
+	return p.decideObserved(spec, true, nil)
+}
+
+// PreviewAdmission runs the full CAC algorithm but commits nothing.
+func (p *Sharded) PreviewAdmission(spec ConnSpec) (Decision, error) {
+	return p.decideObserved(spec, false, nil)
+}
+
+// RequestAdmissionAudited is RequestAdmission with an audit hook: record is
+// invoked exactly once with the final outcome. For decisions that change
+// state (admits) it runs inside the commit critical section, so the order
+// of record invocations across connections equals the order their commits
+// published — the invariant that makes audit-log replay reconstruct the
+// identical admitted state. Rejections and errors invoke record outside any
+// lock (replay skips them, so their interleaving is free).
+func (p *Sharded) RequestAdmissionAudited(spec ConnSpec, record func(Decision, error)) (Decision, error) {
+	return p.decideObserved(spec, true, record)
+}
+
+// PreviewAdmissionAudited is PreviewAdmission with the audit hook (always
+// invoked outside locks: previews never change state).
+func (p *Sharded) PreviewAdmissionAudited(spec ConnSpec, record func(Decision, error)) (Decision, error) {
+	return p.decideObserved(spec, false, record)
+}
+
+// decideObserved wraps the sharded decision flow with the same
+// observability the serialized controller emits, and guarantees the audit
+// hook fires exactly once.
+func (p *Sharded) decideObserved(spec ConnSpec, commit bool, record func(Decision, error)) (Decision, error) {
+	_, sp := obs.Start(context.Background(), "core.decide")
+	dec, recorded, err := p.decide(spec, commit, record)
+	mDecideSeconds.Observe(sp.Seconds())
+	sp.End()
+	switch {
+	case err != nil:
+		mDecisionErrors.Inc()
+	case dec.Admitted:
+		mAdmitted.Inc()
+	default:
+		mRejected.Inc()
+	}
+	if record != nil && !recorded {
+		record(dec, err)
+	}
+	return dec, err
+}
+
+// decide is the optimistic decision loop: analyze against the current
+// snapshot with no lock held, then commit if the snapshot is still current,
+// otherwise re-analyze. After maxOptimisticRetries lost races it pins the
+// world by deciding under commitMu.
+func (p *Sharded) decide(spec ConnSpec, commit bool, record func(Decision, error)) (Decision, bool, error) {
+	if err := spec.Validate(); err != nil {
+		return Decision{}, false, err
+	}
+	route, err := p.net.Route(spec.Src, spec.Dst)
+	if err != nil {
+		return Decision{Reason: ReasonInvalidTarget}, false, nil
+	}
+	for attempt := 0; attempt < maxOptimisticRetries; attempt++ {
+		snap := p.snap.Load()
+		dec, reject, err := preflight(snap, p.opts, spec, route)
+		if err != nil || reject {
+			return dec, false, err
+		}
+		dec, cand, err := p.analyze(snap, spec, route)
+		if err != nil {
+			return Decision{}, false, err
+		}
+		if !dec.Admitted || !commit {
+			// Rejections and previews change no state: the decision
+			// linearizes at the moment snap was read.
+			return dec, false, nil
+		}
+		if recorded, ok := p.commitAdmit(snap, cand, dec, record); ok {
+			return dec, recorded, nil
+		}
+		mShardCommitRetries.Inc()
+	}
+	return p.decidePessimistic(spec, route, commit, record)
+}
+
+// preflight runs the cheap rejection gates against a snapshot: duplicate
+// id, busy source host, availability floor. These are the fast paths a
+// high-churn workload mostly exercises; none of them needs an analyzer.
+func preflight(snap *snapState, opts Options, spec ConnSpec, route topo.Route) (Decision, bool, error) {
+	if _, dup := snap.byID[spec.ID]; dup {
+		return Decision{}, true, fmt.Errorf("core: connection %q already admitted", spec.ID)
+	}
+	if _, busy := snap.busy[spec.Src]; busy {
+		return Decision{Reason: ReasonHostBusy}, true, nil
+	}
+	dec := Decision{HSMaxAvail: snap.avail[spec.Src.Ring]}
+	if route.CrossesBackbone {
+		dec.HRMaxAvail = snap.avail[spec.Dst.Ring]
+	}
+	if dec.HSMaxAvail < opts.HMinAbs ||
+		(route.CrossesBackbone && dec.HRMaxAvail < opts.HMinAbs) {
+		dec.Reason = ReasonNoBandwidth
+		return dec, true, nil
+	}
+	return dec, false, nil
+}
+
+// analyze resolves the expensive part of one decision: verdict cache
+// lookup, single-flight coordination, and on a miss the full probe-based
+// algorithm on a pooled analyzer.
+func (p *Sharded) analyze(snap *snapState, spec ConnSpec, route topo.Route) (Decision, *Connection, error) {
+	key, usable := verdictKeyFor(snap, spec)
+	if !usable {
+		mVerdictSkips.Inc()
+		return p.analyzeMiss(snap, spec, route)
+	}
+	p.cacheMu.Lock()
+	if e, ok := p.cache[key]; ok {
+		p.cacheMu.Unlock()
+		<-e.done
+		if e.err == nil {
+			mVerdictHits.Inc()
+			dec := e.dec
+			if dec.Admitted {
+				dec.Delays = map[string]float64{spec.ID: e.candDelay}
+			}
+			return dec, &Connection{ConnSpec: spec, Route: route}, nil
+		}
+		// The leader's analysis failed; fall through and compute fresh.
+		return p.analyzeMiss(snap, spec, route)
+	}
+	e := &verdictEntry{done: make(chan struct{})}
+	if len(p.cache) >= verdictCacheCap {
+		p.evictLocked()
+	}
+	p.cache[key] = e
+	p.cacheMu.Unlock()
+
+	dec, cand, err := p.analyzeMiss(snap, spec, route)
+	e.dec = dec
+	e.dec.Delays = nil
+	e.dec.Probes = 0
+	e.dec.Cache = CacheStats{}
+	e.candDelay = dec.Delays[spec.ID]
+	e.err = err
+	e.settled.Store(true)
+	close(e.done)
+	if err != nil {
+		p.cacheMu.Lock()
+		delete(p.cache, key)
+		p.cacheMu.Unlock()
+	}
+	mVerdictMisses.Inc()
+	return dec, cand, err
+}
+
+// verdictKeyFor builds the cache key for a decision problem, reporting
+// whether caching is sound (every admitted spec and the candidate must
+// fingerprint exactly).
+func verdictKeyFor(snap *snapState, spec ConnSpec) (verdictKey, bool) {
+	if snap.unhashable > 0 {
+		return verdictKey{}, false
+	}
+	fp, ok := specFingerprint(spec)
+	if !ok {
+		return verdictKey{}, false
+	}
+	return verdictKey{state: snap.hash, spec: fp}, true
+}
+
+// evictLocked drops an arbitrary eighth of the cache. Called with cacheMu
+// held.
+func (p *Sharded) evictLocked() {
+	drop := verdictCacheCap / 8
+	for k, e := range p.cache {
+		if !e.settled.Load() {
+			continue // never evict an in-flight computation
+		}
+		delete(p.cache, k)
+		drop--
+		if drop == 0 {
+			return
+		}
+	}
+}
+
+// analyzeMiss runs the full CAC algorithm on a pooled analyzer against the
+// snapshot's admitted set and committed availabilities.
+func (p *Sharded) analyzeMiss(snap *snapState, spec ConnSpec, route topo.Route) (Decision, *Connection, error) {
+	an := p.acquireLane()
+	defer p.releaseLane(an)
+	return p.analyzeOn(an, snap, spec, route)
+}
+
+// analyzeOn is analyzeMiss on an already-held lane.
+func (p *Sharded) analyzeOn(an *Analyzer, snap *snapState, spec ConnSpec, route topo.Route) (Decision, *Connection, error) {
+	before := an.stats
+	avail := func(ring int) float64 { return snap.avail[ring] }
+	dec, cand, err := decideAgainst(an, p.opts, snap.conns, avail, spec, route)
+	dec.Cache = an.stats.Sub(before)
+	return dec, cand, err
+}
+
+// commitAdmit is the two-phase commit: reserve the candidate's bandwidth on
+// the sender and receiver shards (ascending ring order, one lock at a
+// time), then — with the snapshot verified still current — confirm the
+// reservations and publish the successor snapshot. A stale snapshot aborts
+// every reservation and reports false so the caller re-decides.
+func (p *Sharded) commitAdmit(snap *snapState, cand *Connection, dec Decision, record func(Decision, error)) (recorded, ok bool) {
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
+	if p.snap.Load() != snap {
+		return false, false
+	}
+	if err := p.reserveBoth(cand, dec.HS, dec.HR); err != nil {
+		// Unreachable when the snapshot is current: the decision capped its
+		// allocation at this exact ledger's availability. Defensively treat
+		// as a lost race.
+		return false, false
+	}
+	p.confirmBoth(cand)
+	cand.HS, cand.HR = dec.HS, dec.HR
+	p.publishAdd(snap, cand)
+	mShardCommits.Inc()
+	if record != nil {
+		record(dec, nil)
+		recorded = true
+	}
+	return recorded, true
+}
+
+// reserveBoth places the candidate's reservations in ascending ring order.
+// On a two-ring admission where the second reservation fails, the first is
+// rolled back — the transactional guarantee the serialized controller's
+// commit gives.
+func (p *Sharded) reserveBoth(cand *Connection, hs, hr float64) error {
+	if !cand.Route.CrossesBackbone {
+		return p.shards[cand.Src.Ring].reserve(cand.ID, hs)
+	}
+	first, fh := cand.Src.Ring, hs
+	second, sh := cand.Dst.Ring, hr
+	if second < first {
+		first, fh, second, sh = second, sh, first, fh
+	}
+	if err := p.shards[first].reserve(cand.ID, fh); err != nil {
+		return err
+	}
+	if err := p.shards[second].reserve(cand.ID, sh); err != nil {
+		p.shards[first].abort(cand.ID)
+		mShardReserveAborts.Inc()
+		return err
+	}
+	return nil
+}
+
+// confirmBoth promotes the candidate's reservations to committed state.
+func (p *Sharded) confirmBoth(cand *Connection) {
+	p.shards[cand.Src.Ring].confirm(cand.ID)
+	if cand.Route.CrossesBackbone {
+		p.shards[cand.Dst.Ring].confirm(cand.ID)
+	}
+}
+
+// decidePessimistic decides while holding commitMu, pinning the snapshot:
+// no concurrent commit can invalidate the analysis, so one pass suffices.
+// The lane is acquired before commitMu (a lane holder on the optimistic
+// path never waits on commitMu, so the acquisition cannot deadlock).
+func (p *Sharded) decidePessimistic(spec ConnSpec, route topo.Route, commit bool, record func(Decision, error)) (Decision, bool, error) {
+	mShardPessimisticCommits.Inc()
+	an := p.acquireLane()
+	defer p.releaseLane(an)
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
+	snap := p.snap.Load()
+	dec, reject, err := preflight(snap, p.opts, spec, route)
+	if err != nil || reject {
+		return dec, false, err
+	}
+	dec, cand, err := p.analyzeOn(an, snap, spec, route)
+	if err != nil {
+		return Decision{}, false, err
+	}
+	if !dec.Admitted || !commit {
+		return dec, false, nil
+	}
+	if err := p.reserveBoth(cand, dec.HS, dec.HR); err != nil {
+		return Decision{}, false, fmt.Errorf("core: sharded commit: %w", err)
+	}
+	p.confirmBoth(cand)
+	cand.HS, cand.HR = dec.HS, dec.HR
+	p.publishAdd(snap, cand)
+	mShardCommits.Inc()
+	recorded := false
+	if record != nil {
+		record(dec, nil)
+		recorded = true
+	}
+	return dec, recorded, nil
+}
+
+// Release tears down an admitted connection, freeing its bandwidth on both
+// shards. It reports whether the connection existed.
+func (p *Sharded) Release(id string) bool {
+	return p.release(id, nil)
+}
+
+// ReleaseAudited is Release with an audit hook invoked inside the commit
+// critical section (releases change state, so their audit order must equal
+// their commit order).
+func (p *Sharded) ReleaseAudited(id string, record func(found bool)) bool {
+	return p.release(id, record)
+}
+
+func (p *Sharded) release(id string, record func(bool)) bool {
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
+	snap := p.snap.Load()
+	conn, ok := snap.byID[id]
+	if !ok {
+		if record != nil {
+			record(false)
+		}
+		return false
+	}
+	if !p.shards[conn.Src.Ring].releaseCommitted(id) {
+		mBookkeepingErrors.Inc()
+	}
+	if conn.Route.CrossesBackbone {
+		if !p.shards[conn.Dst.Ring].releaseCommitted(id) {
+			mBookkeepingErrors.Inc()
+		}
+	}
+	p.publishRemove(snap, conn)
+	mReleases.Inc()
+	if record != nil {
+		record(true)
+	}
+	return true
+}
+
+// Restore loads an admitted set wholesale — the -recover path, after a
+// serialized replay of the audit log reconstructed the connections. The
+// pipeline must be empty.
+func (p *Sharded) Restore(conns []*Connection) error {
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
+	snap := p.snap.Load()
+	if len(snap.conns) != 0 {
+		return errors.New("core: Restore requires an empty pipeline")
+	}
+	for _, conn := range conns {
+		if err := p.reserveBoth(conn, conn.HS, conn.HR); err != nil {
+			return fmt.Errorf("core: restoring %q: %w", conn.ID, err)
+		}
+		p.confirmBoth(conn)
+		snap = nextSnap(snap, p.shardAvail(), append(append([]*Connection{}, snap.conns...), conn))
+		p.snap.Store(snap)
+	}
+	p.refreshGauges(snap)
+	return nil
+}
+
+// publishAdd publishes the successor snapshot with cand admitted.
+func (p *Sharded) publishAdd(snap *snapState, cand *Connection) {
+	conns := make([]*Connection, 0, len(snap.conns)+1)
+	conns = append(conns, snap.conns...)
+	conns = append(conns, cand)
+	p.snap.Store(nextSnap(snap, p.shardAvail(), conns))
+	p.refreshGauges(p.snap.Load())
+}
+
+// publishRemove publishes the successor snapshot with conn released.
+func (p *Sharded) publishRemove(snap *snapState, conn *Connection) {
+	conns := make([]*Connection, 0, len(snap.conns)-1)
+	for _, c := range snap.conns {
+		if c.ID != conn.ID {
+			conns = append(conns, c)
+		}
+	}
+	p.snap.Store(nextSnap(snap, p.shardAvail(), conns))
+	p.refreshGauges(p.snap.Load())
+}
+
+// shardAvail samples every shard's committed availability.
+func (p *Sharded) shardAvail() []float64 {
+	avail := make([]float64, len(p.shards))
+	for i, sh := range p.shards {
+		avail[i] = sh.availCommitted()
+	}
+	return avail
+}
+
+// nextSnap builds the successor snapshot for the given admitted set. The
+// state hash is recomputed from scratch — the admitted set is small (the
+// paper's availability bound caps concurrent connections long before the
+// snapshot copy costs anything), and recomputation keeps the hash
+// trivially in sync with the multiset it names.
+func nextSnap(prev *snapState, avail []float64, conns []*Connection) *snapState {
+	sort.Slice(conns, func(i, j int) bool { return conns[i].ID < conns[j].ID })
+	next := &snapState{
+		seq:   prev.seq + 1,
+		conns: conns,
+		byID:  make(map[string]*Connection, len(conns)),
+		busy:  make(map[topo.HostID]string, len(conns)),
+		avail: avail,
+	}
+	for _, c := range conns {
+		next.byID[c.ID] = c
+		next.busy[c.Src] = c.ID
+		fp, ok := connFingerprint(c)
+		if !ok {
+			next.unhashable++
+			continue
+		}
+		next.hash.add(fp)
+	}
+	return next
+}
+
+// refreshGauges updates the shard balance gauges and the active-connection
+// gauge from a freshly published snapshot.
+func (p *Sharded) refreshGauges(snap *snapState) {
+	gActive.Set(float64(len(snap.conns)))
+	minU, maxU := 1.0, 0.0
+	for _, sh := range p.shards {
+		u := sh.utilization()
+		if u < minU {
+			minU = u
+		}
+		if u > maxU {
+			maxU = u
+		}
+	}
+	if minU > maxU {
+		minU = maxU
+	}
+	gShardUtilMax.Set(maxU)
+	gShardImbalance.Set(maxU - minU)
+}
+
+// DelayReport returns the current worst-case delay of every admitted
+// connection, computed against the live snapshot on a pooled analyzer.
+func (p *Sharded) DelayReport() (map[string]float64, error) {
+	snap := p.snap.Load()
+	an := p.acquireLane()
+	defer p.releaseLane(an)
+	return an.Delays(snap.conns)
+}
+
+// BufferReport returns the buffer requirements of every admitted
+// connection, sorted by connection id.
+func (p *Sharded) BufferReport() ([]BufferRequirement, error) {
+	snap := p.snap.Load()
+	an := p.acquireLane()
+	defer p.releaseLane(an)
+	out := make([]BufferRequirement, 0, len(snap.conns))
+	for _, conn := range snap.conns {
+		bd, err := an.Breakdown(snap.conns, conn.ID)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BufferRequirement{
+			ConnID:        conn.ID,
+			SrcBufferBits: bd.SrcBufferBits,
+			DstBufferBits: bd.DstBufferBits,
+		})
+	}
+	return out, nil
+}
+
+// BatchResult pairs one batch member's decision with its error.
+type BatchResult struct {
+	ID       string
+	Decision Decision
+	Err      error
+}
+
+// RequestAdmissionBatch admits a batch of candidates, returning results in
+// input order. Members are processed grouped by specification class so the
+// verdict cache amortizes one probe across a run of same-class candidates:
+// a rejection class resolves its whole run from the first member's probe,
+// and an admission re-probes only when a previous member's commit truly
+// changed the bandwidth picture (anything else would violate Eq. 24–25).
+func (p *Sharded) RequestAdmissionBatch(specs []ConnSpec) []BatchResult {
+	out := make([]BatchResult, len(specs))
+	for _, i := range classOrder(specs) {
+		dec, err := p.RequestAdmission(specs[i])
+		out[i] = BatchResult{ID: specs[i].ID, Decision: dec, Err: err}
+	}
+	return out
+}
+
+// PreviewAdmissionBatch evaluates a batch of candidates without committing
+// anything, grouped by class like RequestAdmissionBatch — and because
+// previews leave the admitted state untouched, every same-class member
+// after the first resolves from the verdict cache. The optional record
+// callback observes each member's outcome in evaluation order; results come
+// back in input order.
+func (p *Sharded) PreviewAdmissionBatch(specs []ConnSpec, record func(i int, dec Decision, err error)) []BatchResult {
+	out := make([]BatchResult, len(specs))
+	for _, i := range classOrder(specs) {
+		var cb func(Decision, error)
+		if record != nil {
+			i := i
+			cb = func(dec Decision, err error) { record(i, dec, err) }
+		}
+		dec, err := p.PreviewAdmissionAudited(specs[i], cb)
+		out[i] = BatchResult{ID: specs[i].ID, Decision: dec, Err: err}
+	}
+	return out
+}
+
+// classOrder returns batch indices sorted stably by specification class so
+// same-class members run back to back (the order the verdict cache rewards).
+func classOrder(specs []ConnSpec) []int {
+	order := make([]int, len(specs))
+	for i := range order {
+		order[i] = i
+	}
+	class := make([]fingerprint, len(specs))
+	for i, s := range specs {
+		class[i], _ = specFingerprint(s)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := class[order[a]], class[order[b]]
+		if ca.a != cb.a {
+			return ca.a < cb.a
+		}
+		return ca.b < cb.b
+	})
+	return order
+}

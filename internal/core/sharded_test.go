@@ -1,0 +1,450 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fafnet/internal/topo"
+	"fafnet/internal/traffic"
+	"fafnet/internal/units"
+)
+
+// shardedRandomSource draws from the same descriptor mix the analyzer
+// equivalence harnesses use: dual-periodic video, periodic audio, CBR bulk.
+func shardedRandomSource(t *testing.T, rng *rand.Rand) traffic.Descriptor {
+	t.Helper()
+	switch rng.Intn(3) {
+	case 0:
+		c1 := 50e3 + 150e3*rng.Float64()
+		d, err := traffic.NewDualPeriodic(c1, 0.010, c1/5, 0.001, 100e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	case 1:
+		c := 20e3 + 80e3*rng.Float64()
+		p := []float64{0.005, 0.008, 0.010}[rng.Intn(3)]
+		d, err := traffic.NewPeriodic(c, p, 100e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	default:
+		d, err := traffic.NewCBR(2e6 + 8e6*rng.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+}
+
+// TestShardedEquivalenceRandomized is the soundness harness of the sharded
+// pipeline: across randomized scenarios, a serialized Controller and a
+// Sharded pipeline fed the identical operation sequence must return the
+// identical verdict and reason for every admit and preview, allocations
+// equal to units.AlmostEq, the same release outcomes, and the same final
+// admitted set. The sequences deliberately include duplicate ids, busy
+// source hosts, releases of absent ids, and previews interleaved with
+// commits, so the snapshot/preflight paths are all compared, not just the
+// happy path.
+func TestShardedEquivalenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(20250808))
+
+	const scenarios = 110
+	for sc := 0; sc < scenarios; sc++ {
+		// A fresh network per scenario: the serialized Controller charges the
+		// topo.Network's own rings, so reusing one network would leak ring
+		// state between scenarios (the Sharded ledgers are always private).
+		net := defaultNet(t)
+		ctl, err := NewController(net, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe, err := NewSharded(net, Options{}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		admitted := []string{} // ids believed admitted, for releases and dup draws
+		nOps := 6 + rng.Intn(10)
+		for op := 0; op < nOps; op++ {
+			switch k := rng.Intn(10); {
+			case k < 6: // admit (sometimes a duplicate id or busy host)
+				spec := ConnSpec{
+					ID:       fmt.Sprintf("e%do%d", sc, op),
+					Src:      topo.HostID{Ring: rng.Intn(3), Index: rng.Intn(4)},
+					Dst:      topo.HostID{Ring: rng.Intn(3), Index: rng.Intn(4)},
+					Source:   shardedRandomSource(t, rng),
+					Deadline: []float64{0.030, 0.060, 0.120}[rng.Intn(3)],
+				}
+				if spec.Src == spec.Dst {
+					spec.Dst.Index = (spec.Dst.Index + 1) % 4
+				}
+				if len(admitted) > 0 && rng.Intn(5) == 0 {
+					spec.ID = admitted[rng.Intn(len(admitted))] // duplicate id
+				}
+				want, wantErr := ctl.RequestAdmission(spec)
+				got, gotErr := pipe.RequestAdmission(spec)
+				if (wantErr != nil) != (gotErr != nil) {
+					t.Fatalf("scenario %d op %d (%s): error diverged: serialized %v, sharded %v",
+						sc, op, spec.ID, wantErr, gotErr)
+				}
+				if wantErr != nil {
+					continue
+				}
+				compareDecisions(t, sc, op, spec.ID, want, got)
+				if want.Admitted {
+					admitted = append(admitted, spec.ID)
+				}
+			case k < 8: // preview: full algorithm, no commit on either side
+				spec := ConnSpec{
+					ID:       fmt.Sprintf("e%dp%d", sc, op),
+					Src:      topo.HostID{Ring: rng.Intn(3), Index: rng.Intn(4)},
+					Dst:      topo.HostID{Ring: (rng.Intn(3) + 1) % 3, Index: rng.Intn(4)},
+					Source:   shardedRandomSource(t, rng),
+					Deadline: 0.060,
+				}
+				if spec.Src == spec.Dst {
+					spec.Dst.Index = (spec.Dst.Index + 1) % 4
+				}
+				want, wantErr := ctl.PreviewAdmission(spec)
+				got, gotErr := pipe.PreviewAdmission(spec)
+				if (wantErr != nil) != (gotErr != nil) {
+					t.Fatalf("scenario %d op %d (%s): preview error diverged: serialized %v, sharded %v",
+						sc, op, spec.ID, wantErr, gotErr)
+				}
+				if wantErr == nil {
+					compareDecisions(t, sc, op, spec.ID, want, got)
+				}
+			default: // release (sometimes of an id that was never admitted)
+				id := fmt.Sprintf("e%dabsent%d", sc, op)
+				if len(admitted) > 0 && rng.Intn(4) != 0 {
+					i := rng.Intn(len(admitted))
+					id = admitted[i]
+					admitted = append(admitted[:i], admitted[i+1:]...)
+				}
+				want := ctl.Release(id)
+				got := pipe.Release(id)
+				if want != got {
+					t.Fatalf("scenario %d op %d: Release(%s) diverged: serialized %v, sharded %v",
+						sc, op, id, want, got)
+				}
+			}
+		}
+
+		// The final admitted sets must be identical: same ids, allocations
+		// equal to units.AlmostEq.
+		wantConns := ctl.Connections()
+		gotConns := pipe.Connections()
+		if len(wantConns) != len(gotConns) {
+			t.Fatalf("scenario %d: serialized holds %d connections, sharded %d",
+				sc, len(wantConns), len(gotConns))
+		}
+		for i, w := range wantConns {
+			g := gotConns[i]
+			if w.ID != g.ID {
+				t.Fatalf("scenario %d: admitted set diverged at %d: %s vs %s", sc, i, w.ID, g.ID)
+			}
+			if !units.AlmostEq(w.HS, g.HS) || !units.AlmostEq(w.HR, g.HR) {
+				t.Fatalf("scenario %d conn %s: allocations diverged: serialized HS=%v HR=%v, sharded HS=%v HR=%v",
+					sc, w.ID, w.HS, w.HR, g.HS, g.HR)
+			}
+		}
+	}
+}
+
+// compareDecisions checks the fields the pipelines must agree on. Delays and
+// probe/cache counts are excluded by design: a verdict-cache hit returns
+// only the candidate's delay and zero probes.
+func compareDecisions(t *testing.T, sc, op int, id string, want, got Decision) {
+	t.Helper()
+	if want.Admitted != got.Admitted || want.Reason != got.Reason {
+		t.Fatalf("scenario %d op %d (%s): verdict diverged: serialized %v/%q, sharded %v/%q",
+			sc, op, id, want.Admitted, want.Reason, got.Admitted, got.Reason)
+	}
+	if !units.AlmostEq(want.HS, got.HS) || !units.AlmostEq(want.HR, got.HR) {
+		t.Fatalf("scenario %d op %d (%s): allocations diverged: serialized HS=%v HR=%v, sharded HS=%v HR=%v",
+			sc, op, id, want.HS, want.HR, got.HS, got.HR)
+	}
+}
+
+// TestShardedTwoPhaseRollback exercises the reservation rollback directly: a
+// two-ring reservation whose second leg fails must leave the first leg's
+// shard exactly as it found it — no pending mass, availability unchanged.
+func TestShardedTwoPhaseRollback(t *testing.T) {
+	net := defaultNet(t)
+	pipe, err := NewSharded(net, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := topo.HostID{Ring: 0, Index: 0}
+	dst := topo.HostID{Ring: 2, Index: 1}
+	route, err := net.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := &Connection{ConnSpec: ConnSpec{ID: "roll", Src: src, Dst: dst}, Route: route}
+
+	srcShard := pipe.shards[src.Ring]
+	dstShard := pipe.shards[dst.Ring]
+	srcBefore := srcShard.availCommitted()
+
+	// Exhaust the destination ring so the second reservation must fail.
+	dstShard.mu.Lock()
+	hog := dstShard.budget.Available()
+	dstShard.mu.Unlock()
+	if err := dstShard.reserve("hog", hog); err != nil {
+		t.Fatalf("hog reservation: %v", err)
+	}
+	aborts := mShardReserveAborts.Value()
+	if err := pipe.reserveBoth(cand, 1e-3, 1e-3); err == nil {
+		t.Fatal("reserveBoth succeeded against an exhausted destination ring")
+	}
+	if got := mShardReserveAborts.Value(); got != aborts+1 {
+		t.Errorf("reserve aborts counter: %d, want %d", got, aborts+1)
+	}
+	srcShard.mu.Lock()
+	_, stillPending := srcShard.pending[cand.ID]
+	srcShard.mu.Unlock()
+	if stillPending {
+		t.Error("rollback left the source-ring reservation pending")
+	}
+	if got := srcShard.availCommitted(); !units.AlmostEq(got, srcBefore) {
+		t.Errorf("source-ring availability after rollback: %v, want %v", got, srcBefore)
+	}
+
+	// After the hog aborts, the same reservation must go through, and
+	// confirmation must charge committed availability on both rings.
+	dstShard.abort("hog")
+	dstShard.mu.Lock()
+	afterAbort := dstShard.pendingSum
+	dstShard.mu.Unlock()
+	if afterAbort != 0 {
+		t.Fatalf("pending mass after abort: %v, want 0", afterAbort)
+	}
+	if err := pipe.reserveBoth(cand, 1e-3, 1e-3); err != nil {
+		t.Fatalf("reserveBoth after abort: %v", err)
+	}
+	// While pending, committed availability is unchanged (pendingSum is
+	// added back) — a concurrent analysis must not see half a commit.
+	if got := srcShard.availCommitted(); !units.AlmostEq(got, srcBefore) {
+		t.Errorf("availability with a pending reservation: %v, want %v", got, srcBefore)
+	}
+	pipe.confirmBoth(cand)
+	if got := srcShard.availCommitted(); !units.AlmostEq(got, srcBefore-1e-3) {
+		t.Errorf("availability after confirm: %v, want %v", got, srcBefore-1e-3)
+	}
+	srcShard.mu.Lock()
+	srcPending := len(srcShard.pending)
+	srcShard.mu.Unlock()
+	dstShard.mu.Lock()
+	dstPending := len(dstShard.pending)
+	dstShard.mu.Unlock()
+	if srcPending != 0 || dstPending != 0 {
+		t.Error("confirm left reservations pending")
+	}
+}
+
+// TestShardedVerdictCacheRecurrence pins the cache's reason for existing:
+// repeating a decision problem — same admitted multiset, same candidate
+// class — must hit, and a release that returns the state hash to a previous
+// value must let earlier verdicts hit again.
+func TestShardedVerdictCacheRecurrence(t *testing.T) {
+	net := defaultNet(t)
+	pipe, err := NewSharded(net, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := func(id string) ConnSpec {
+		d, err := traffic.NewDualPeriodic(50e3, 0.010, 10e3, 0.001, 100e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ConnSpec{
+			ID:       id,
+			Src:      topo.HostID{Ring: 0, Index: 1},
+			Dst:      topo.HostID{Ring: 1, Index: 1},
+			Source:   d,
+			Deadline: 0.060,
+		}
+	}
+	preview := func() Decision {
+		dec, err := pipe.PreviewAdmission(spec("probe"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dec
+	}
+
+	hits, misses := mVerdictHits.Value(), mVerdictMisses.Value()
+	first := preview()
+	if got := mVerdictMisses.Value(); got != misses+1 {
+		t.Fatalf("first preview: misses %d, want %d", got, misses+1)
+	}
+	again := preview()
+	if got := mVerdictHits.Value(); got != hits+1 {
+		t.Fatalf("repeat preview: hits %d, want %d", got, hits+1)
+	}
+	if first.Admitted != again.Admitted || !units.AlmostEq(first.HS, again.HS) {
+		t.Fatalf("cache hit changed the verdict: %+v vs %+v", first, again)
+	}
+
+	// Admit a connection (state hash moves), release it (hash returns):
+	// the original verdict must hit again without a new probe run.
+	if dec, err := pipe.RequestAdmission(spec("occupant")); err != nil || !dec.Admitted {
+		t.Fatalf("occupant admission: %+v, %v", dec, err)
+	}
+	if !pipe.Release("occupant") {
+		t.Fatal("occupant release")
+	}
+	hits = mVerdictHits.Value()
+	preview()
+	if got := mVerdictHits.Value(); got != hits+1 {
+		t.Fatalf("post-churn preview: hits %d, want %d (state hash did not recur)", got, hits+1)
+	}
+}
+
+// TestShardedBatchOrdering checks the batch entry points return results in
+// input order regardless of the class-grouped evaluation order, and that the
+// preview batch's record callback fires exactly once per member.
+func TestShardedBatchOrdering(t *testing.T) {
+	net := defaultNet(t)
+	pipe, err := NewSharded(net, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id string, ring int, kbit float64) ConnSpec {
+		d, err := traffic.NewDualPeriodic(kbit*1e3, 0.010, kbit*1e3/5, 0.001, 100e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ConnSpec{
+			ID:       id,
+			Src:      topo.HostID{Ring: ring, Index: 0},
+			Dst:      topo.HostID{Ring: (ring + 1) % 3, Index: 0},
+			Source:   d,
+			Deadline: 0.060,
+		}
+	}
+	// Interleave two classes so class grouping must reorder evaluation.
+	specs := []ConnSpec{
+		mk("b0", 0, 50), mk("b1", 1, 120), mk("b2", 2, 50), mk("b3", 0, 120),
+	}
+	seen := map[int]int{}
+	results := pipe.PreviewAdmissionBatch(specs, func(i int, dec Decision, err error) {
+		seen[i]++
+	})
+	if len(results) != len(specs) {
+		t.Fatalf("%d results for %d specs", len(results), len(specs))
+	}
+	for i, r := range results {
+		if r.ID != specs[i].ID {
+			t.Errorf("result %d is %s, want %s (input order lost)", i, r.ID, specs[i].ID)
+		}
+		if r.Err != nil {
+			t.Errorf("member %s: %v", r.ID, r.Err)
+		}
+		if seen[i] != 1 {
+			t.Errorf("record callback fired %d times for member %d", seen[i], i)
+		}
+	}
+	if pipe.Active() != 0 {
+		t.Errorf("preview batch admitted %d connections", pipe.Active())
+	}
+}
+
+// TestShardedConcurrentHammer drives admits, previews, and releases from
+// many goroutines at once (the -race configuration this file exists for)
+// and then checks the global invariants: all bandwidth accounted, no
+// pending reservations, no connection left after every worker released its
+// admissions, and every shard ledger back to its initial availability.
+func TestShardedConcurrentHammer(t *testing.T) {
+	net := defaultNet(t)
+	pipe, err := NewSharded(net, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := pipe.shardAvail()
+
+	const workers = 8
+	iters := 12
+	if testing.Short() {
+		iters = 4
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			d, err := traffic.NewDualPeriodic(50e3, 0.010, 10e3, 0.001, 100e6)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			held := []string{}
+			for i := 0; i < iters; i++ {
+				id := fmt.Sprintf("h%d-%d", w, i)
+				spec := ConnSpec{
+					ID: id,
+					// Partition sources by worker so HostBusy rejections are
+					// deterministic per worker, not a cross-worker race.
+					Src:      topo.HostID{Ring: w % 3, Index: w / 3},
+					Dst:      topo.HostID{Ring: (w + 1 + rng.Intn(2)) % 3, Index: rng.Intn(4)},
+					Source:   d,
+					Deadline: 0.060,
+				}
+				dec, err := pipe.RequestAdmission(spec)
+				if err != nil {
+					t.Errorf("worker %d admit %s: %v", w, id, err)
+					return
+				}
+				if dec.Admitted {
+					held = append(held, id)
+				}
+				if _, err := pipe.PreviewAdmission(ConnSpec{
+					ID: id + "-p", Src: spec.Src, Dst: spec.Dst, Source: d, Deadline: 0.060,
+				}); err != nil {
+					t.Errorf("worker %d preview: %v", w, err)
+					return
+				}
+				// Release with probability 2/3 so the source host frees up
+				// and later iterations re-admit — churn, not a frozen set.
+				if len(held) > 0 && rng.Intn(3) != 0 {
+					if !pipe.Release(held[0]) {
+						t.Errorf("worker %d lost its own admission %s", w, held[0])
+						return
+					}
+					held = held[1:]
+				}
+			}
+			for _, id := range held {
+				if !pipe.Release(id) {
+					t.Errorf("worker %d final release %s failed", w, id)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := pipe.Active(); got != 0 {
+		t.Fatalf("hammer left %d connections admitted", got)
+	}
+	for i, sh := range pipe.shards {
+		sh.mu.Lock()
+		pendN, pendSum := len(sh.pending), sh.pendingSum
+		sh.mu.Unlock()
+		if pendN != 0 || pendSum != 0 {
+			t.Errorf("shard %d left %d pending reservations (mass %v)", i, pendN, pendSum)
+		}
+	}
+	final := pipe.shardAvail()
+	for i := range final {
+		if !units.AlmostEq(final[i], initial[i]) {
+			t.Errorf("ring %d availability drifted: %v before, %v after", i, initial[i], final[i])
+		}
+	}
+}

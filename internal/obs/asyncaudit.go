@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// An AsyncAuditWriter moves audit persistence off the admission decision
+// path. Producers enqueue fully built records (stamped at enqueue time, so
+// timestamps reflect the decision, not the disk); a single writer goroutine
+// drains the queue in FIFO order, appends each record, and issues one group
+// fsync per drained batch instead of one per record. Queue order is file
+// order, so as long as producers enqueue state-changing records in commit
+// order (signaling does so inside the commit critical section), a replayed
+// log reconstructs the identical admitted state — the same invariant the
+// old append-under-the-decision-lock design enforced, minus the lock.
+//
+// The writer never drops a record: when the queue is full, Enqueue blocks
+// (and counts the backpressure). Dropping would be cheaper, but a missing
+// admit or release line would silently corrupt every later replay.
+//
+// Lifecycle contract: stop producing before calling Close. Close drains
+// whatever is queued, syncs, and closes the underlying log. An Enqueue that
+// races a concurrent Close falls back to appending synchronously so the
+// record still lands, though its position relative to the drained tail is
+// then the file's order, not the queue's.
+type AsyncAuditWriter struct {
+	log       *AuditLog
+	queue     chan AuditRecord
+	groupSync bool
+
+	flushReq  chan chan struct{}
+	stop      chan struct{}
+	stopped   chan struct{}
+	closeOnce sync.Once
+}
+
+// asyncBatchMax bounds how many records one drain pass appends before the
+// group fsync; a full queue is flushed as several batches.
+const asyncBatchMax = 256
+
+// NewAsyncAuditWriter starts the writer goroutine over the given log.
+// queue is the backlog bound (≤ 0 selects 1024); groupSync selects one
+// fsync per drained batch (false defers durability entirely to Flush and
+// Close, trading crash-tail durability for throughput).
+func NewAsyncAuditWriter(log *AuditLog, queue int, groupSync bool) *AsyncAuditWriter {
+	if queue <= 0 {
+		queue = 1024
+	}
+	w := &AsyncAuditWriter{
+		log:       log,
+		queue:     make(chan AuditRecord, queue),
+		groupSync: groupSync,
+		flushReq:  make(chan chan struct{}),
+		stop:      make(chan struct{}),
+		stopped:   make(chan struct{}),
+	}
+	go func() {
+		defer close(w.stopped)
+		w.loop()
+	}()
+	return w
+}
+
+// Enqueue hands one record to the writer. It blocks when the queue is full
+// rather than drop (replay correctness outranks latency); the block is
+// counted so operators can see audit backpressure building.
+func (w *AsyncAuditWriter) Enqueue(rec AuditRecord) {
+	if rec.TimeUnixNanos == 0 {
+		rec.TimeUnixNanos = time.Now().UnixNano()
+	}
+	select {
+	case <-w.stopped:
+		// The writer is gone (shutdown race); persist synchronously so the
+		// record is not lost.
+		if err := w.log.Append(rec); err != nil {
+			mAuditAsyncErrors.Inc()
+		}
+		return
+	default:
+	}
+	select {
+	case w.queue <- rec:
+	default:
+		mAuditBackpressure.Inc()
+		select {
+		case w.queue <- rec:
+		case <-w.stopped:
+			if err := w.log.Append(rec); err != nil {
+				mAuditAsyncErrors.Inc()
+			}
+			return
+		}
+	}
+	gAuditQueueDepth.Set(float64(len(w.queue)))
+}
+
+// Flush blocks until every record enqueued before the call is appended and
+// synced to stable storage. Safe to call concurrently with producers (their
+// later records may or may not be covered) and after Close (a no-op).
+func (w *AsyncAuditWriter) Flush() {
+	ack := make(chan struct{})
+	select {
+	case w.flushReq <- ack:
+		select {
+		case <-ack:
+		case <-w.stopped:
+		}
+	case <-w.stopped:
+	}
+}
+
+// Close drains the queue, syncs, stops the writer goroutine, and closes the
+// underlying log. Idempotent.
+func (w *AsyncAuditWriter) Close() error {
+	w.closeOnce.Do(func() { close(w.stop) })
+	<-w.stopped
+	return w.log.Close()
+}
+
+// loop is the writer goroutine: batch-drain, append, group-sync, repeat.
+func (w *AsyncAuditWriter) loop() {
+	for {
+		select {
+		case rec := <-w.queue:
+			w.writeBatch(w.drainBatch(rec))
+		case ack := <-w.flushReq:
+			w.drainAll()
+			if err := w.log.Sync(); err != nil {
+				mAuditAsyncErrors.Inc()
+			}
+			close(ack)
+		case <-w.stop:
+			w.drainAll()
+			if err := w.log.Sync(); err != nil {
+				mAuditAsyncErrors.Inc()
+			}
+			return
+		}
+	}
+}
+
+// drainBatch collects up to asyncBatchMax queued records without blocking,
+// starting from one already received.
+func (w *AsyncAuditWriter) drainBatch(first AuditRecord) []AuditRecord {
+	batch := make([]AuditRecord, 1, asyncBatchMax)
+	batch[0] = first
+	for len(batch) < asyncBatchMax {
+		select {
+		case rec := <-w.queue:
+			batch = append(batch, rec)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// drainAll empties the queue through writeBatch.
+func (w *AsyncAuditWriter) drainAll() {
+	for {
+		select {
+		case rec := <-w.queue:
+			w.writeBatch(w.drainBatch(rec))
+		default:
+			return
+		}
+	}
+}
+
+// writeBatch appends a batch in order and issues the group fsync. Append
+// failures are counted, not fatal: an audit log on a full disk must not
+// take admission control down with it.
+func (w *AsyncAuditWriter) writeBatch(batch []AuditRecord) {
+	for _, rec := range batch {
+		if err := w.log.Append(rec); err != nil {
+			mAuditAsyncErrors.Inc()
+		} else {
+			mAuditAsyncWritten.Inc()
+		}
+	}
+	mAuditBatches.Inc()
+	if w.groupSync {
+		if err := w.log.Sync(); err != nil {
+			mAuditAsyncErrors.Inc()
+		} else {
+			mAuditGroupSyncs.Inc()
+		}
+	}
+	gAuditQueueDepth.Set(float64(len(w.queue)))
+}
+
+// Async audit writer metrics.
+var (
+	mAuditAsyncWritten = Default.Counter("fafnet_audit_async_records_total",
+		"Audit records appended by the async writer.")
+	mAuditAsyncErrors = Default.Counter("fafnet_audit_async_errors_total",
+		"Audit appends or syncs that failed inside the async writer.")
+	mAuditBatches = Default.Counter("fafnet_audit_write_batches_total",
+		"Drain passes the async audit writer performed (each covered by one group fsync when enabled).")
+	mAuditGroupSyncs = Default.Counter("fafnet_audit_group_syncs_total",
+		"Group fsyncs issued by the async audit writer.")
+	mAuditBackpressure = Default.Counter("fafnet_audit_backpressure_total",
+		"Enqueues that blocked because the async audit queue was full.")
+	gAuditQueueDepth = Default.Gauge("fafnet_audit_queue_depth",
+		"Records currently queued for the async audit writer.")
+)

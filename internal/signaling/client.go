@@ -361,6 +361,28 @@ func (c *Client) Preview(req scenario.Request) (Decision, error) {
 	return *resp.Decision, nil
 }
 
+// PreviewBatch runs the CAC over a whole batch of candidates in one round
+// trip, committing nothing. Results are positional: out[i] answers reqs[i],
+// and a per-member failure (e.g. a duplicate id) arrives in that member's
+// Decision.Error rather than failing the batch. Pure read; retried freely.
+func (c *Client) PreviewBatch(reqs []scenario.Request) ([]Decision, error) {
+	resp, err := c.do(Request{Op: OpPreviewBatch, AdmitBatch: reqs}, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Decisions) != len(reqs) {
+		return nil, fmt.Errorf("signaling: server returned %d decisions for a batch of %d", len(resp.Decisions), len(reqs))
+	}
+	out := make([]Decision, len(reqs))
+	for i, d := range resp.Decisions {
+		if d == nil {
+			return nil, fmt.Errorf("signaling: batch response is missing decision %d", i)
+		}
+		out[i] = *d
+	}
+	return out, nil
+}
+
 // Release tears down a connection, reporting whether it existed. Release is
 // idempotent (releasing an already-released id reports false) and retried
 // freely; after a retry, a false result may mean an earlier lost attempt

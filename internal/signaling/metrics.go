@@ -22,8 +22,8 @@ func init() {
 		latHelp = "Wall time of one request execution by operation."
 	)
 	ops := []string{
-		string(OpAdmit), string(OpPreview), string(OpRelease),
-		string(OpReport), string(OpBuffers), opInvalid,
+		string(OpAdmit), string(OpPreview), string(OpPreviewBatch),
+		string(OpRelease), string(OpReport), string(OpBuffers), opInvalid,
 	}
 	for _, op := range ops {
 		mRequests[op] = obs.Default.Counter("fafnet_signaling_requests_total", reqHelp, "op", op)

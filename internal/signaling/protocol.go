@@ -40,8 +40,8 @@
 // The protocol has no request ids or transactions, so retry safety is a
 // property of each operation, and [Client] enforces it:
 //
-//   - OpPreview, OpReport and OpBuffers are pure reads: safe to repeat any
-//     number of times.
+//   - OpPreview, OpPreviewBatch, OpReport and OpBuffers are pure reads:
+//     safe to repeat any number of times.
 //   - OpRelease is idempotent by design — releasing an id that holds
 //     nothing succeeds with released=false. This makes release the
 //     universal resolver for ambiguity: one successful release round trip
@@ -76,6 +76,12 @@ const (
 	OpAdmit Op = "admit"
 	// OpPreview runs the CAC without committing. Idempotent.
 	OpPreview Op = "preview"
+	// OpPreviewBatch runs the CAC over a whole batch of candidates in one
+	// round trip, committing nothing. The server evaluates members grouped
+	// by specification class so its verdict cache amortizes one analysis
+	// across same-class runs; responses stay in request order. Idempotent
+	// (pure read), like OpPreview.
+	OpPreviewBatch Op = "previewBatch"
 	// OpRelease tears a connection down. Idempotent: releasing an unknown
 	// id succeeds with released=false.
 	OpRelease Op = "release"
@@ -94,9 +100,17 @@ type Request struct {
 	// Admit carries the connection specification for OpAdmit/OpPreview,
 	// reusing the scenario schema (kbit/ms units).
 	Admit *scenario.Request `json:"admit,omitempty"`
+	// AdmitBatch carries the specifications for OpPreviewBatch, at most
+	// MaxBatch entries.
+	AdmitBatch []scenario.Request `json:"admitBatch,omitempty"`
 	// Release names the connection for OpRelease.
 	Release string `json:"release,omitempty"`
 }
+
+// MaxBatch bounds an OpPreviewBatch request: large enough to amortize the
+// round trip and the JSON framing, small enough that one request cannot
+// monopolize the daemon or balloon a single wire line.
+const MaxBatch = 1024
 
 // Validate checks structural consistency before hitting the controller.
 func (r Request) Validate() error {
@@ -107,6 +121,18 @@ func (r Request) Validate() error {
 		}
 		if _, err := r.Admit.Spec(); err != nil {
 			return err
+		}
+	case OpPreviewBatch:
+		if len(r.AdmitBatch) == 0 {
+			return fmt.Errorf("signaling: previewBatch requires at least one admit body")
+		}
+		if len(r.AdmitBatch) > MaxBatch {
+			return fmt.Errorf("signaling: previewBatch of %d exceeds the maximum of %d", len(r.AdmitBatch), MaxBatch)
+		}
+		for i := range r.AdmitBatch {
+			if _, err := r.AdmitBatch[i].Spec(); err != nil {
+				return fmt.Errorf("signaling: previewBatch entry %d: %w", i, err)
+			}
 		}
 	case OpRelease:
 		if r.Release == "" {
@@ -130,6 +156,11 @@ type Decision struct {
 	DelayMillis    float64 `json:"delayMillis,omitempty"`
 	DeadlineMillis float64 `json:"deadlineMillis,omitempty"`
 	Probes         int     `json:"probes"`
+	// Error carries a per-member failure inside an OpPreviewBatch response
+	// (for example a duplicate id); the batch as a whole still succeeds.
+	// Always empty for single-decision responses, which report failures
+	// through the response's ok/error fields instead.
+	Error string `json:"error,omitempty"`
 }
 
 // ConnReport is one admitted connection's state in an OpReport response.
@@ -160,12 +191,24 @@ type Response struct {
 	Error string `json:"error,omitempty"`
 	// Decision is present for OpAdmit/OpPreview.
 	Decision *Decision `json:"decision,omitempty"`
+	// Decisions is present for OpPreviewBatch, one entry per batch member
+	// in request order.
+	Decisions []*Decision `json:"decisions,omitempty"`
 	// Released reports whether OpRelease found the connection.
 	Released *bool `json:"released,omitempty"`
 	// Report is present for OpReport.
 	Report []ConnReport `json:"report,omitempty"`
 	// Buffers is present for OpBuffers.
 	Buffers []BufferReport `json:"buffers,omitempty"`
+}
+
+// wireBatchDecision converts one batch member's outcome, folding a
+// per-member failure into the decision so the response stays positional.
+func wireBatchDecision(spec core.ConnSpec, dec core.Decision, err error) *Decision {
+	if err != nil {
+		return &Decision{Reason: dec.Reason, Error: err.Error()}
+	}
+	return wireDecision(spec, dec)
 }
 
 // wireDecision converts a core decision.

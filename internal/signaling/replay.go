@@ -72,7 +72,7 @@ func Replay(ctl *core.Controller, records []obs.AuditRecord) (ReplayStats, error
 			}
 			stats.Releases++
 			mReplayRecords.Inc()
-		case OpPreview:
+		case OpPreview, OpPreviewBatch:
 			stats.Skipped++
 			mReplaySkipped.Inc()
 		default:

@@ -37,6 +37,17 @@ type Server struct {
 	// operation on it is serialized here. guarded by mu.
 	ctl *core.Controller
 
+	// pipe, when non-nil, is the sharded admission pipeline and the server
+	// dispatches operations to it concurrently — no mutex: the pipeline
+	// provides its own synchronization. Exactly one of ctl and pipe is set,
+	// at construction, and pipe is immutable afterwards.
+	pipe *core.Sharded
+
+	// opts is the backend's effective CAC configuration, captured at
+	// construction so audit records can report β without touching the
+	// backend.
+	opts core.Options
+
 	// IdleTimeout, when positive, bounds how long a connection may sit
 	// between requests (and how long one request may take to arrive in
 	// full) before the server closes it. WriteTimeout, when positive,
@@ -48,6 +59,14 @@ type Server struct {
 	// audit, when set, receives one record per admit/preview/release. An
 	// atomic pointer so SetAuditLog needs no lock ordering against s.mu.
 	audit atomic.Pointer[obs.AuditLog]
+
+	// asyncAudit, when set, takes precedence over audit: records are
+	// enqueued to the async writer instead of appended inline. State-
+	// changing records are enqueued inside the backend's commit critical
+	// section (legacy: under mu; sharded: under the pipeline's commit
+	// lock), so queue order — and therefore file order — equals commit
+	// order, preserving replay-to-identical-state.
+	asyncAudit atomic.Pointer[obs.AsyncAuditWriter]
 
 	wg sync.WaitGroup
 	// listener is the accept-loop listener Serve registers. guarded by mu.
@@ -86,6 +105,24 @@ func NewServer(ctl *core.Controller) (*Server, error) {
 	}
 	return &Server{
 		ctl:     ctl,
+		opts:    ctl.Options(),
+		closed:  make(chan struct{}),
+		conns:   make(map[net.Conn]*connState),
+		drained: make(chan struct{}),
+	}, nil
+}
+
+// NewShardedServer wraps a sharded admission pipeline. Unlike the
+// controller-backed server, operations are NOT serialized behind the server
+// mutex: handlers call straight into the pipeline, which admits, releases
+// and reports concurrently.
+func NewShardedServer(p *core.Sharded) (*Server, error) {
+	if p == nil {
+		return nil, errors.New("signaling: server requires a pipeline")
+	}
+	return &Server{
+		pipe:    p,
+		opts:    p.Options(),
 		closed:  make(chan struct{}),
 		conns:   make(map[net.Conn]*connState),
 		drained: make(chan struct{}),
@@ -368,10 +405,13 @@ func (s *Server) execute(req Request) Response {
 	return resp
 }
 
-// executeOp runs one request against the controller.
+// executeOp runs one request against the backend.
 func (s *Server) executeOp(req Request) Response {
 	if err := req.Validate(); err != nil {
 		return Response{Error: err.Error()}
+	}
+	if s.pipe != nil {
+		return s.executeSharded(req)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -392,6 +432,18 @@ func (s *Server) executeOp(req Request) Response {
 			return Response{Error: err.Error()}
 		}
 		return Response{OK: true, Decision: wireDecision(spec, dec)}
+	case OpPreviewBatch:
+		decs := make([]*Decision, len(req.AdmitBatch))
+		for i := range req.AdmitBatch {
+			spec, err := req.AdmitBatch[i].Spec()
+			if err != nil {
+				return Response{Error: err.Error()}
+			}
+			dec, opErr := s.ctl.PreviewAdmission(spec)
+			s.auditDecision(Request{Op: OpPreviewBatch, Admit: &req.AdmitBatch[i]}, spec, dec, opErr)
+			decs[i] = wireBatchDecision(spec, dec, opErr)
+		}
+		return Response{OK: true, Decisions: decs}
 	case OpRelease:
 		ok := s.ctl.Release(req.Release)
 		s.auditRelease(req.Release, ok)
@@ -414,6 +466,99 @@ func (s *Server) executeOp(req Request) Response {
 		return Response{OK: true, Report: report}
 	case OpBuffers:
 		buffers, err := s.ctl.BufferReport()
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		var out []BufferReport
+		for _, b := range buffers {
+			out = append(out, BufferReport{
+				ID:      b.ConnID,
+				SrcKbit: b.SrcBufferBits / 1e3,
+				DstKbit: b.DstBufferBits / 1e3,
+			})
+		}
+		return Response{OK: true, Buffers: out}
+	default:
+		return Response{Error: fmt.Sprintf("signaling: unknown op %q", req.Op)}
+	}
+}
+
+// executeSharded runs one request against the sharded pipeline, with no
+// server-level lock. Audit records for state-changing operations are built
+// and enqueued by callbacks the pipeline invokes inside its commit critical
+// section, which is what keeps audit order equal to commit order.
+func (s *Server) executeSharded(req Request) Response {
+	switch req.Op {
+	case OpAdmit, OpPreview:
+		spec, err := req.Admit.Spec()
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		var record func(core.Decision, error)
+		if s.auditEnabled() {
+			record = func(dec core.Decision, opErr error) {
+				s.appendAudit(s.decisionRecord(req, spec, dec, opErr))
+			}
+		}
+		var dec core.Decision
+		if req.Op == OpAdmit {
+			dec, err = s.pipe.RequestAdmissionAudited(spec, record)
+		} else {
+			dec, err = s.pipe.PreviewAdmissionAudited(spec, record)
+		}
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, Decision: wireDecision(spec, dec)}
+	case OpPreviewBatch:
+		specs := make([]core.ConnSpec, len(req.AdmitBatch))
+		for i := range req.AdmitBatch {
+			spec, err := req.AdmitBatch[i].Spec()
+			if err != nil {
+				return Response{Error: err.Error()}
+			}
+			specs[i] = spec
+		}
+		var record func(int, core.Decision, error)
+		if s.auditEnabled() {
+			record = func(i int, dec core.Decision, opErr error) {
+				elem := Request{Op: OpPreviewBatch, Admit: &req.AdmitBatch[i]}
+				s.appendAudit(s.decisionRecord(elem, specs[i], dec, opErr))
+			}
+		}
+		results := s.pipe.PreviewAdmissionBatch(specs, record)
+		decs := make([]*Decision, len(results))
+		for i, r := range results {
+			decs[i] = wireBatchDecision(specs[i], r.Decision, r.Err)
+		}
+		return Response{OK: true, Decisions: decs}
+	case OpRelease:
+		var record func(bool)
+		if s.auditEnabled() {
+			record = func(found bool) {
+				s.appendAudit(s.releaseRecord(req.Release, found))
+			}
+		}
+		ok := s.pipe.ReleaseAudited(req.Release, record)
+		return Response{OK: true, Released: &ok}
+	case OpReport:
+		delays, err := s.pipe.DelayReport()
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		var report []ConnReport
+		for _, c := range s.pipe.Connections() {
+			report = append(report, ConnReport{
+				ID:             c.ID,
+				Src:            c.Src.String(),
+				Dst:            c.Dst.String(),
+				DelayMillis:    delays[c.ID] * 1e3,
+				DeadlineMillis: c.Deadline * 1e3,
+			})
+		}
+		return Response{OK: true, Report: report}
+	case OpBuffers:
+		buffers, err := s.pipe.BufferReport()
 		if err != nil {
 			return Response{Error: err.Error()}
 		}
