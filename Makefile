@@ -14,7 +14,11 @@ BENCH_JSON ?= BENCH.json
 # performance PR.
 BENCH_BASELINE ?= BENCH_PR8.json
 
-.PHONY: all build fmt vet sarif lockgraph lockgraph-check race test short bench bench-compare chaos load-smoke docs-check check clean
+# calibrate knobs: scenario count and base seed for the randomized sweep.
+CAL_SCENARIOS ?= 100
+CAL_SEED      ?= 1
+
+.PHONY: all build fmt vet sarif lockgraph lockgraph-check race test short bench bench-compare chaos load-smoke calibrate docs-check check clean
 
 all: build
 
@@ -85,6 +89,14 @@ chaos:
 # methodology and the headline numbers live in EXPERIMENTS.md E10.
 load-smoke:
 	$(GO) test -run TestLoadSmoke -v ./cmd/fafsim/
+
+# The calibration sweep (E11 in EXPERIMENTS.md): randomized multi-class
+# scenarios, each admitted, trace-replayed for bit-identity, and cross-
+# checked packet-by-packet against the analytic Eq. 7 bounds. Exits nonzero
+# on any measured delay above its bound or any replay divergence.
+#   make calibrate CAL_SCENARIOS=20 CAL_SEED=7
+calibrate:
+	$(GO) run ./cmd/fafsim -calibrate -scenarios $(CAL_SCENARIOS) -seed $(CAL_SEED)
 
 $(FAFBENCH): FORCE
 	$(GO) build -o $(FAFBENCH) ./cmd/fafbench

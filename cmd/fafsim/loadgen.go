@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -584,6 +585,8 @@ func printLoadResult(cfg loadConfig, total loadResult, scraper *histScraper) {
 			op := strings.TrimSuffix(strings.TrimPrefix(scraper.label, `op="`), `"`)
 			fmt.Printf("server_%s_ms\tp50\tp90\tp99\tcount\n", op)
 			fmt.Printf("\t%.3f\t%.3f\t%.3f\t%d\n", q[0]*1e3, q[1]*1e3, q[2]*1e3, count)
+		} else if scraper.resets > 0 {
+			fmt.Println("# server-side counters went backwards over the window (daemon restart?); quantiles invalidated")
 		} else {
 			fmt.Println("# server-side histogram unchanged over the window; nothing to report")
 		}
@@ -592,12 +595,21 @@ func printLoadResult(cfg loadConfig, total loadResult, scraper *histScraper) {
 		total.Stats.Attempts, total.Stats.Retries, total.Stats.Redials)
 }
 
-// quantileSorted returns the q-quantile of an ascending sample slice using
-// nearest-rank; good enough for run reporting.
+// quantileSorted returns the q-quantile of an ascending sample slice by the
+// nearest-rank definition: the smallest element with at least ⌈q·n⌉
+// observations at or below it. The previous int(q·(n−1)) truncation rounded
+// every rank down, reporting p99/p999 one element low on almost every
+// sample size — a tail-flattering bias exactly where tails matter.
 func quantileSorted(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	i := int(q * float64(len(xs)-1))
+	i := int(math.Ceil(q*float64(len(xs)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
 	return xs[i]
 }

@@ -230,6 +230,43 @@ func TestHistScraperNoMovement(t *testing.T) {
 	}
 }
 
+// TestHistScraperCounterReset feeds the scraper a canned exposition whose
+// second snapshot has LOWER cumulative counts — what a restarted daemon
+// exposes. The window must be invalidated (ok=false) and the reset counted;
+// the pre-fix code subtracted the uint64s straight, wrapped to ~2^64 deltas
+// and reported garbage quantiles with full confidence.
+func TestHistScraperCounterReset(t *testing.T) {
+	exposition := func(c1, cInf uint64) string {
+		return "# TYPE fafnet_signaling_op_seconds histogram\n" +
+			fmt.Sprintf("fafnet_signaling_op_seconds_bucket{op=\"admit\",le=\"0.001\"} %d\n", c1) +
+			fmt.Sprintf("fafnet_signaling_op_seconds_bucket{op=\"admit\",le=\"+Inf\"} %d\n", cInf)
+	}
+	// Before: long-lived daemon. After: restarted, counters back near zero
+	// (but nonzero, so the no-movement path cannot mask the bug).
+	bodies := []string{exposition(500, 900), exposition(3, 7)}
+	call := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, bodies[call])
+		call++
+	}))
+	defer ts.Close()
+
+	s := &histScraper{url: ts.URL, metric: "fafnet_signaling_op_seconds", label: `op="admit"`}
+	if err := s.snapshotBefore(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.snapshotAfter(); err != nil {
+		t.Fatal(err)
+	}
+	qs, count, ok := s.deltaQuantiles([]float64{0.5})
+	if ok {
+		t.Fatalf("counter reset reported quantiles %v (count %d); window must be invalidated", qs, count)
+	}
+	if s.resets != 1 {
+		t.Fatalf("resets = %d, want 1", s.resets)
+	}
+}
+
 // TestParseLE covers the label extraction corner cases.
 func TestParseLE(t *testing.T) {
 	if v, ok := parseLE(`op="admit",le="0.25"`); !ok || v != 0.25 {
@@ -243,16 +280,41 @@ func TestParseLE(t *testing.T) {
 	}
 }
 
-// TestQuantileSorted pins the nearest-rank helper.
+// TestQuantileSorted pins the nearest-rank helper: the q-quantile is the
+// smallest element with at least ⌈q·n⌉ observations at or below it. The
+// n=10 rows are the regression for the truncation bug — int(q·(n−1)) put
+// p50 at index 4 and p99 at index 8, one element low.
 func TestQuantileSorted(t *testing.T) {
-	xs := []float64{1, 2, 3, 4, 5}
-	if got := quantileSorted(xs, 0); got != 1 {
-		t.Errorf("q0 = %v", got)
+	ten := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64
+	}{
+		{"q0 clamps to min", []float64{1, 2, 3, 4, 5}, 0, 1},
+		{"q1 is max", []float64{1, 2, 3, 4, 5}, 1, 5},
+		{"empty", nil, 0.5, 0},
+		{"p50 of 5", []float64{1, 2, 3, 4, 5}, 0.5, 3},
+		{"p50 of 10 is rank 5", ten, 0.50, 5},
+		{"p90 of 10 is rank 9", ten, 0.90, 9},
+		{"p99 of 10 is the max", ten, 0.99, 10},
+		{"p999 of 10 is the max", ten, 0.999, 10},
+		{"p99 of 100 is rank 99", seq(100), 0.99, 99},
+		{"p999 of 1000 is rank 999", seq(1000), 0.999, 999},
 	}
-	if got := quantileSorted(xs, 1); got != 5 {
-		t.Errorf("q1 = %v", got)
+	for _, tc := range cases {
+		if got := quantileSorted(tc.xs, tc.q); got != tc.want {
+			t.Errorf("%s: quantileSorted(n=%d, q=%v) = %v, want %v", tc.name, len(tc.xs), tc.q, got, tc.want)
+		}
 	}
-	if got := quantileSorted(nil, 0.5); got != 0 {
-		t.Errorf("empty = %v", got)
+}
+
+// seq returns [1, 2, ..., n] as float64s.
+func seq(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i + 1)
 	}
+	return xs
 }

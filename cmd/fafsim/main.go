@@ -57,6 +57,8 @@ func main() {
 		prefill    = flag.Int("prefill", 0, "standing connections each load worker admits and holds before measuring")
 		batchSize  = flag.Int("batch", 1, "previews per round trip (previewBatch op) in the load modes")
 		daemonMet  = flag.String("daemon-metrics", "", "fafcacd /metrics URL to scrape for server-side latency over the window")
+		calibrate  = flag.Bool("calibrate", false, "run the calibration sweep (E11) instead of an -experiment")
+		scenarios  = flag.Int("scenarios", 100, "randomized scenarios in the -calibrate sweep")
 		requests   = flag.Int("requests", 400, "admission requests counted per point")
 		warmup     = flag.Int("warmup", 50, "requests excluded from statistics")
 		seed       = flag.Int64("seed", 1, "base random seed")
@@ -88,7 +90,15 @@ func main() {
 		CAC:      core.Options{SearchIters: *searchIter},
 	}
 
-	switch *experiment {
+	// -calibrate is a mode of its own, not an -experiment value, so the two
+	// flags cannot silently shadow each other.
+	exp := *experiment
+	if *calibrate {
+		exp = "calibrate"
+	}
+	switch exp {
+	case "calibrate":
+		err = runCalibrate(*scenarios, *seed, *searchIter)
 	case "beta":
 		err = runBeta(base, *utilsFlag, *betasFlag, *doPlot)
 	case "load":

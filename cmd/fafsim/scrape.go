@@ -21,6 +21,11 @@ type histScraper struct {
 	label  string // rendered label that must be present, e.g. op="admit"
 
 	before, after map[float64]uint64 // upper bound -> cumulative count
+
+	// resets counts windows invalidated because a cumulative counter went
+	// backwards between the snapshots — the signature of a daemon restart.
+	// The uint64 bucket deltas would otherwise wrap to absurd totals.
+	resets int
 }
 
 func (s *histScraper) snapshotBefore() (err error) {
@@ -111,7 +116,10 @@ func parseLE(labels string) (float64, bool) {
 // two snapshots by differencing the cumulative bucket counts and
 // interpolating linearly inside the bucket that crosses each rank — the
 // standard Prometheus histogram_quantile estimate. Returns ok=false when
-// the histogram did not move over the window.
+// the histogram did not move over the window, or when a counter went
+// backwards between the snapshots (daemon restart): cumulative counts only
+// ever grow, so a decrease means the window straddles a counter reset and
+// the uint64 deltas would wrap instead of measuring anything.
 func (s *histScraper) deltaQuantiles(qs []float64) ([]float64, uint64, bool) {
 	if s.before == nil || s.after == nil {
 		return nil, 0, false
@@ -124,6 +132,10 @@ func (s *histScraper) deltaQuantiles(qs []float64) ([]float64, uint64, bool) {
 	deltas := make([]uint64, len(bounds))
 	var total uint64
 	for i, b := range bounds {
+		if s.after[b] < s.before[b] {
+			s.resets++
+			return nil, 0, false
+		}
 		d := s.after[b] - s.before[b]
 		deltas[i] = d
 		if d > total {

@@ -82,6 +82,12 @@ func (c RingConfig) UsableTTRT() float64 { return c.TTRT - c.Overhead }
 type Ring struct {
 	cfg   RingConfig
 	alloc map[string]float64 // connection id → H (seconds per rotation)
+	// order keeps the allocation ids sorted. Ω is a float sum, and float
+	// addition is not associative: summing the map in iteration order made
+	// Available() — and with it every β-interpolated allocation downstream —
+	// wobble by ULPs from call to call, which broke bit-exact trace replay.
+	// All Ω summations walk this slice instead.
+	order []string
 }
 
 // NewRing validates cfg and returns an empty ring.
@@ -96,10 +102,12 @@ func NewRing(cfg RingConfig) (*Ring, error) {
 func (r *Ring) Config() RingConfig { return r.cfg }
 
 // Allocated returns Ω: the total synchronous time currently allocated.
+// The sum runs in sorted connection-id order so the result is bit-identical
+// across calls and across runs holding the same allocations.
 func (r *Ring) Allocated() float64 {
 	var sum float64
-	for _, h := range r.alloc {
-		sum += h
+	for _, id := range r.order {
+		sum += r.alloc[id]
 	}
 	return sum
 }
@@ -119,11 +127,8 @@ func (r *Ring) Allocation(connID string) (float64, bool) {
 // Connections returns the ids of all connections holding an allocation, in
 // sorted order.
 func (r *Ring) Connections() []string {
-	ids := make([]string, 0, len(r.alloc))
-	for id := range r.alloc {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
+	ids := make([]string, len(r.order))
+	copy(ids, r.order)
 	return ids
 }
 
@@ -142,6 +147,10 @@ func (r *Ring) Allocate(connID string, h float64) error {
 		return fmt.Errorf("fddi: allocation %v for %q exceeds available %v", h, connID, r.Available())
 	}
 	r.alloc[connID] = h
+	i := sort.SearchStrings(r.order, connID)
+	r.order = append(r.order, "")
+	copy(r.order[i+1:], r.order[i:])
+	r.order[i] = connID
 	return nil
 }
 
@@ -152,6 +161,8 @@ func (r *Ring) Release(connID string) bool {
 		return false
 	}
 	delete(r.alloc, connID)
+	i := sort.SearchStrings(r.order, connID)
+	r.order = append(r.order[:i], r.order[i+1:]...)
 	return true
 }
 

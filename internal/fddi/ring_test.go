@@ -1,6 +1,9 @@
 package fddi
 
 import (
+	"fmt"
+	"math"
+	"sort"
 	"testing"
 
 	"fafnet/internal/units"
@@ -105,5 +108,58 @@ func TestUsableTTRT(t *testing.T) {
 	cfg := RingConfig{BandwidthBps: 1, TTRT: 0.01, Overhead: 0.002}
 	if got := cfg.UsableTTRT(); !units.AlmostEq(got, 0.008) {
 		t.Errorf("UsableTTRT = %v, want 0.008", got)
+	}
+}
+
+// TestAllocatedDeterministic pins the Ω summation order: with allocations
+// whose float sum is order-sensitive, Allocated must return the same bits on
+// every call. The pre-fix implementation summed the allocation map in map
+// iteration order, which made Eq. 26–27 availability — and every allocation
+// interpolated from it — wobble by ULPs between identical calls.
+func TestAllocatedDeterministic(t *testing.T) {
+	r, err := NewRing(DefaultRingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Values with spread exponents so partial-sum rounding depends on order.
+	hs := []float64{1e-3, 1e-9, 3e-4, 7e-10, 2.5e-5, 1e-8, 4e-6, 9e-11}
+	for i, h := range hs {
+		if err := r.Allocate(fmt.Sprintf("c%d", i), h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := math.Float64bits(r.Allocated())
+	for i := 0; i < 200; i++ {
+		if got := math.Float64bits(r.Allocated()); got != want {
+			t.Fatalf("call %d: Allocated bits %x != %x", i, got, want)
+		}
+	}
+	// The sum must equal the sorted-id-order sum exactly.
+	ids := r.Connections()
+	if !sort.StringsAreSorted(ids) {
+		t.Fatal("Connections not sorted")
+	}
+	var ref float64
+	for _, id := range ids {
+		h, ok := r.Allocation(id)
+		if !ok {
+			t.Fatalf("missing allocation %q", id)
+		}
+		ref += h
+	}
+	if math.Float64bits(ref) != want {
+		t.Fatalf("Allocated %x != sorted-order reference %x", want, math.Float64bits(ref))
+	}
+	// Release keeps the ledger consistent.
+	if !r.Release("c3") {
+		t.Fatal("release failed")
+	}
+	if got := len(r.Connections()); got != len(hs)-1 {
+		t.Fatalf("after release: %d ids", got)
+	}
+	for i := 0; i < 50; i++ {
+		if got := r.Allocated(); math.Float64bits(got) != math.Float64bits(r.Allocated()) {
+			t.Fatal("Allocated unstable after release")
+		}
 	}
 }

@@ -352,6 +352,11 @@ func (b *builder) dispatch(r int, f fddi.DeliveredFrame) {
 
 // deliverToDestRing enqueues a reassembled frame at the destination ring's
 // per-connection interface-device station, preserving the emission time.
+// The interface device re-frames for its own allocation: a timed-token MAC
+// cannot transmit a frame longer than its per-rotation holding HR, so a
+// reassembled payload larger than FrameBits(HR) — possible whenever the CAC
+// granted HR < HS — is split into HR-sized frames, exactly the re-framing
+// the analytic dstMAC model (ifdev.ReceiverConversion) assumes.
 func (b *builder) deliverToDestRing(ring int, f ifdev.ReassembledFrame) {
 	c := b.conns[f.ConnID]
 	if c == nil {
@@ -361,15 +366,18 @@ func (b *builder) deliverToDestRing(ring int, f ifdev.ReassembledFrame) {
 	if !ok {
 		return
 	}
-	err := b.rings[ring].EnqueueStamped(fddi.Frame{
-		Bits:     f.PayloadBits,
-		ConnID:   f.ConnID,
-		Src:      station,
-		Dst:      c.Dst.Index,
-		Enqueued: f.FirstCellCreated, // the original emission instant
-	})
-	if err != nil {
-		panic(fmt.Sprintf("packetsim: enqueue on destination ring: %v", err))
+	maxBits := b.net.RingConfig(ring).FrameBits(c.HR)
+	for remaining := f.PayloadBits; remaining > 0; remaining -= maxBits {
+		err := b.rings[ring].EnqueueStamped(fddi.Frame{
+			Bits:     math.Min(remaining, maxBits),
+			ConnID:   f.ConnID,
+			Src:      station,
+			Dst:      c.Dst.Index,
+			Enqueued: f.FirstCellCreated, // the original emission instant
+		})
+		if err != nil {
+			panic(fmt.Sprintf("packetsim: enqueue on destination ring: %v", err))
+		}
 	}
 }
 
@@ -400,6 +408,10 @@ func (b *builder) startSources(cfg Config) error {
 			}
 		case traffic.CBR:
 			if err := b.scheduleCBR(c, src, frameBits); err != nil {
+				return err
+			}
+		case traffic.LeakyBucket:
+			if err := b.scheduleLeakyBucket(c, src, frameBits); err != nil {
 				return err
 			}
 		default:
@@ -497,6 +509,30 @@ func (b *builder) startAsyncBackground(cfg Config) {
 	if _, err := b.sim.Schedule(0, tick); err != nil {
 		panic(fmt.Sprintf("packetsim: starting async background: %v", err))
 	}
+}
+
+// scheduleLeakyBucket drains the bucket greedily at t=0 — the adversarial
+// start the envelope σ + ρt permits — then sustains the token rate ρ. The
+// burst is paced at the declared peak (the ring's line rate when uncapped),
+// so emission never exceeds the descriptor the bounds were computed from.
+func (b *builder) scheduleLeakyBucket(c *core.Connection, src traffic.LeakyBucket, frameBits float64) error {
+	if src.Rho <= 0 {
+		return fmt.Errorf("packetsim: connection %q: leaky-bucket rate must be positive", c.ID)
+	}
+	peak := src.PeakBps
+	if peak <= 0 {
+		peak = b.net.RingConfig(c.Src.Ring).BandwidthBps
+	}
+	if src.Sigma > 0 {
+		if _, err := b.sim.Schedule(0, func() {
+			if err := b.emitBurst(c, src.Sigma, frameBits, peak); err != nil {
+				panic(fmt.Sprintf("packetsim: emitting bucket burst: %v", err))
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	return b.scheduleCBR(c, traffic.CBR{RateBps: src.Rho}, frameBits)
 }
 
 // scheduleCBR emits one frame every frameBits/rate seconds.

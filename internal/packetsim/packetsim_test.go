@@ -233,6 +233,10 @@ func TestRunCBRAndPeriodicSources(t *testing.T) {
 	}
 }
 
+// unmodeledSource is a descriptor the packet simulator has no traffic
+// generator for; the embedded leaky bucket keeps the analytic side happy.
+type unmodeledSource struct{ traffic.LeakyBucket }
+
 // TestRunUnknownSourceModel: a descriptor without a generator is a
 // structural error, not a silent no-traffic run.
 func TestRunUnknownSourceModel(t *testing.T) {
@@ -250,7 +254,7 @@ func TestRunUnknownSourceModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	conn := &core.Connection{
-		ConnSpec: core.ConnSpec{ID: "lb", Src: topo.HostID{Ring: 0, Index: 0}, Dst: topo.HostID{Ring: 1, Index: 0}, Source: lb, Deadline: 0.2},
+		ConnSpec: core.ConnSpec{ID: "lb", Src: topo.HostID{Ring: 0, Index: 0}, Dst: topo.HostID{Ring: 1, Index: 0}, Source: unmodeledSource{lb}, Deadline: 0.2},
 		Route:    route,
 		HS:       1e-3,
 		HR:       1e-3,
@@ -374,5 +378,50 @@ func TestRunValidation(t *testing.T) {
 	}
 	if _, err := Run(Config{Topology: cfg, Connections: append(conns, conns[0])}); err == nil {
 		t.Error("duplicate connection should be rejected")
+	}
+}
+
+// TestRunReceiverSmallerThanSender: when the CAC grants HR < HS (the
+// sender-biased rule does so by construction), a reassembled source-sized
+// frame no longer fits the destination station's per-rotation holding. The
+// interface device must re-frame it to FrameBits(HR) — exactly what the
+// analytic dstMAC model assumes — instead of panicking on enqueue.
+func TestRunReceiverSmallerThanSender(t *testing.T) {
+	cfg := topo.Default()
+	net, err := topo.NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := core.NewController(net, core.Options{Rule: core.RuleSenderBiased, Beta: 0.1, BetaSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := traffic.NewDualPeriodic(50e3, 0.010, 10e3, 0.001, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ctl.RequestAdmission(core.ConnSpec{
+		ID:       "biased",
+		Src:      topo.HostID{Ring: 0, Index: 0},
+		Dst:      topo.HostID{Ring: 1, Index: 0},
+		Source:   src,
+		Deadline: 0.070,
+	})
+	if err != nil || !dec.Admitted {
+		t.Fatalf("admission: %v %v", err, dec.Reason)
+	}
+	if dec.HR >= dec.HS {
+		t.Fatalf("precondition HR < HS not met: HS=%v HR=%v", dec.HS, dec.HR)
+	}
+	res, err := Run(Config{Topology: cfg, Connections: ctl.Connections(), Duration: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.PerConn[0]
+	if c.FramesDelivered == 0 {
+		t.Fatal("no frames delivered")
+	}
+	if !c.WithinBound() {
+		t.Errorf("measured %v exceeds bound %v", c.Delays.Max(), c.Bound)
 	}
 }

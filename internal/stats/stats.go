@@ -151,8 +151,8 @@ func (h *Histogram) Render(width int) string {
 }
 
 // Ratio counts successes over trials (e.g. admitted connections over
-// admission requests) and reports the proportion with a Wald confidence
-// interval.
+// admission requests) and reports the proportion with a Wilson score
+// confidence interval.
 type Ratio struct {
 	successes, trials int
 }
@@ -163,6 +163,13 @@ func (r *Ratio) Record(success bool) {
 	if success {
 		r.successes++
 	}
+}
+
+// Merge adds the other ratio's counts into r (e.g. pooling per-scenario
+// admission counts into a sweep-wide proportion).
+func (r *Ratio) Merge(o Ratio) {
+	r.successes += o.successes
+	r.trials += o.trials
 }
 
 // Successes returns the success count.
@@ -179,13 +186,29 @@ func (r *Ratio) Value() float64 {
 	return float64(r.successes) / float64(r.trials)
 }
 
-// CI95 returns the half-width of the Wald 95% interval for the proportion.
+// CI95 returns the half-width of the Wilson score 95% interval for the
+// proportion. Unlike the Wald interval it does not degenerate to ±0 at the
+// extremes: one trial with one success reports 1.0000 ±0.3967, not a false
+// certainty — exactly the small-sample regime the per-class calibration
+// report lives in.
 func (r *Ratio) CI95() float64 {
+	lo, hi := r.CI95Bounds()
+	return (hi - lo) / 2
+}
+
+// CI95Bounds returns the Wilson score 95% interval [lo, hi] for the
+// proportion. Both bounds are 0 when no trials were recorded.
+func (r *Ratio) CI95Bounds() (lo, hi float64) {
 	if r.trials == 0 {
-		return 0
+		return 0, 0
 	}
+	const z = 1.96
+	n := float64(r.trials)
 	p := r.Value()
-	return 1.96 * math.Sqrt(p*(1-p)/float64(r.trials))
+	denom := 1 + z*z/n
+	center := (p + z*z/(2*n)) / denom
+	half := z * math.Sqrt(p*(1-p)/n+z*z/(4*n*n)) / denom
+	return center - half, center + half
 }
 
 // String implements fmt.Stringer.

@@ -128,12 +128,54 @@ func TestRatio(t *testing.T) {
 	if math.Abs(r.Value()-0.75) > 1e-12 {
 		t.Errorf("Value = %v", r.Value())
 	}
-	want := 1.96 * math.Sqrt(0.75*0.25/100)
+	// Wilson score interval at p=0.75, n=100: half-width of
+	// [center − h, center + h] with z = 1.96.
+	const z = 1.96
+	denom := 1 + z*z/100
+	want := z * math.Sqrt(0.75*0.25/100+z*z/(4*100*100)) / denom
 	if math.Abs(r.CI95()-want) > 1e-12 {
 		t.Errorf("CI95 = %v, want %v", r.CI95(), want)
 	}
+	lo, hi := r.CI95Bounds()
+	if !(lo < 0.75 && 0.75 < hi) {
+		t.Errorf("CI95Bounds = [%v, %v] does not cover p=0.75", lo, hi)
+	}
 	if r.String() == "" {
 		t.Error("String should be non-empty")
+	}
+	// The printed format stays "s/t = p ±w".
+	if got := r.String(); got != "75/100 = 0.7500 ±0.0838" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestRatioExtremesNotDegenerate is the regression test for the Wald
+// interval bug: at p ∈ {0, 1} the Wald half-width 1.96·√(p(1−p)/n) is
+// exactly zero, so one trial with one success printed "1.0000 ±0.0000" —
+// false certainty from a single observation. The Wilson interval keeps a
+// nonzero width at the extremes.
+func TestRatioExtremesNotDegenerate(t *testing.T) {
+	var one Ratio
+	one.Record(true) // 1 trial, 1 success
+	if ci := one.CI95(); ci <= 0.1 {
+		t.Errorf("CI95 at 1/1 = %v, want a wide interval (Wald degenerates to 0)", ci)
+	}
+	lo, hi := one.CI95Bounds()
+	if lo <= 0 || hi > 1+1e-12 {
+		t.Errorf("CI95Bounds at 1/1 = [%v, %v], want a proper sub-interval of (0, 1]", lo, hi)
+	}
+
+	var zero Ratio
+	for i := 0; i < 10; i++ {
+		zero.Record(false) // 10 trials, 0 successes
+	}
+	if ci := zero.CI95(); ci <= 0 {
+		t.Errorf("CI95 at 0/10 = %v, want > 0", ci)
+	}
+
+	// Known Wilson value: 1 trial, 1 success, z=1.96 → half-width 0.3967.
+	if got := one.CI95(); math.Abs(got-0.39670) > 1e-4 {
+		t.Errorf("CI95 at 1/1 = %v, want ≈ 0.3967", got)
 	}
 }
 

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// JainIndex returns Jain's fairness index of the given allocations:
+// (Σx)² / (n·Σx²), which is 1 when all shares are equal and 1/n when one
+// share takes everything. An empty or all-zero input reports 0.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// MAPE returns the mean absolute percentage error of predictions against
+// actuals, in percent: 100/n · Σ |pred−actual| / |actual|. Pairs whose
+// actual is zero are skipped (their percentage error is undefined). The
+// slices must have equal length.
+func MAPE(pred, actual []float64) (float64, error) {
+	if len(pred) != len(actual) {
+		return 0, fmt.Errorf("stats: MAPE inputs have %d and %d entries", len(pred), len(actual))
+	}
+	var sum float64
+	n := 0
+	for i := range pred {
+		if actual[i] == 0 {
+			continue
+		}
+		sum += math.Abs(pred[i]-actual[i]) / math.Abs(actual[i])
+		n++
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return 100 * sum / float64(n), nil
+}
+
+// Pearson returns the sample Pearson correlation coefficient of the two
+// series. It reports 0 when either series is constant (the coefficient is
+// undefined there) or when fewer than two pairs are given. The slices must
+// have equal length.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: Pearson inputs have %d and %d entries", len(xs), len(ys))
+	}
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		return 0, nil
+	}
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0, nil
+	}
+	return cov / math.Sqrt(vx*vy), nil
+}

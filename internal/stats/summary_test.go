@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex(nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 0 {
+		t.Errorf("all-zero = %v", got)
+	}
+	if got := JainIndex([]float64{3, 3, 3, 3}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal shares = %v, want 1", got)
+	}
+	// One taker among n: index 1/n.
+	if got := JainIndex([]float64{5, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("single taker = %v, want 0.25", got)
+	}
+	// Known mixed case: (1+2+3)²/(3·(1+4+9)) = 36/42.
+	if got := JainIndex([]float64{1, 2, 3}); math.Abs(got-36.0/42.0) > 1e-12 {
+		t.Errorf("mixed = %v, want %v", got, 36.0/42.0)
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	if _, err := MAPE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	got, err := MAPE([]float64{110, 90}, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-12 {
+		t.Errorf("MAPE = %v, want 10", got)
+	}
+	// Zero actuals are skipped, not divided by.
+	got, err = MAPE([]float64{1, 50}, []float64{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-50) > 1e-12 {
+		t.Errorf("MAPE with zero actual = %v, want 50", got)
+	}
+	if got, err := MAPE([]float64{1}, []float64{0}); err != nil || got != 0 {
+		t.Errorf("all-zero actuals: %v, %v", got, err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	perfect, err := Pearson([]float64{1, 2, 3, 4}, []float64{2, 4, 6, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(perfect-1) > 1e-12 {
+		t.Errorf("perfect correlation = %v, want 1", perfect)
+	}
+	anti, err := Pearson([]float64{1, 2, 3}, []float64{3, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(anti+1) > 1e-12 {
+		t.Errorf("anti-correlation = %v, want -1", anti)
+	}
+	if got, _ := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("constant series = %v, want 0", got)
+	}
+	if got, _ := Pearson([]float64{1}, []float64{2}); got != 0 {
+		t.Errorf("single pair = %v, want 0", got)
+	}
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"fafnet/internal/des"
+	"fafnet/internal/scenario"
+)
+
+// The calibration sweep draws workload specs from this palette: class names
+// are fixed (so per-class metric labels stay bounded) while processes,
+// rates, shapes, lifetimes, sources and deadlines are randomized per
+// scenario. Deadlines stay above the ~10 ms protocol floor of the default
+// network (two timed-token MACs at TTRT 4 ms plus backbone stages) so
+// scenarios exercise the admission boundary rather than trivially rejecting
+// everything.
+
+// classNames is the palette of class labels RandomSpec draws from.
+var classNames = []string{"voice", "video", "bulk", "control"}
+
+// sourceTemplates are the traffic models RandomSpec assigns to classes. All
+// long-term rates sit in the low-megabit range, sized so a handful of
+// admitted connections contend for ring synchronous bandwidth without one
+// connection exhausting it.
+var sourceTemplates = []scenario.Source{
+	{Type: "dualPeriodic", C1Kbit: 50, P1Millis: 10, C2Kbit: 10, P2Millis: 1},
+	{Type: "dualPeriodic", C1Kbit: 30, P1Millis: 6, C2Kbit: 8, P2Millis: 1},
+	{Type: "periodic", C1Kbit: 8, P1Millis: 5},
+	{Type: "periodic", C1Kbit: 16, P1Millis: 4},
+	{Type: "cbr", RateMbps: 2},
+	{Type: "cbr", RateMbps: 4},
+	{Type: "leakyBucket", SigmaKbit: 20, RateMbps: 3},
+}
+
+// RandomSpec draws a randomized multi-class workload spec from the palette:
+// one to three classes, each with a random arrival process, lifetime
+// distribution, source template and SLO, and sometimes a diurnal curve.
+// Deterministic in the RNG state.
+func RandomSpec(rng *des.RNG) Spec {
+	n := 1 + rng.Intn(3)
+	perm := rng.Perm(len(classNames))
+	s := Spec{Name: "random"}
+	for i := 0; i < n; i++ {
+		c := Class{
+			Name:   classNames[perm[i]],
+			Source: sourceTemplates[rng.Intn(len(sourceTemplates))],
+		}
+		// Arrival: rate 0.2–1.2 requests/sec so a few-minute horizon sees
+		// tens of requests per class.
+		rate := rng.Uniform(0.2, 1.2)
+		switch rng.Intn(3) {
+		case 0:
+			c.Arrival = Arrival{Process: ProcessPoisson, RatePerSec: rate}
+		case 1:
+			c.Arrival = Arrival{Process: ProcessGamma, RatePerSec: rate, Shape: rng.Uniform(0.4, 3)}
+		default:
+			c.Arrival = Arrival{Process: ProcessWeibull, RatePerSec: rate, Shape: rng.Uniform(0.5, 2.5)}
+		}
+		// Lifetime: mean 20–90 s; heavy tails for the non-exponential draws.
+		mean := rng.Uniform(20, 90)
+		switch rng.Intn(3) {
+		case 0:
+			c.Lifetime = Lifetime{Dist: LifetimeExponential, MeanSeconds: mean}
+		case 1:
+			c.Lifetime = Lifetime{Dist: LifetimePareto, MeanSeconds: mean, Shape: rng.Uniform(1.5, 3.5)}
+		default:
+			c.Lifetime = Lifetime{Dist: LifetimeLognormal, MeanSeconds: mean, Shape: rng.Uniform(0.3, 1.2)}
+		}
+		// Deadline: fixed SLO or a uniform range, both inside 30–80 ms.
+		if rng.Intn(2) == 0 {
+			c.SLOMillis = rng.Uniform(30, 80)
+		} else {
+			lo := rng.Uniform(30, 50)
+			c.DeadlineMinMillis = lo
+			c.DeadlineMaxMillis = lo + rng.Uniform(5, 30)
+		}
+		if rng.Intn(3) == 0 {
+			c.Diurnal = &Diurnal{
+				PeriodSeconds: rng.Uniform(120, 1200),
+				Amplitude:     rng.Uniform(0.2, 0.8),
+				PhaseSeconds:  rng.Uniform(0, 60),
+			}
+		}
+		s.Classes = append(s.Classes, c)
+	}
+	return s
+}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"fafnet/internal/scenario"
+)
+
+// Event is one line of an arrival trace: a fully materialized admission
+// request (endpoints, deadline, source) plus the class bookkeeping and the
+// holding time the connection would use if admitted. A trace captures every
+// random draw of the generating run, so replaying it reproduces the run
+// bit-identically with no RNG involved.
+type Event struct {
+	// At is the absolute arrival time in seconds.
+	At float64 `json:"at"`
+	// Class is the workload class the request belongs to.
+	Class string `json:"class"`
+	// LifetimeSeconds is the holding time if admitted.
+	LifetimeSeconds float64 `json:"lifetimeSeconds"`
+	// Req is the materialized admission request (scenario JSON form).
+	Req scenario.Request `json:"req"`
+}
+
+// WriteTrace renders events as JSON lines. Floats round-trip exactly
+// through Go's shortest-representation encoding, which is what makes
+// record → replay bit-identical.
+func WriteTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return fmt.Errorf("workload: encoding trace event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveTrace writes events to a file.
+func SaveTrace(path string, events []Event) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("workload: creating trace %s: %w", path, err)
+	}
+	defer func() {
+		// Close is the final write on this path; a short file must surface.
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return WriteTrace(f, events)
+}
+
+// ReadTrace parses a JSON-lines trace. Arrival times must be
+// non-decreasing; a decreasing timestamp or malformed line is an error, not
+// a skip — a calibration gate must not quietly drop part of its input.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		if n := len(out); n > 0 && ev.At < out[n-1].At {
+			return nil, fmt.Errorf("workload: trace line %d: time %v precedes %v", line, ev.At, out[n-1].At)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	return out, nil
+}
+
+// LoadTrace reads a trace from a file.
+func LoadTrace(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: opening trace %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}
